@@ -1,0 +1,63 @@
+// Ablation A: the value of Phase 1's bucket pruning (step 3.4 of the
+// paper's Figure 2) — the "preliminary test to decide for each view
+// whether it is potentially useful" that the paper credits for its
+// efficiency.  Compares:
+//   * no pruning (every MCD stays in every Pre-Rewriting),
+//   * the literal Definition-2 relaxed-form pruning,
+//   * the canonical-database-grounded frozen-match pruning (the default).
+// Less pruning means fatter Pre-Rewritings and costlier Phase-2 checks.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void RunWithPruning(benchmark::State& state,
+                    cqac::RewriteOptions::Pruning pruning) {
+  cqac::WorkloadConfig config;
+  config.num_variables = static_cast<int>(state.range(0));
+  config.num_constants = 1;
+  config.num_subgoals = 3;
+  config.view_subgoals = 2;
+  config.num_views = 4;
+  int64_t kept_mcds = 0;
+  int64_t found = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 3; ++i) {
+      config.seed = 1000 + i;
+      cqac::WorkloadGenerator generator(config);
+      const cqac::WorkloadInstance instance = generator.Generate();
+      cqac::RewriteOptions options;
+      options.pruning = pruning;
+      const cqac::RewriteResult result =
+          cqac::EquivalentRewriter(instance.query, instance.views, options)
+              .Run();
+      kept_mcds += result.stats.mcds_kept_total;
+      found += result.outcome == cqac::RewriteOutcome::kRewritingFound;
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.counters["kept_mcds"] = static_cast<double>(kept_mcds);
+  state.counters["found"] = static_cast<double>(found);
+}
+
+void BM_Pruning_None(benchmark::State& state) {
+  RunWithPruning(state, cqac::RewriteOptions::Pruning::kNone);
+}
+void BM_Pruning_RelaxedForm(benchmark::State& state) {
+  RunWithPruning(state, cqac::RewriteOptions::Pruning::kRelaxedForm);
+}
+void BM_Pruning_FrozenMatch(benchmark::State& state) {
+  RunWithPruning(state, cqac::RewriteOptions::Pruning::kFrozenMatch);
+}
+
+BENCHMARK(BM_Pruning_None)->DenseRange(3, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pruning_RelaxedForm)
+    ->DenseRange(3, 5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Pruning_FrozenMatch)
+    ->DenseRange(3, 5)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+#ifndef CQAC_BENCH_BENCH_COMMON_H_
+#define CQAC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+
+#include "benchmark/benchmark.h"
+#include "rewriting/equiv_rewriter.h"
+#include "workload/generator.h"
+
+namespace cqac_bench {
+
+/// Runs the paper's algorithm on `instances_per_point` deterministic
+/// workload instances for this config and accumulates counters into the
+/// benchmark state.  Returns the number of instances with a rewriting.
+inline int RunRewriterPoint(benchmark::State& state,
+                            cqac::WorkloadConfig config,
+                            int instances_per_point = 3) {
+  int found = 0;
+  int64_t canonical = 0;
+  int64_t kept = 0;
+  int64_t mcds = 0;
+  for (int i = 0; i < instances_per_point; ++i) {
+    config.seed = 1000 + i;
+    cqac::WorkloadGenerator generator(config);
+    const cqac::WorkloadInstance instance = generator.Generate();
+    cqac::RewriteOptions options;
+    options.verify = false;
+    const cqac::RewriteResult result =
+        cqac::EquivalentRewriter(instance.query, instance.views, options)
+            .Run();
+    if (result.outcome == cqac::RewriteOutcome::kRewritingFound) ++found;
+    canonical += result.stats.canonical_databases;
+    kept += result.stats.kept_canonical_databases;
+    mcds += result.stats.mcds_formed;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["canonical_dbs"] = static_cast<double>(canonical);
+  state.counters["kept_dbs"] = static_cast<double>(kept);
+  state.counters["mcds"] = static_cast<double>(mcds);
+  state.counters["found"] = static_cast<double>(found);
+  return found;
+}
+
+}  // namespace cqac_bench
+
+#endif  // CQAC_BENCH_BENCH_COMMON_H_

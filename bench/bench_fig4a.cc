@@ -1,0 +1,40 @@
+// Figure 4(a): runtime of the equivalent-rewriting algorithm as a function
+// of the NUMBER OF VIEWS, with the number of distinct variables and
+// constants held at 6 (4 variables + 2 constants), as in the paper.
+//
+// Expected shape (paper): runtime depends only weakly on the number of
+// views — the curve is nearly flat compared to the variable sweep of
+// Figures 4(b,c), because the canonical-database enumeration (ordered-Bell
+// in the variables) dominates and views only multiply per-database work.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void BM_Fig4a_RuntimeVsViews(benchmark::State& state) {
+  cqac::WorkloadConfig config;
+  config.num_variables = 4;
+  config.num_constants = 2;  // 4 + 2 = 6 distinct variables and constants.
+  config.num_subgoals = 3;
+  config.view_subgoals = 2;
+  config.num_views = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    cqac_bench::RunRewriterPoint(state, config);
+  }
+  state.counters["views"] = static_cast<double>(config.num_views);
+}
+
+BENCHMARK(BM_Fig4a_RuntimeVsViews)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Arg(20)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Figure 4(b): runtime as a function of the NUMBER OF DISTINCT VARIABLES
+// AND CONSTANTS, for small view sets (2-6 views).
+//
+// Expected shape (paper): strong, ordered-Bell-like growth in the number
+// of variables+constants — this is the axis that dominates the cost.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+// range(0) = total distinct variables+constants; range(1) = views.
+void BM_Fig4b_RuntimeVsVariables(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  cqac::WorkloadConfig config;
+  config.num_constants = total >= 4 ? 1 : 0;
+  config.num_variables = total - config.num_constants;
+  // Enough subgoals for all variables to occur (the generator caps the
+  // variable count at num_subgoals + 1).
+  config.num_subgoals = std::max(3, config.num_variables - 1);
+  config.view_subgoals = 2;
+  config.num_views = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    cqac_bench::RunRewriterPoint(state, config);
+  }
+  state.counters["vars_plus_consts"] = static_cast<double>(total);
+  state.counters["views"] = static_cast<double>(config.num_views);
+}
+
+BENCHMARK(BM_Fig4b_RuntimeVsVariables)
+    ->ArgsProduct({{3, 4, 5, 6, 7}, {2, 4, 6}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,34 @@
+// Figure 4(c): the same variable sweep as Figure 4(b) but with larger view
+// sets (10-18 views), showing that the variable/constant count still
+// dominates and extra views shift the curves only mildly upward.
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+
+namespace {
+
+void BM_Fig4c_RuntimeVsVariables(benchmark::State& state) {
+  const int total = static_cast<int>(state.range(0));
+  cqac::WorkloadConfig config;
+  config.num_constants = total >= 4 ? 1 : 0;
+  config.num_variables = total - config.num_constants;
+  // Enough subgoals for all variables to occur (the generator caps the
+  // variable count at num_subgoals + 1).
+  config.num_subgoals = std::max(3, config.num_variables - 1);
+  config.view_subgoals = 2;
+  config.num_views = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    cqac_bench::RunRewriterPoint(state, config);
+  }
+  state.counters["vars_plus_consts"] = static_cast<double>(total);
+  state.counters["views"] = static_cast<double>(config.num_views);
+}
+
+BENCHMARK(BM_Fig4c_RuntimeVsVariables)
+    ->ArgsProduct({{3, 4, 5, 6, 7}, {10, 14, 18}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

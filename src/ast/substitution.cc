@@ -1,0 +1,45 @@
+#include "ast/substitution.h"
+
+namespace cqac {
+
+Term Substitution::Apply(const Term& t) const {
+  if (!t.IsVariable()) return t;
+  auto it = bindings_.find(t.name());
+  return it == bindings_.end() ? t : it->second;
+}
+
+Atom Substitution::Apply(const Atom& a) const {
+  std::vector<Term> args;
+  args.reserve(a.args().size());
+  for (const Term& t : a.args()) args.push_back(Apply(t));
+  return Atom(a.predicate(), std::move(args));
+}
+
+Comparison Substitution::Apply(const Comparison& c) const {
+  return Comparison(Apply(c.lhs()), c.op(), Apply(c.rhs()));
+}
+
+Substitution Substitution::ComposeWith(const Substitution& other) const {
+  Substitution result;
+  for (const auto& [var, term] : bindings_) {
+    result.Bind(var, other.Apply(term));
+  }
+  for (const auto& [var, term] : other.bindings_) {
+    if (!result.IsBound(var)) result.Bind(var, term);
+  }
+  return result;
+}
+
+std::string Substitution::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [var, term] : bindings_) {
+    if (!first) out += ", ";
+    first = false;
+    out += var + " -> " + term.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cqac

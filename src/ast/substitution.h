@@ -1,0 +1,62 @@
+#ifndef CQAC_AST_SUBSTITUTION_H_
+#define CQAC_AST_SUBSTITUTION_H_
+
+#include <map>
+#include <string>
+
+#include "ast/atom.h"
+#include "ast/comparison.h"
+#include "ast/term.h"
+
+namespace cqac {
+
+/// A mapping from variable names to terms.  Applying a substitution leaves
+/// unmapped variables and all constants unchanged.  Substitutions are the
+/// workhorse of homomorphism/containment-mapping machinery: a containment
+/// mapping maps variables to variables-or-constants and fixes constants.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var` to `term`, overwriting any previous binding.
+  void Bind(const std::string& var, const Term& term) {
+    bindings_[var] = term;
+  }
+
+  /// True when `var` has a binding.
+  bool IsBound(const std::string& var) const {
+    return bindings_.find(var) != bindings_.end();
+  }
+
+  /// The binding of `var`; only meaningful when `IsBound(var)`.
+  const Term& Lookup(const std::string& var) const {
+    return bindings_.at(var);
+  }
+
+  /// Removes the binding of `var`, if any.
+  void Unbind(const std::string& var) { bindings_.erase(var); }
+
+  int size() const { return static_cast<int>(bindings_.size()); }
+  bool empty() const { return bindings_.empty(); }
+
+  const std::map<std::string, Term>& bindings() const { return bindings_; }
+
+  /// Applies the substitution to a term/atom/comparison.
+  Term Apply(const Term& t) const;
+  Atom Apply(const Atom& a) const;
+  Comparison Apply(const Comparison& c) const;
+
+  /// The composition `other ∘ this`: first this substitution, then `other`
+  /// applied to the result (and to variables this one leaves unmapped).
+  Substitution ComposeWith(const Substitution& other) const;
+
+  /// Renders as `{X -> a, Y -> 3}`.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Term> bindings_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_AST_SUBSTITUTION_H_

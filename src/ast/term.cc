@@ -1,0 +1,11 @@
+#include "ast/term.h"
+
+#include <ostream>
+
+namespace cqac {
+
+std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+
+}  // namespace cqac

@@ -1,0 +1,92 @@
+#ifndef CQAC_AST_TERM_H_
+#define CQAC_AST_TERM_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <utility>
+
+#include "ast/value.h"
+
+namespace cqac {
+
+/// An argument position in an atom or a side of an arithmetic comparison:
+/// either a variable (named, starting with an upper-case letter by the
+/// paper's convention) or a rational constant.
+///
+/// Terms are small value types; copy freely.
+class Term {
+ public:
+  /// Default-constructs the constant 0.  Needed for containers; prefer the
+  /// named factories below.
+  Term() : is_variable_(false), constant_(0) {}
+
+  /// A variable with the given name.
+  static Term Variable(std::string name) {
+    Term t;
+    t.is_variable_ = true;
+    t.name_ = std::move(name);
+    return t;
+  }
+
+  /// A rational constant.
+  static Term Constant(Rational value) {
+    Term t;
+    t.is_variable_ = false;
+    t.constant_ = value;
+    return t;
+  }
+
+  /// An integer constant.
+  static Term Constant(int64_t value) { return Constant(Rational(value)); }
+
+  bool IsVariable() const { return is_variable_; }
+  bool IsConstant() const { return !is_variable_; }
+
+  /// The variable name; only meaningful when `IsVariable()`.
+  const std::string& name() const { return name_; }
+
+  /// The constant value; only meaningful when `IsConstant()`.
+  const Rational& value() const { return constant_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.name_ == b.name_ : a.constant_ == b.constant_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+  /// Arbitrary-but-total order so terms can key ordered containers.
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return a.is_variable_;
+    if (a.is_variable_) return a.name_ < b.name_;
+    if (a.constant_ == b.constant_) return false;
+    return a.constant_ < b.constant_;
+  }
+
+  /// Renders the variable name or the constant value.
+  std::string ToString() const {
+    return is_variable_ ? name_ : constant_.ToString();
+  }
+
+  /// Hash compatible with `operator==`.
+  size_t Hash() const {
+    return is_variable_ ? std::hash<std::string>()(name_) ^ 0x517cc1b7
+                        : constant_.Hash();
+  }
+
+ private:
+  bool is_variable_;
+  std::string name_;
+  Rational constant_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& t);
+
+}  // namespace cqac
+
+template <>
+struct std::hash<cqac::Term> {
+  size_t operator()(const cqac::Term& t) const { return t.Hash(); }
+};
+
+#endif  // CQAC_AST_TERM_H_

@@ -1,0 +1,78 @@
+#ifndef CQAC_CLI_SHELL_H_
+#define CQAC_CLI_SHELL_H_
+
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ast/query.h"
+#include "engine/database.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// The command processor behind the `cqacsh` binary: a line-oriented
+/// shell over the whole library.  Kept as a library class so the test
+/// suite can drive it through string streams.
+///
+/// Commands (see `help` for the authoritative list):
+///
+///   view <rule>            add a view definition
+///   query <rule>           set the current query
+///   rewrite [flags]        run the equivalent-rewriting algorithm
+///                          (flags: verify, explain, coalesce, minimize)
+///   contained-rewrite      union of contained rewritings (MCR machinery)
+///   let <name> <rule>      bind a rule to a name
+///   contained <n1> <n2>    containment test between two named rules
+///   equivalent <n1> <n2>   equivalence test
+///   minimize <name>        fold/minimize a named rule
+///   acyclic <name>         GYO acyclicity check
+///   fact <atom>.           insert a ground fact into the scratch database
+///   eval <name|rule>       evaluate on the scratch database
+///   eval-rewriting         evaluate the last rewriting on the database
+///   show                   print current query, views, facts
+///   clear                  reset all state
+///   help                   print the command list
+///   quit                   end the session
+class Shell {
+ public:
+  explicit Shell(std::ostream& out) : out_(out) {}
+
+  /// Processes one input line; returns false when the session should end.
+  bool ProcessLine(const std::string& line);
+
+  /// Reads lines from `in` until EOF or `quit`; prints a prompt between
+  /// commands when `interactive`.
+  void ProcessStream(std::istream& in, bool interactive);
+
+ private:
+  /// Command handlers; each prints its outcome to out_.
+  void CmdView(const std::string& args);
+  void CmdQuery(const std::string& args);
+  void CmdRewrite(const std::string& args);
+  void CmdContainedRewrite();
+  void CmdLet(const std::string& args);
+  void CmdContained(const std::string& args, bool equivalence);
+  void CmdMinimize(const std::string& args);
+  void CmdAcyclic(const std::string& args);
+  void CmdFact(const std::string& args);
+  void CmdEval(const std::string& args);
+  void CmdEvalRewriting();
+  void CmdShow();
+  void CmdHelp();
+
+  /// Resolves `token` as a named rule, or parses it as an inline rule.
+  std::optional<ConjunctiveQuery> Resolve(const std::string& token);
+
+  std::ostream& out_;
+  ViewSet views_;
+  std::optional<ConjunctiveQuery> query_;
+  std::map<std::string, ConjunctiveQuery> named_;
+  Database db_;
+  std::optional<UnionQuery> last_rewriting_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_CLI_SHELL_H_

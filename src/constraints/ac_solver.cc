@@ -1,0 +1,281 @@
+#include "constraints/ac_solver.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cqac {
+
+namespace {
+
+/// Internal graph over the terms of a conjunction.  Node ids index
+/// `nodes`; edges are `<=`-edges, some marked strict.
+struct LeqGraph {
+  std::vector<Term> nodes;
+  std::unordered_map<std::string, int> var_ids;
+  std::map<Rational, int> const_ids;
+  // adjacency[u] = list of (v, strict).
+  std::vector<std::vector<std::pair<int, bool>>> adjacency;
+  // Pairs of node ids constrained to differ.
+  std::vector<std::pair<int, int>> disequalities;
+  bool trivially_unsat = false;
+
+  int NodeFor(const Term& t) {
+    if (t.IsVariable()) {
+      auto it = var_ids.find(t.name());
+      if (it != var_ids.end()) return it->second;
+      const int id = static_cast<int>(nodes.size());
+      var_ids.emplace(t.name(), id);
+      nodes.push_back(t);
+      adjacency.emplace_back();
+      return id;
+    }
+    auto it = const_ids.find(t.value());
+    if (it != const_ids.end()) return it->second;
+    const int id = static_cast<int>(nodes.size());
+    const_ids.emplace(t.value(), id);
+    nodes.push_back(t);
+    adjacency.emplace_back();
+    return id;
+  }
+
+  void AddEdge(int u, int v, bool strict) {
+    adjacency[u].push_back({v, strict});
+  }
+
+  void AddComparison(const Comparison& c) {
+    // Constant-constant comparisons are decided immediately.
+    if (c.lhs().IsConstant() && c.rhs().IsConstant()) {
+      if (!EvalCompOp(c.lhs().value(), c.op(), c.rhs().value())) {
+        trivially_unsat = true;
+      }
+      return;
+    }
+    const int u = NodeFor(c.lhs());
+    const int v = NodeFor(c.rhs());
+    switch (c.op()) {
+      case CompOp::kLt:
+        AddEdge(u, v, /*strict=*/true);
+        break;
+      case CompOp::kLe:
+        AddEdge(u, v, /*strict=*/false);
+        break;
+      case CompOp::kEq:
+        AddEdge(u, v, /*strict=*/false);
+        AddEdge(v, u, /*strict=*/false);
+        break;
+      case CompOp::kNe:
+        disequalities.push_back({u, v});
+        break;
+      case CompOp::kGe:
+        AddEdge(v, u, /*strict=*/false);
+        break;
+      case CompOp::kGt:
+        AddEdge(v, u, /*strict=*/true);
+        break;
+    }
+  }
+
+  /// Adds the implicit strict order between every pair of adjacent
+  /// constants, so that any constraint contradicting the numeric order of
+  /// the constants closes a strict cycle.
+  void AddConstantOrderEdges() {
+    int prev = -1;
+    for (const auto& [value, id] : const_ids) {
+      if (prev >= 0) AddEdge(prev, id, /*strict=*/true);
+      prev = id;
+    }
+  }
+};
+
+LeqGraph BuildGraph(const std::vector<Comparison>& comparisons) {
+  LeqGraph g;
+  for (const Comparison& c : comparisons) g.AddComparison(c);
+  g.AddConstantOrderEdges();
+  return g;
+}
+
+/// Iterative Tarjan SCC; returns component id per node (components are
+/// numbered in reverse topological order).
+std::vector<int> ComputeSccs(const LeqGraph& g, int* num_components) {
+  const int n = static_cast<int>(g.nodes.size());
+  std::vector<int> index(n, -1), lowlink(n, 0), component(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_component = 0;
+
+  // Explicit DFS stack of (node, next-edge-position).
+  std::vector<std::pair<int, size_t>> dfs;
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    dfs.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!dfs.empty()) {
+      auto& [u, edge_pos] = dfs.back();
+      if (edge_pos < g.adjacency[u].size()) {
+        const int v = g.adjacency[u][edge_pos].first;
+        ++edge_pos;
+        if (index[v] == -1) {
+          index[v] = lowlink[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          dfs.push_back({v, 0});
+        } else if (on_stack[v]) {
+          lowlink[u] = std::min(lowlink[u], index[v]);
+        }
+      } else {
+        if (lowlink[u] == index[u]) {
+          for (;;) {
+            const int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == u) break;
+          }
+          ++next_component;
+        }
+        const int finished = u;
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const int parent = dfs.back().first;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+        }
+      }
+    }
+  }
+  *num_components = next_component;
+  return component;
+}
+
+bool GraphSatisfiable(const LeqGraph& g) {
+  if (g.trivially_unsat) return false;
+  int num_components = 0;
+  const std::vector<int> component = ComputeSccs(g, &num_components);
+  const int n = static_cast<int>(g.nodes.size());
+  for (int u = 0; u < n; ++u) {
+    for (const auto& [v, strict] : g.adjacency[u]) {
+      if (strict && component[u] == component[v]) return false;
+    }
+  }
+  for (const auto& [u, v] : g.disequalities) {
+    if (component[u] == component[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AcSolver::IsSatisfiable(const std::vector<Comparison>& comparisons) {
+  return GraphSatisfiable(BuildGraph(comparisons));
+}
+
+bool AcSolver::Implies(const std::vector<Comparison>& axioms,
+                       const Comparison& conclusion) {
+  std::vector<Comparison> refutation = axioms;
+  refutation.push_back(conclusion.Negated());
+  return !IsSatisfiable(refutation);
+}
+
+bool AcSolver::ImpliesAll(const std::vector<Comparison>& axioms,
+                          const std::vector<Comparison>& conclusions) {
+  for (const Comparison& c : conclusions) {
+    if (!Implies(axioms, c)) return false;
+  }
+  return true;
+}
+
+bool AcSolver::Equivalent(const std::vector<Comparison>& a,
+                          const std::vector<Comparison>& b) {
+  return ImpliesAll(a, b) && ImpliesAll(b, a);
+}
+
+std::optional<CompOp> AcSolver::ImpliedRelation(
+    const std::vector<Comparison>& axioms, const Term& lhs, const Term& rhs) {
+  for (CompOp op : {CompOp::kEq, CompOp::kLt, CompOp::kGt, CompOp::kLe,
+                    CompOp::kGe, CompOp::kNe}) {
+    if (Implies(axioms, Comparison(lhs, op, rhs))) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<Substitution> AcSolver::ForcedEqualities(
+    const std::vector<Comparison>& comparisons) {
+  LeqGraph g = BuildGraph(comparisons);
+  if (!GraphSatisfiable(g)) return std::nullopt;
+  int num_components = 0;
+  const std::vector<int> component = ComputeSccs(g, &num_components);
+
+  // Forced equalities over a dense order are exactly the SCCs of the
+  // <=-graph: a != b would be consistent with the axioms unless there are
+  // <=-paths both ways, and those paths are all in the conjunction's
+  // consequences.
+  std::vector<std::optional<Term>> representative(num_components);
+  const int n = static_cast<int>(g.nodes.size());
+  // Pick per component: a constant if present, else the least variable.
+  for (int u = 0; u < n; ++u) {
+    const Term& t = g.nodes[u];
+    std::optional<Term>& rep = representative[component[u]];
+    if (!rep.has_value()) {
+      rep = t;
+      continue;
+    }
+    if (t.IsConstant() && rep->IsVariable()) {
+      rep = t;
+    } else if (t.IsVariable() && rep->IsVariable() &&
+               t.name() < rep->name()) {
+      rep = t;
+    }
+  }
+  Substitution result;
+  for (int u = 0; u < n; ++u) {
+    const Term& t = g.nodes[u];
+    if (!t.IsVariable()) continue;
+    const Term& rep = *representative[component[u]];
+    if (rep != t) result.Bind(t.name(), rep);
+  }
+  return result;
+}
+
+bool AcSolver::SatisfiedBy(const std::vector<Comparison>& comparisons,
+                           const std::map<std::string, Rational>& assignment) {
+  auto value_of = [&assignment](const Term& t,
+                                Rational* out) -> bool {
+    if (t.IsConstant()) {
+      *out = t.value();
+      return true;
+    }
+    auto it = assignment.find(t.name());
+    if (it == assignment.end()) return false;
+    *out = it->second;
+    return true;
+  };
+  for (const Comparison& c : comparisons) {
+    Rational a, b;
+    if (!value_of(c.lhs(), &a) || !value_of(c.rhs(), &b)) return false;
+    if (!EvalCompOp(a, c.op(), b)) return false;
+  }
+  return true;
+}
+
+std::vector<Comparison> AcSolver::RemoveRedundant(
+    std::vector<Comparison> comparisons) {
+  if (!IsSatisfiable(comparisons)) return comparisons;
+  // Greedily drop any comparison implied by the others.
+  for (size_t i = 0; i < comparisons.size();) {
+    std::vector<Comparison> rest;
+    rest.reserve(comparisons.size() - 1);
+    for (size_t j = 0; j < comparisons.size(); ++j) {
+      if (j != i) rest.push_back(comparisons[j]);
+    }
+    if (Implies(rest, comparisons[i])) {
+      comparisons = std::move(rest);
+    } else {
+      ++i;
+    }
+  }
+  return comparisons;
+}
+
+}  // namespace cqac

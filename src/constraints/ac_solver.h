@@ -1,0 +1,82 @@
+#ifndef CQAC_CONSTRAINTS_AC_SOLVER_H_
+#define CQAC_CONSTRAINTS_AC_SOLVER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/comparison.h"
+#include "ast/substitution.h"
+#include "ast/term.h"
+#include "ast/value.h"
+
+namespace cqac {
+
+/// Decision procedures for conjunctions of arithmetic comparisons
+/// (`<, <=, =, !=, >=, >`) over variables and rational constants, with the
+/// paper's semantics: values range over an infinite, totally and *densely*
+/// ordered set without endpoints (the rationals).
+///
+/// The satisfiability test builds the directed "less-or-equal" graph whose
+/// edges are the `<=`-consequences of each comparison (`a = b` contributes
+/// both directions, `a < b` contributes a strict edge) plus the implicit
+/// order edges between the constants that occur.  A conjunction is
+/// satisfiable over a dense unbounded order iff no strongly connected
+/// component of that graph contains a strict edge or both endpoints of a
+/// `!=` constraint: the condensation can then be linearized and assigned
+/// strictly increasing rationals (constants keep their own values; density
+/// supplies fresh values between adjacent constants, unboundedness supplies
+/// them at the ends).
+///
+/// All other services (implication, forced equalities, consistency of a
+/// total order) reduce to satisfiability by refutation.
+class AcSolver {
+ public:
+  /// True iff some assignment of rationals to the variables satisfies every
+  /// comparison.  The empty conjunction is satisfiable.
+  static bool IsSatisfiable(const std::vector<Comparison>& comparisons);
+
+  /// True iff every assignment satisfying `axioms` also satisfies
+  /// `conclusion` (refutation: `axioms && !conclusion` unsatisfiable).
+  /// Vacuously true when `axioms` is unsatisfiable.
+  static bool Implies(const std::vector<Comparison>& axioms,
+                      const Comparison& conclusion);
+
+  /// True iff `axioms` implies every element of `conclusions`.
+  static bool ImpliesAll(const std::vector<Comparison>& axioms,
+                         const std::vector<Comparison>& conclusions);
+
+  /// True iff the two conjunctions imply each other (logical equivalence).
+  static bool Equivalent(const std::vector<Comparison>& a,
+                         const std::vector<Comparison>& b);
+
+  /// The strongest operator `op` such that `axioms` implies `lhs op rhs`,
+  /// or nullopt when neither `<=`, `>=` nor `!=` is implied.  Preference
+  /// order: `=`, `<`, `>`, `<=`, `>=`, `!=`.
+  static std::optional<CompOp> ImpliedRelation(
+      const std::vector<Comparison>& axioms, const Term& lhs, const Term& rhs);
+
+  /// A substitution that maps each variable forced equal to a constant to
+  /// that constant, and collapses every class of variables forced equal to
+  /// one representative (the lexicographically least variable of the
+  /// class).  Requires `comparisons` satisfiable; returns nullopt otherwise.
+  static std::optional<Substitution> ForcedEqualities(
+      const std::vector<Comparison>& comparisons);
+
+  /// Evaluates the conjunction under a concrete assignment.  Variables
+  /// missing from `assignment` make the result false.
+  static bool SatisfiedBy(const std::vector<Comparison>& comparisons,
+                          const std::map<std::string, Rational>& assignment);
+
+  /// Removes comparisons that are implied by the remaining ones (including
+  /// constant-only tautologies such as `3 < 5`), preserving logical
+  /// equivalence.  Requires a satisfiable input to be meaningful; an
+  /// unsatisfiable input is returned unchanged.
+  static std::vector<Comparison> RemoveRedundant(
+      std::vector<Comparison> comparisons);
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_AC_SOLVER_H_

@@ -1,0 +1,243 @@
+#include "constraints/inequality_graph.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace cqac {
+
+InequalityGraph::InequalityGraph(const std::vector<Comparison>& comparisons) {
+  for (const Comparison& raw : comparisons) {
+    // Normalize so the operator points "upward" (<, <=, or =).
+    Comparison c = raw;
+    if (c.op() == CompOp::kGt || c.op() == CompOp::kGe) c = c.Flipped();
+    if (c.op() == CompOp::kNe) continue;  // Not part of the order graph.
+    const int u = NodeFor(c.lhs());
+    const int v = NodeFor(c.rhs());
+    switch (c.op()) {
+      case CompOp::kLt:
+        adjacency_[u].push_back({v, true});
+        reverse_adjacency_[v].push_back({u, true});
+        break;
+      case CompOp::kLe:
+        adjacency_[u].push_back({v, false});
+        reverse_adjacency_[v].push_back({u, false});
+        break;
+      case CompOp::kEq:
+        adjacency_[u].push_back({v, false});
+        reverse_adjacency_[v].push_back({u, false});
+        adjacency_[v].push_back({u, false});
+        reverse_adjacency_[u].push_back({v, false});
+        break;
+      default:
+        break;
+    }
+  }
+  // Implicit order between occurring constants, ascending.
+  std::vector<std::pair<Rational, int>> consts;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].IsConstant()) consts.push_back({nodes_[i].value(), (int)i});
+  }
+  std::sort(consts.begin(), consts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i + 1 < consts.size(); ++i) {
+    adjacency_[consts[i].second].push_back({consts[i + 1].second, true});
+    reverse_adjacency_[consts[i + 1].second].push_back(
+        {consts[i].second, true});
+  }
+}
+
+int InequalityGraph::NodeFor(const Term& t) {
+  const int found = FindNode(t);
+  if (found >= 0) return found;
+  nodes_.push_back(t);
+  adjacency_.emplace_back();
+  reverse_adjacency_.emplace_back();
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int InequalityGraph::FindNode(const Term& t) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == t) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<bool> InequalityGraph::Reach(
+    int from, bool leq_edges_only, const std::vector<bool>& blocked) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  std::deque<int> frontier;
+  seen[from] = true;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    // Expansion through a blocked node is forbidden (it may still be
+    // *reached*; it just cannot be an intermediate node).
+    if (u != from && !blocked.empty() && blocked[u]) continue;
+    for (const auto& [v, strict] : adjacency_[u]) {
+      if (leq_edges_only && strict) continue;
+      if (!seen[v]) {
+        seen[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<std::string> InequalityGraph::DirectedSet(
+    const std::string& x, const std::vector<std::string>& distinguished,
+    bool toward_x) const {
+  std::vector<std::string> result;
+  const int x_node = FindNode(Term::Variable(x));
+  if (x_node < 0) return result;
+
+  std::vector<bool> dist_mask(nodes_.size(), false);
+  for (const std::string& d : distinguished) {
+    const int n = FindNode(Term::Variable(d));
+    if (n >= 0) dist_mask[n] = true;
+  }
+
+  // Work in a view of the graph where, for the geq-set, all edges are
+  // conceptually reversed so that "a path from Y to X" means X <= ... <= Y.
+  const auto& fwd = toward_x ? adjacency_ : reverse_adjacency_;
+
+  for (const std::string& y : distinguished) {
+    if (y == x) continue;
+    const int y_node = FindNode(Term::Variable(y));
+    if (y_node < 0) continue;
+
+    // (a) Some pure-<= path from y to x avoiding other distinguished
+    // intermediates.  BFS in `fwd` from y over non-strict edges; blocked
+    // through-nodes are distinguished variables other than y and the
+    // endpoint x.
+    std::vector<bool> blocked = dist_mask;
+    blocked[y_node] = false;
+    blocked[x_node] = false;
+    std::vector<bool> seen(nodes_.size(), false);
+    std::deque<int> frontier;
+    seen[y_node] = true;
+    frontier.push_back(y_node);
+    bool pure_path = false;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      if (u == x_node) {
+        pure_path = true;
+        continue;  // Reached, but do not expand through x.
+      }
+      if (u != y_node && blocked[u]) continue;
+      for (const auto& [v, strict] : fwd[u]) {
+        if (strict) continue;
+        if (!seen[v]) {
+          seen[v] = true;
+          frontier.push_back(v);
+        }
+      }
+    }
+    if (!pure_path) continue;
+
+    // (b) No path from y to x may contain a strict edge or another
+    // distinguished variable.  A strict edge (u, v) on some y->x path
+    // exists iff y reaches u and v reaches x (both in `fwd`).
+    std::vector<bool> no_block;
+    std::vector<bool> from_y(nodes_.size(), false);
+    {
+      std::deque<int> q;
+      from_y[y_node] = true;
+      q.push_back(y_node);
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        for (const auto& [v, strict] : fwd[u]) {
+          (void)strict;
+          if (!from_y[v]) {
+            from_y[v] = true;
+            q.push_back(v);
+          }
+        }
+      }
+    }
+    std::vector<bool> to_x(nodes_.size(), false);
+    {
+      const auto& bwd = toward_x ? reverse_adjacency_ : adjacency_;
+      std::deque<int> q;
+      to_x[x_node] = true;
+      q.push_back(x_node);
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop_front();
+        for (const auto& [v, strict] : bwd[u]) {
+          (void)strict;
+          if (!to_x[v]) {
+            to_x[v] = true;
+            q.push_back(v);
+          }
+        }
+      }
+    }
+    bool violated = false;
+    for (size_t u = 0; u < nodes_.size() && !violated; ++u) {
+      if (!from_y[u]) continue;
+      for (const auto& [v, strict] : fwd[u]) {
+        if (strict && to_x[v]) {
+          violated = true;
+          break;
+        }
+      }
+    }
+    // Another distinguished variable on some y->x path.
+    for (size_t u = 0; u < nodes_.size() && !violated; ++u) {
+      if (dist_mask[u] && static_cast<int>(u) != y_node &&
+          static_cast<int>(u) != x_node && from_y[u] && to_x[u]) {
+        violated = true;
+      }
+    }
+    if (!violated) result.push_back(y);
+  }
+  return result;
+}
+
+std::vector<std::string> InequalityGraph::LeqSet(
+    const std::string& x, const std::vector<std::string>& distinguished) const {
+  return DirectedSet(x, distinguished, /*toward_x=*/true);
+}
+
+std::vector<std::string> InequalityGraph::GeqSet(
+    const std::string& x, const std::vector<std::string>& distinguished) const {
+  return DirectedSet(x, distinguished, /*toward_x=*/false);
+}
+
+bool InequalityGraph::IsExportable(
+    const std::string& x, const std::vector<std::string>& distinguished) const {
+  return !LeqSet(x, distinguished).empty() &&
+         !GeqSet(x, distinguished).empty();
+}
+
+bool InequalityGraph::ImpliesLeq(const Term& a, const Term& b) const {
+  const int u = FindNode(a);
+  const int v = FindNode(b);
+  if (u < 0 || v < 0) return a == b;
+  if (u == v) return true;
+  const std::vector<bool> seen = Reach(u, /*leq_edges_only=*/false, {});
+  return seen[v];
+}
+
+bool InequalityGraph::ImpliesLt(const Term& a, const Term& b) const {
+  const int u = FindNode(a);
+  const int v = FindNode(b);
+  if (u < 0 || v < 0) return false;
+  const std::vector<bool> from_a = Reach(u, /*leq_edges_only=*/false, {});
+  // A strict edge (s, t) with a ->* s and t ->* b witnesses a < b.
+  for (size_t s = 0; s < nodes_.size(); ++s) {
+    if (!from_a[s]) continue;
+    for (const auto& [t, strict] : adjacency_[s]) {
+      if (!strict) continue;
+      const std::vector<bool> from_t = Reach(t, /*leq_edges_only=*/false, {});
+      if (from_t[v]) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace cqac

@@ -1,0 +1,73 @@
+#ifndef CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_
+#define CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/comparison.h"
+#include "ast/term.h"
+
+namespace cqac {
+
+/// The inequality graph `G(V)` of a set of arithmetic comparisons (Klug;
+/// Definition 3 of the paper): one node per variable or constant, an edge
+/// labeled `<` or `<=` from `A` to `B` for each comparison implying
+/// `A < B` or `A <= B` (`A = B` contributes `<=` edges in both
+/// directions).  A path from `A` to `C` witnesses `A <= C`; a path with a
+/// `<`-labeled edge witnesses `A < C`.
+///
+/// Its primary use is Definition 4 / Lemma 1: a nondistinguished view
+/// variable `X` is *exportable* iff both its leq-set and geq-set are
+/// nonempty, in which case a head homomorphism equating a member of each
+/// forces `X` equal to a distinguished variable.
+class InequalityGraph {
+ public:
+  explicit InequalityGraph(const std::vector<Comparison>& comparisons);
+
+  /// The paper's `S<=(V, X)`: distinguished variables `Y` such that (a)
+  /// some path from `Y` to `X` uses only `<=`-labeled edges and passes
+  /// through no other distinguished variable, and (b) no path from `Y` to
+  /// `X` contains a `<`-labeled edge or another distinguished variable.
+  std::vector<std::string> LeqSet(
+      const std::string& x,
+      const std::vector<std::string>& distinguished) const;
+
+  /// The paper's `S>=(V, X)`, symmetric to LeqSet.
+  std::vector<std::string> GeqSet(
+      const std::string& x,
+      const std::vector<std::string>& distinguished) const;
+
+  /// Lemma 1: `x` is exportable iff both LeqSet and GeqSet are nonempty.
+  bool IsExportable(const std::string& x,
+                    const std::vector<std::string>& distinguished) const;
+
+  /// True when the graph contains a (possibly empty) path from `a` to `b`,
+  /// i.e. the comparisons imply `a <= b`.
+  bool ImpliesLeq(const Term& a, const Term& b) const;
+
+  /// True when some path from `a` to `b` contains a `<`-labeled edge,
+  /// i.e. the comparisons imply `a < b`.
+  bool ImpliesLt(const Term& a, const Term& b) const;
+
+ private:
+  int NodeFor(const Term& t);
+  int FindNode(const Term& t) const;
+
+  /// Reachability from `from`, optionally restricted to non-strict edges
+  /// and forbidden to pass *through* (not end at) nodes in `blocked`.
+  std::vector<bool> Reach(int from, bool leq_edges_only,
+                          const std::vector<bool>& blocked) const;
+
+  std::vector<std::string> DirectedSet(
+      const std::string& x, const std::vector<std::string>& distinguished,
+      bool toward_x) const;
+
+  std::vector<Term> nodes_;
+  // adjacency_[u] = (v, strict) edges meaning u < v or u <= v.
+  std::vector<std::vector<std::pair<int, bool>>> adjacency_;
+  std::vector<std::vector<std::pair<int, bool>>> reverse_adjacency_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_INEQUALITY_GRAPH_H_

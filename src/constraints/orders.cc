@@ -1,0 +1,271 @@
+#include "constraints/orders.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "constraints/ac_solver.h"
+
+namespace cqac {
+
+Term OrderBlock::Representative() const {
+  if (constant.has_value()) return Term::Constant(*constant);
+  return Term::Variable(variables.front());
+}
+
+std::map<std::string, Rational> TotalOrder::ToAssignment() const {
+  const int n = static_cast<int>(blocks.size());
+  std::vector<Rational> values(n);
+
+  // Positions of the blocks that carry constants; their values are fixed.
+  std::vector<int> const_positions;
+  for (int i = 0; i < n; ++i) {
+    if (blocks[i].constant.has_value()) {
+      values[i] = *blocks[i].constant;
+      const_positions.push_back(i);
+    }
+  }
+
+  if (const_positions.empty()) {
+    for (int i = 0; i < n; ++i) values[i] = Rational(i + 1);
+  } else {
+    // Before the first constant: integers descending below it.
+    const int first = const_positions.front();
+    for (int i = 0; i < first; ++i) {
+      values[i] = values[first] - Rational(first - i);
+    }
+    // Between consecutive constants: evenly spaced rationals (density).
+    for (size_t c = 0; c + 1 < const_positions.size(); ++c) {
+      const int lo = const_positions[c];
+      const int hi = const_positions[c + 1];
+      const int gap = hi - lo - 1;
+      const Rational span = values[hi] - values[lo];
+      for (int i = lo + 1; i < hi; ++i) {
+        values[i] = values[lo] + span * Rational(i - lo, gap + 1);
+      }
+    }
+    // After the last constant: integers ascending above it.
+    const int last = const_positions.back();
+    for (int i = last + 1; i < n; ++i) {
+      values[i] = values[last] + Rational(i - last);
+    }
+  }
+
+  std::map<std::string, Rational> assignment;
+  for (int i = 0; i < n; ++i) {
+    for (const std::string& v : blocks[i].variables) {
+      assignment.emplace(v, values[i]);
+    }
+  }
+  return assignment;
+}
+
+std::vector<Comparison> TotalOrder::ToComparisons() const {
+  std::vector<Comparison> out;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    const Term rep = blocks[i].Representative();
+    for (const std::string& v : blocks[i].variables) {
+      const Term t = Term::Variable(v);
+      if (t != rep) out.push_back(Comparison(t, CompOp::kEq, rep));
+    }
+    if (i + 1 < blocks.size()) {
+      out.push_back(
+          Comparison(rep, CompOp::kLt, blocks[i + 1].Representative()));
+    }
+  }
+  return out;
+}
+
+std::vector<Comparison> TotalOrder::ProjectedComparisons(
+    const std::vector<std::string>& keep_vars) const {
+  std::vector<Comparison> out;
+  std::optional<Term> prev_rep;
+  for (const OrderBlock& block : blocks) {
+    OrderBlock restricted;
+    restricted.constant = block.constant;
+    for (const std::string& v : block.variables) {
+      if (std::find(keep_vars.begin(), keep_vars.end(), v) !=
+          keep_vars.end()) {
+        restricted.variables.push_back(v);
+      }
+    }
+    if (restricted.variables.empty() && !restricted.constant.has_value()) {
+      continue;  // Block invisible after projection.
+    }
+    const Term rep = restricted.Representative();
+    for (const std::string& v : restricted.variables) {
+      const Term t = Term::Variable(v);
+      if (t != rep) out.push_back(Comparison(t, CompOp::kEq, rep));
+    }
+    if (prev_rep.has_value() &&
+        !(prev_rep->IsConstant() && rep.IsConstant())) {
+      out.push_back(Comparison(*prev_rep, CompOp::kLt, rep));
+    }
+    prev_rep = rep;
+  }
+  return out;
+}
+
+std::string TotalOrder::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    if (i > 0) out += " < ";
+    const OrderBlock& block = blocks[i];
+    bool first = true;
+    for (const std::string& v : block.variables) {
+      if (!first) out += " = ";
+      first = false;
+      out += v;
+    }
+    if (block.constant.has_value()) {
+      if (!first) out += " = ";
+      out += block.constant->ToString();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursively inserts `variables[next..]` into `order`, calling `fn` on
+/// every completed order.  Returns false once `fn` asks to stop.
+bool InsertRemaining(const std::vector<std::string>& variables, size_t next,
+                     TotalOrder* order,
+                     const std::function<bool(const TotalOrder&)>& fn) {
+  if (next == variables.size()) return fn(*order);
+  const std::string& var = variables[next];
+  // Option 1: join each existing block.  Indexed loop: deeper recursion
+  // levels insert and erase blocks, which invalidates references.
+  for (size_t b = 0; b < order->blocks.size(); ++b) {
+    order->blocks[b].variables.push_back(var);
+    if (!InsertRemaining(variables, next + 1, order, fn)) return false;
+    order->blocks[b].variables.pop_back();
+  }
+  // Option 2: open a new block in each gap.
+  OrderBlock fresh;
+  fresh.variables.push_back(var);
+  for (size_t gap = 0; gap <= order->blocks.size(); ++gap) {
+    order->blocks.insert(order->blocks.begin() + gap, fresh);
+    if (!InsertRemaining(variables, next + 1, order, fn)) return false;
+    order->blocks.erase(order->blocks.begin() + gap);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ForEachTotalOrder(const std::vector<std::string>& variables,
+                       const std::vector<Rational>& constants,
+                       const std::function<bool(const TotalOrder&)>& fn) {
+  std::vector<Rational> sorted_constants = constants;
+  std::sort(sorted_constants.begin(), sorted_constants.end());
+  sorted_constants.erase(
+      std::unique(sorted_constants.begin(), sorted_constants.end()),
+      sorted_constants.end());
+
+  TotalOrder base;
+  for (const Rational& c : sorted_constants) {
+    OrderBlock block;
+    block.constant = c;
+    base.blocks.push_back(block);
+  }
+  InsertRemaining(variables, 0, &base, fn);
+}
+
+std::vector<TotalOrder> EnumerateTotalOrders(
+    const std::vector<std::string>& variables,
+    const std::vector<Rational>& constants) {
+  std::vector<TotalOrder> out;
+  ForEachTotalOrder(variables, constants, [&out](const TotalOrder& order) {
+    out.push_back(order);
+    return true;
+  });
+  return out;
+}
+
+namespace {
+
+/// As InsertRemaining, but prunes any prefix whose order constraints are
+/// already inconsistent with `axioms`.
+bool InsertRemainingSatisfying(
+    const std::vector<std::string>& variables, size_t next, TotalOrder* order,
+    const std::vector<Comparison>& axioms,
+    const std::function<bool(const TotalOrder&)>& fn) {
+  {
+    // Consistency of the partial placement: the axioms conjoined with the
+    // order constraints over the already-placed items must be satisfiable.
+    std::vector<Comparison> combined = axioms;
+    const std::vector<Comparison> placed = order->ToComparisons();
+    combined.insert(combined.end(), placed.begin(), placed.end());
+    if (!AcSolver::IsSatisfiable(combined)) return true;  // Prune subtree.
+  }
+  if (next == variables.size()) {
+    // The order is total over all variables and the axioms' constants, so
+    // consistency of the conjunction implies the witness satisfies the
+    // axioms; check explicitly for safety.
+    if (!AcSolver::SatisfiedBy(axioms, order->ToAssignment())) return true;
+    return fn(*order);
+  }
+  const std::string& var = variables[next];
+  for (size_t b = 0; b < order->blocks.size(); ++b) {
+    order->blocks[b].variables.push_back(var);
+    if (!InsertRemainingSatisfying(variables, next + 1, order, axioms, fn)) {
+      return false;
+    }
+    order->blocks[b].variables.pop_back();
+  }
+  OrderBlock fresh;
+  fresh.variables.push_back(var);
+  for (size_t gap = 0; gap <= order->blocks.size(); ++gap) {
+    order->blocks.insert(order->blocks.begin() + gap, fresh);
+    if (!InsertRemainingSatisfying(variables, next + 1, order, axioms, fn)) {
+      return false;
+    }
+    order->blocks.erase(order->blocks.begin() + gap);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ForEachSatisfyingOrder(const std::vector<std::string>& variables,
+                            const std::vector<Rational>& constants,
+                            const std::vector<Comparison>& axioms,
+                            const std::function<bool(const TotalOrder&)>& fn) {
+  std::vector<Rational> sorted_constants = constants;
+  std::sort(sorted_constants.begin(), sorted_constants.end());
+  sorted_constants.erase(
+      std::unique(sorted_constants.begin(), sorted_constants.end()),
+      sorted_constants.end());
+
+  TotalOrder base;
+  for (const Rational& c : sorted_constants) {
+    OrderBlock block;
+    block.constant = c;
+    base.blocks.push_back(block);
+  }
+  InsertRemainingSatisfying(variables, 0, &base, axioms, fn);
+}
+
+int64_t CountTotalOrders(int num_variables) {
+  if (num_variables < 0) return 0;
+  // Fubini numbers: a(n) = sum_{k=1..n} C(n,k) a(n-k), a(0) = 1.
+  std::vector<int64_t> a(num_variables + 1, 0);
+  a[0] = 1;
+  for (int n = 1; n <= num_variables; ++n) {
+    // Binomial row C(n, k) computed incrementally.
+    int64_t binom = 1;
+    int64_t total = 0;
+    for (int k = 1; k <= n; ++k) {
+      binom = binom * (n - k + 1) / k;
+      const int64_t term = binom * a[n - k];
+      if (term < 0 || total > std::numeric_limits<int64_t>::max() - term) {
+        return std::numeric_limits<int64_t>::max();
+      }
+      total += term;
+    }
+    a[n] = total;
+  }
+  return a[num_variables];
+}
+
+}  // namespace cqac

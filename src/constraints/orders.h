@@ -1,0 +1,96 @@
+#ifndef CQAC_CONSTRAINTS_ORDERS_H_
+#define CQAC_CONSTRAINTS_ORDERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/comparison.h"
+#include "ast/term.h"
+#include "ast/value.h"
+
+namespace cqac {
+
+/// One equivalence class of a total order: a set of variables, plus at most
+/// one constant, that all take the same value.
+struct OrderBlock {
+  std::vector<std::string> variables;
+  std::optional<Rational> constant;
+
+  /// A term denoting the block's value: the constant when present,
+  /// otherwise the first variable.
+  Term Representative() const;
+};
+
+/// A total (pre)order over a set of variables interleaved with a fixed set
+/// of constants: a sequence of blocks with strictly increasing values.
+/// This is the paper's "partition + total order of its members" object from
+/// the canonical-database containment test (Section 2.3).
+struct TotalOrder {
+  std::vector<OrderBlock> blocks;
+
+  /// A concrete witness assignment: blocks holding a constant get that
+  /// constant's value; the others get rationals strictly between their
+  /// neighbors' values (density), or beyond the extremes (unboundedness).
+  std::map<std::string, Rational> ToAssignment() const;
+
+  /// The order as a conjunction of comparisons: equalities within each
+  /// block and `<` between representatives of adjacent blocks.
+  std::vector<Comparison> ToComparisons() const;
+
+  /// The order restricted to `keep_vars` (constants are always kept):
+  /// equalities among surviving members and `<` between adjacent surviving
+  /// blocks.  Comparisons between two constants are omitted as tautologies.
+  std::vector<Comparison> ProjectedComparisons(
+      const std::vector<std::string>& keep_vars) const;
+
+  /// Renders as e.g. `X = Y < 3 < Z`.
+  std::string ToString() const;
+};
+
+/// Invokes `fn` once for every total order of `variables` interleaved with
+/// `constants` (which must be duplicate-free; they are sorted internally).
+/// Distinct constants never share a block and always appear in ascending
+/// order.  Enumeration stops early when `fn` returns false.
+///
+/// The number of orders grows like the ordered Bell numbers (1, 3, 13, 75,
+/// 541, 4683, 47293, ... for 1..7 variables with no constants), which is
+/// the source of the algorithm's exponential behavior in the number of
+/// distinct variables and constants — exactly the growth the paper's
+/// Figure 4 plots.
+void ForEachTotalOrder(const std::vector<std::string>& variables,
+                       const std::vector<Rational>& constants,
+                       const std::function<bool(const TotalOrder&)>& fn);
+
+/// Materializes all total orders.  Convenient for tests; prefer
+/// ForEachTotalOrder in algorithmic code.
+std::vector<TotalOrder> EnumerateTotalOrders(
+    const std::vector<std::string>& variables,
+    const std::vector<Rational>& constants);
+
+/// Like ForEachTotalOrder, but only visits orders whose witness assignment
+/// satisfies `axioms`, pruning inconsistent prefixes during construction:
+/// a partial placement whose order constraints already contradict the
+/// axioms can never extend to a satisfying order.  When the axioms chain
+/// most variables (e.g. the expanded Pre-Rewritings of Phase 2, which
+/// carry a full total order over the query's variables), this visits a
+/// tiny fraction of the ordered-Bell-many orders.
+///
+/// `constants` must include every constant occurring in `axioms`;
+/// otherwise an axiom's truth is not determined by the order and the
+/// enumeration may miss satisfying orders.
+void ForEachSatisfyingOrder(const std::vector<std::string>& variables,
+                            const std::vector<Rational>& constants,
+                            const std::vector<Comparison>& axioms,
+                            const std::function<bool(const TotalOrder&)>& fn);
+
+/// The number of total orders of `num_variables` variables with no
+/// constants (ordered Bell / Fubini number).  Saturates at INT64_MAX.
+int64_t CountTotalOrders(int num_variables);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONSTRAINTS_ORDERS_H_

@@ -1,0 +1,25 @@
+#include "containment/normalization.h"
+
+#include <string>
+
+namespace cqac {
+
+ConjunctiveQuery NormalizeQuery(const ConjunctiveQuery& q) {
+  std::vector<Atom> body;
+  std::vector<Comparison> comparisons;
+  int counter = 0;
+  for (const Atom& atom : q.body()) {
+    std::vector<Term> args;
+    args.reserve(atom.args().size());
+    for (const Term& original : atom.args()) {
+      const Term fresh = Term::Variable("_n" + std::to_string(counter++));
+      args.push_back(fresh);
+      comparisons.push_back(Comparison(fresh, CompOp::kEq, original));
+    }
+    body.push_back(Atom(atom.predicate(), std::move(args)));
+  }
+  for (const Comparison& c : q.comparisons()) comparisons.push_back(c);
+  return ConjunctiveQuery(q.head(), std::move(body), std::move(comparisons));
+}
+
+}  // namespace cqac

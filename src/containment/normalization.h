@@ -1,0 +1,25 @@
+#ifndef CQAC_CONTAINMENT_NORMALIZATION_H_
+#define CQAC_CONTAINMENT_NORMALIZATION_H_
+
+#include "ast/query.h"
+
+namespace cqac {
+
+/// Query normalization in the style of Gupta et al. / Zhang–Özsoyoğlu
+/// (the preprocessing step of the containment test the paper's Section 2.3
+/// cites): every argument position of every ordinary subgoal receives a
+/// fresh variable `_n<k>`, and an equality comparison ties the fresh
+/// variable to the original term.  Shared variables and constants thus
+/// move from the relational structure into the comparison set, where the
+/// implication machinery can reason about them uniformly.
+///
+///   q(X) :- a(X,X), b(3)      becomes
+///   q(X) :- a(_n0,_n1), b(_n2), _n0 = X, _n1 = X, _n2 = 3
+///
+/// The head is left untouched.  Normalization preserves the query's
+/// semantics exactly.
+ConjunctiveQuery NormalizeQuery(const ConjunctiveQuery& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_CONTAINMENT_NORMALIZATION_H_

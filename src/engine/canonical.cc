@@ -1,0 +1,81 @@
+#include "engine/canonical.h"
+
+namespace cqac {
+
+Term CanonicalDatabase::Unfreeze(const Rational& value) const {
+  auto it = unfreeze.find(value);
+  return it == unfreeze.end() ? Term::Constant(value) : it->second;
+}
+
+Atom CanonicalDatabase::UnfreezeAtom(const Atom& ground) const {
+  std::vector<Term> args;
+  args.reserve(ground.args().size());
+  for (const Term& t : ground.args()) {
+    args.push_back(t.IsConstant() ? Unfreeze(t.value()) : t);
+  }
+  return Atom(ground.predicate(), std::move(args));
+}
+
+namespace {
+
+CanonicalDatabase FreezeWithAssignment(
+    const ConjunctiveQuery& q, std::map<std::string, Rational> assignment,
+    std::map<Rational, Term> unfreeze) {
+  CanonicalDatabase result;
+  result.assignment = std::move(assignment);
+  result.unfreeze = std::move(unfreeze);
+  auto freeze_term = [&result](const Term& t) -> Rational {
+    return t.IsConstant() ? t.value() : result.assignment.at(t.name());
+  };
+  for (const Atom& atom : q.body()) {
+    Tuple tuple;
+    tuple.reserve(atom.args().size());
+    for (const Term& t : atom.args()) tuple.push_back(freeze_term(t));
+    result.db.Insert(atom.predicate(), std::move(tuple));
+  }
+  result.frozen_head.reserve(q.head().args().size());
+  for (const Term& t : q.head().args()) {
+    result.frozen_head.push_back(freeze_term(t));
+  }
+  return result;
+}
+
+}  // namespace
+
+CanonicalDatabase FreezeQuery(const ConjunctiveQuery& q,
+                              const TotalOrder& order) {
+  std::map<std::string, Rational> assignment = order.ToAssignment();
+  std::map<Rational, Term> unfreeze;
+  for (const OrderBlock& block : order.blocks) {
+    Rational value;
+    if (block.constant.has_value()) {
+      value = *block.constant;
+    } else if (!block.variables.empty()) {
+      value = assignment.at(block.variables.front());
+    } else {
+      continue;
+    }
+    unfreeze.emplace(value, block.Representative());
+  }
+  return FreezeWithAssignment(q, std::move(assignment), std::move(unfreeze));
+}
+
+CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q) {
+  // Fresh integer values strictly above every constant in the query, so no
+  // accidental collisions with constants occur.
+  Rational base(1);
+  for (const Rational& c : q.Constants()) {
+    if (c >= base) base = c + Rational(1);
+  }
+  std::map<std::string, Rational> assignment;
+  std::map<Rational, Term> unfreeze;
+  int offset = 0;
+  for (const std::string& v : q.AllVariables()) {
+    const Rational value = base + Rational(offset++);
+    assignment.emplace(v, value);
+    unfreeze.emplace(value, Term::Variable(v));
+  }
+  return FreezeWithAssignment(q, std::move(assignment), std::move(unfreeze));
+}
+
+}  // namespace cqac

@@ -1,0 +1,56 @@
+#ifndef CQAC_ENGINE_CANONICAL_H_
+#define CQAC_ENGINE_CANONICAL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "constraints/orders.h"
+#include "engine/database.h"
+
+namespace cqac {
+
+/// A canonical database of a query: the query's ordinary subgoals with
+/// variables frozen to concrete rationals under some total order, together
+/// with the bookkeeping needed to map values back to terms ("unfreezing").
+struct CanonicalDatabase {
+  Database db;
+
+  /// The freezing assignment (query variable -> value).
+  std::map<std::string, Rational> assignment;
+
+  /// The frozen head tuple of the query.  Empty for boolean queries.
+  Tuple frozen_head;
+
+  /// Maps each value back to the representative term of its order block:
+  /// the block's constant if it has one, otherwise its first variable.
+  /// Values not in the map unfreeze to themselves (as constants).
+  std::map<Rational, Term> unfreeze;
+
+  /// Unfreezes a value to a term.
+  Term Unfreeze(const Rational& value) const;
+
+  /// Unfreezes a ground atom (e.g. a view tuple computed on `db`) back to
+  /// an atom over the query's variables.
+  Atom UnfreezeAtom(const Atom& ground) const;
+};
+
+/// Freezes `q`'s ordinary subgoals under `order`, which must cover every
+/// variable of `q` (typically produced by ForEachTotalOrder over
+/// `q.AllVariables()` and a superset of `q`'s constants).  The resulting
+/// database ignores `q`'s comparisons; whether the order satisfies them is
+/// the caller's concern (e.g. via AcSolver::SatisfiedBy or by evaluating
+/// `q` on the result).
+CanonicalDatabase FreezeQuery(const ConjunctiveQuery& q,
+                              const TotalOrder& order);
+
+/// The single canonical database of `q` that assigns every variable a
+/// distinct value (Section 2.5 of the paper: "the canonical database of the
+/// query Q when ignoring the ACs").  Fresh values are integers chosen above
+/// all constants occurring in `q`.
+CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_CANONICAL_H_

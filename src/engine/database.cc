@@ -1,0 +1,60 @@
+#include "engine/database.h"
+
+#include <algorithm>
+
+namespace cqac {
+
+bool Relation::SubsetOf(const Relation& other) const {
+  return std::all_of(tuples_.begin(), tuples_.end(),
+                     [&other](const Tuple& t) { return other.Contains(t); });
+}
+
+std::string Relation::ToString() const {
+  std::string out = "{";
+  bool first_tuple = true;
+  for (const Tuple& t : tuples_) {
+    if (!first_tuple) out += ", ";
+    first_tuple = false;
+    out += "(";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ",";
+      out += t[i].ToString();
+    }
+    out += ")";
+  }
+  out += "}";
+  return out;
+}
+
+void Database::Insert(const std::string& predicate, Tuple values) {
+  relations_[predicate].Insert(values);
+}
+
+bool Database::InsertFact(const Atom& fact) {
+  Tuple values;
+  values.reserve(fact.args().size());
+  for (const Term& t : fact.args()) {
+    if (!t.IsConstant()) return false;
+    values.push_back(t.value());
+  }
+  Insert(fact.predicate(), std::move(values));
+  return true;
+}
+
+const Relation& Database::Get(const std::string& predicate) const {
+  // Function-local static pointer: trivially destructible per style rules.
+  static const Relation* const kEmpty = new Relation;
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? *kEmpty : it->second;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [predicate, relation] : relations_) {
+    if (!out.empty()) out += "\n";
+    out += predicate + ": " + relation.ToString();
+  }
+  return out;
+}
+
+}  // namespace cqac

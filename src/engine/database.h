@@ -1,0 +1,81 @@
+#ifndef CQAC_ENGINE_DATABASE_H_
+#define CQAC_ENGINE_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "ast/value.h"
+
+namespace cqac {
+
+/// A tuple of rational values.
+using Tuple = std::vector<Rational>;
+
+/// A relation instance: a duplicate-free, ordered set of same-arity tuples.
+/// Set semantics matches the paper (containment/equivalence are defined
+/// over set-valued answers).
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Inserts `t`; returns true when the tuple was new.
+  bool Insert(const Tuple& t) { return tuples_.insert(t).second; }
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  bool empty() const { return tuples_.empty(); }
+  int size() const { return static_cast<int>(tuples_.size()); }
+
+  const std::set<Tuple>& tuples() const { return tuples_; }
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const Relation& a, const Relation& b) {
+    return !(a == b);
+  }
+
+  /// True when every tuple of this relation is in `other`.
+  bool SubsetOf(const Relation& other) const;
+
+  /// Renders as `{(1,2), (3,4)}`.
+  std::string ToString() const;
+
+ private:
+  std::set<Tuple> tuples_;
+};
+
+/// An in-memory database: a mapping from predicate names to relation
+/// instances.  Missing predicates behave as empty relations.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds the tuple `values` to relation `predicate`.
+  void Insert(const std::string& predicate, Tuple values);
+
+  /// Adds the ground atom `fact` (all of whose arguments must be
+  /// constants).  Returns false if any argument is a variable.
+  bool InsertFact(const Atom& fact);
+
+  /// The instance of `predicate` (empty if absent).
+  const Relation& Get(const std::string& predicate) const;
+
+  bool empty() const { return relations_.empty(); }
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// Renders one relation per line, e.g. `a: {(1,2)}`.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_DATABASE_H_

@@ -1,0 +1,260 @@
+#include "engine/evaluate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cqac {
+
+namespace {
+
+/// Backtracking join evaluator.  The subgoal order is chosen greedily so
+/// that each next subgoal shares as many already-bound variables as
+/// possible; comparisons fire as soon as both sides are bound.
+class Evaluator {
+ public:
+  Evaluator(const ConjunctiveQuery& q, const Database& db)
+      : query_(q), db_(db) {
+    PlanSubgoalOrder();
+    PlanComparisonTriggers();
+  }
+
+  /// Runs the evaluation.  When `target` is non-null, stops as soon as the
+  /// target head tuple is produced and reports whether it was found; when
+  /// `out` is non-null, collects all head tuples.
+  bool Run(const Tuple* target, Relation* out) {
+    target_ = target;
+    out_ = out;
+    found_target_ = false;
+    Search(0);
+    return found_target_;
+  }
+
+ private:
+  void PlanSubgoalOrder() {
+    const int n = static_cast<int>(query_.body().size());
+    std::vector<bool> used(n, false);
+    std::unordered_set<std::string> bound;
+    for (int step = 0; step < n; ++step) {
+      int best = -1;
+      int best_score = -1;
+      for (int i = 0; i < n; ++i) {
+        if (used[i]) continue;
+        int score = 0;
+        for (const Term& t : query_.body()[i].args()) {
+          if (t.IsVariable() && bound.count(t.name()) > 0) ++score;
+          if (t.IsConstant()) ++score;
+        }
+        if (score > best_score) {
+          best_score = score;
+          best = i;
+        }
+      }
+      used[best] = true;
+      order_.push_back(best);
+      for (const Term& t : query_.body()[best].args()) {
+        if (t.IsVariable()) bound.insert(t.name());
+      }
+    }
+  }
+
+  void PlanComparisonTriggers() {
+    // triggers_[d] = comparisons fully bound after matching order_[0..d-1]
+    // (d = 0 means bound before any subgoal: constant-only comparisons).
+    const int n = static_cast<int>(order_.size());
+    triggers_.assign(n + 1, {});
+    std::unordered_set<std::string> bound;
+    std::vector<bool> fired(query_.comparisons().size(), false);
+    auto is_bound = [&bound](const Term& t) {
+      return t.IsConstant() || bound.count(t.name()) > 0;
+    };
+    for (int depth = 0; depth <= n; ++depth) {
+      if (depth > 0) {
+        for (const Term& t : query_.body()[order_[depth - 1]].args()) {
+          if (t.IsVariable()) bound.insert(t.name());
+        }
+      }
+      for (size_t c = 0; c < query_.comparisons().size(); ++c) {
+        if (fired[c]) continue;
+        const Comparison& comp = query_.comparisons()[c];
+        if (is_bound(comp.lhs()) && is_bound(comp.rhs())) {
+          fired[c] = true;
+          triggers_[depth].push_back(static_cast<int>(c));
+        }
+      }
+    }
+    // Comparisons over variables absent from the body stay pending: at
+    // the leaf, equality propagation may still determine those variables
+    // (e.g. normalized queries bind head variables via `_n0 = X`).
+    for (size_t c = 0; c < fired.size(); ++c) {
+      if (!fired[c]) pending_.push_back(static_cast<int>(c));
+    }
+  }
+
+  bool CheckTriggers(int depth) {
+    for (const int c : triggers_[depth]) {
+      const Comparison& comp = query_.comparisons()[c];
+      const Rational a = ValueOf(comp.lhs());
+      const Rational b = ValueOf(comp.rhs());
+      if (!EvalCompOp(a, comp.op(), b)) return false;
+    }
+    return true;
+  }
+
+  Rational ValueOf(const Term& t) const {
+    return t.IsConstant() ? t.value() : bindings_.at(t.name());
+  }
+
+  /// Returns false to abort the whole search (target found).
+  bool Search(int depth) {
+    if (depth == 0 && !CheckTriggers(0)) return true;
+    if (depth == static_cast<int>(order_.size())) {
+      return EmitHead();
+    }
+    const Atom& atom = query_.body()[order_[depth]];
+    const Relation& rel = db_.Get(atom.predicate());
+    for (const Tuple& tuple : rel.tuples()) {
+      if (static_cast<int>(tuple.size()) != atom.arity()) continue;
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (int i = 0; i < atom.arity() && ok; ++i) {
+        const Term& t = atom.args()[i];
+        if (t.IsConstant()) {
+          ok = t.value() == tuple[i];
+        } else {
+          auto it = bindings_.find(t.name());
+          if (it == bindings_.end()) {
+            bindings_.emplace(t.name(), tuple[i]);
+            newly_bound.push_back(t.name());
+          } else {
+            ok = it->second == tuple[i];
+          }
+        }
+      }
+      bool keep_going = true;
+      if (ok && CheckTriggers(depth + 1)) {
+        keep_going = Search(depth + 1);
+      }
+      for (const std::string& v : newly_bound) bindings_.erase(v);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  /// Resolves comparisons whose variables no ordinary subgoal bound:
+  /// propagates equalities to fixpoint, then evaluates what remains.
+  /// Returns false when a pending comparison fails or stays undetermined.
+  bool ResolvePending(std::unordered_map<std::string, Rational>* extra) {
+    if (pending_.empty()) return true;
+    std::vector<int> unresolved = pending_;
+    auto lookup = [this, extra](const Term& t, Rational* out) {
+      if (t.IsConstant()) {
+        *out = t.value();
+        return true;
+      }
+      if (auto it = bindings_.find(t.name()); it != bindings_.end()) {
+        *out = it->second;
+        return true;
+      }
+      if (auto it = extra->find(t.name()); it != extra->end()) {
+        *out = it->second;
+        return true;
+      }
+      return false;
+    };
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (size_t i = 0; i < unresolved.size();) {
+        const Comparison& comp = query_.comparisons()[unresolved[i]];
+        Rational a, b;
+        const bool has_a = lookup(comp.lhs(), &a);
+        const bool has_b = lookup(comp.rhs(), &b);
+        if (has_a && has_b) {
+          if (!EvalCompOp(a, comp.op(), b)) return false;
+          unresolved.erase(unresolved.begin() + i);
+          progress = true;
+          continue;
+        }
+        if (comp.op() == CompOp::kEq && (has_a || has_b)) {
+          // Bind the undetermined side.
+          const Term& unbound = has_a ? comp.rhs() : comp.lhs();
+          extra->emplace(unbound.name(), has_a ? a : b);
+          unresolved.erase(unresolved.begin() + i);
+          progress = true;
+          continue;
+        }
+        ++i;
+      }
+    }
+    // A comparison with a variable nothing determines: the query is
+    // genuinely unsafe; produce no answers.
+    return unresolved.empty();
+  }
+
+  bool EmitHead() {
+    std::unordered_map<std::string, Rational> extra;
+    if (!ResolvePending(&extra)) return true;
+    Tuple head;
+    head.reserve(query_.head().args().size());
+    for (const Term& t : query_.head().args()) {
+      if (t.IsConstant()) {
+        head.push_back(t.value());
+      } else if (auto it = bindings_.find(t.name()); it != bindings_.end()) {
+        head.push_back(it->second);
+      } else if (auto it = extra.find(t.name()); it != extra.end()) {
+        head.push_back(it->second);
+      } else {
+        return true;  // Unsafe head: emit nothing.
+      }
+    }
+    if (target_ != nullptr && head == *target_) {
+      found_target_ = true;
+      return false;  // Early exit.
+    }
+    if (out_ != nullptr) out_->Insert(head);
+    return true;
+  }
+
+  const ConjunctiveQuery& query_;
+  const Database& db_;
+  std::vector<int> order_;
+  std::vector<std::vector<int>> triggers_;
+  std::vector<int> pending_;
+  std::unordered_map<std::string, Rational> bindings_;
+  const Tuple* target_ = nullptr;
+  Relation* out_ = nullptr;
+  bool found_target_ = false;
+};
+
+}  // namespace
+
+Relation Evaluate(const ConjunctiveQuery& q, const Database& db) {
+  Relation out;
+  Evaluator(q, db).Run(nullptr, &out);
+  return out;
+}
+
+Relation Evaluate(const UnionQuery& q, const Database& db) {
+  Relation out;
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    Evaluator(disjunct, db).Run(nullptr, &out);
+  }
+  return out;
+}
+
+bool ComputesTuple(const ConjunctiveQuery& q, const Database& db,
+                   const Tuple& head) {
+  if (static_cast<int>(head.size()) != q.head().arity()) return false;
+  return Evaluator(q, db).Run(&head, nullptr);
+}
+
+bool ComputesTuple(const UnionQuery& q, const Database& db,
+                   const Tuple& head) {
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    if (ComputesTuple(disjunct, db, head)) return true;
+  }
+  return false;
+}
+
+}  // namespace cqac

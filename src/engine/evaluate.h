@@ -1,0 +1,35 @@
+#ifndef CQAC_ENGINE_EVALUATE_H_
+#define CQAC_ENGINE_EVALUATE_H_
+
+#include <optional>
+
+#include "ast/query.h"
+#include "engine/database.h"
+
+namespace cqac {
+
+/// Evaluates a CQAC over a database instance under set semantics: the set
+/// of head tuples produced by all satisfying assignments of the body
+/// (ordinary subgoals matched against the database, comparisons evaluated
+/// over the rationals).
+///
+/// The query must be safe; head positions holding constants emit those
+/// constants.  For boolean queries the result is `{()}` (one empty tuple)
+/// when the body is satisfiable on `db` and `{}` otherwise.
+Relation Evaluate(const ConjunctiveQuery& q, const Database& db);
+
+/// Evaluates a union of CQACs (the union of the disjuncts' results).
+Relation Evaluate(const UnionQuery& q, const Database& db);
+
+/// True iff `q`'s evaluation on `db` contains `head` — with early exit, so
+/// this is much cheaper than `Evaluate(q, db).Contains(head)` when the
+/// query has many satisfying assignments.
+bool ComputesTuple(const ConjunctiveQuery& q, const Database& db,
+                   const Tuple& head);
+
+/// Union version of ComputesTuple.
+bool ComputesTuple(const UnionQuery& q, const Database& db, const Tuple& head);
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_EVALUATE_H_

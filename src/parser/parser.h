@@ -1,0 +1,59 @@
+#ifndef CQAC_PARSER_PARSER_H_
+#define CQAC_PARSER_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/query.h"
+
+namespace cqac {
+
+/// Parses the paper's datalog-style notation for CQACs.
+///
+/// Grammar (informal):
+///
+///   program    := rule ( '.' rule )* '.'?
+///   rule       := atom ':-' literal ( ',' literal )*
+///   literal    := atom | comparison
+///   atom       := lower_ident '(' term ( ',' term )* ')'
+///              |  lower_ident '(' ')'                    -- 0-ary
+///   comparison := term op term
+///   op         := '<' | '<=' | '=' | '!=' | '>=' | '>'
+///   term       := UpperIdent        -- variable (paper convention)
+///              |  number            -- rational constant, e.g. 7, -3, 2.5
+///
+/// `%` starts a comment running to end of line.  Whitespace is free-form.
+/// Constants must be numeric: the comparison domain is the rationals.
+///
+/// All functions report failure by returning `std::nullopt` and, when
+/// `error` is non-null, storing a human-readable message with 1-based
+/// line/column info.
+class Parser {
+ public:
+  /// Parses a single rule, e.g. `q(X) :- a(X,Y), X < 5`.  A trailing period
+  /// is permitted.
+  static std::optional<ConjunctiveQuery> ParseRule(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Parses a sequence of period-separated rules.
+  static std::optional<std::vector<ConjunctiveQuery>> ParseProgram(
+      std::string_view text, std::string* error = nullptr);
+
+  /// Parses a single rule and aborts the process with a diagnostic on
+  /// failure.  Convenience for tests, examples, and benchmarks where the
+  /// input is a trusted literal.
+  static ConjunctiveQuery MustParseRule(std::string_view text);
+
+  /// Parses a program and aborts the process with a diagnostic on failure.
+  static std::vector<ConjunctiveQuery> MustParseProgram(std::string_view text);
+
+  /// Parses a program whose rules all share one head predicate into a
+  /// UnionQuery; aborts on failure or mixed head predicates.
+  static UnionQuery MustParseUnion(std::string_view text);
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_PARSER_PARSER_H_

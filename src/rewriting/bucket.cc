@@ -1,0 +1,157 @@
+#include "rewriting/bucket.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "containment/cq_containment.h"
+#include "rewriting/expansion.h"
+
+namespace cqac {
+
+namespace {
+
+/// Tries to unify query subgoal `g` onto view subgoal `w` (both plain
+/// atoms), producing the bucket entry: the view's head with each position
+/// renamed to the query term mapped there, or a fresh variable.
+/// `distinguished` holds the query's head variables, which must land on
+/// the view's head to remain accessible.
+std::optional<Atom> BucketEntry(const Atom& g, const Atom& w,
+                                const ConjunctiveQuery& view,
+                                const std::set<std::string>& distinguished,
+                                int* fresh_counter) {
+  if (g.predicate() != w.predicate() || g.arity() != w.arity()) {
+    return std::nullopt;
+  }
+  std::set<std::string> view_head_vars;
+  for (const Term& t : view.head().args()) {
+    if (t.IsVariable()) view_head_vars.insert(t.name());
+  }
+  // psi: view variable -> query term (the inverse direction of a
+  // containment mapping fragment, which is how the bucket algorithm names
+  // its entries).
+  std::map<std::string, Term> psi;
+  std::map<std::string, Term> query_image;  // query var -> view term
+  for (int i = 0; i < g.arity(); ++i) {
+    const Term& qt = g.args()[i];
+    const Term& vt = w.args()[i];
+    if (vt.IsConstant()) {
+      if (qt.IsConstant() && qt != vt) return std::nullopt;
+      if (qt.IsVariable() && distinguished.count(qt.name()) > 0) {
+        // Head variable pinned to a constant: representable (the head
+        // argument becomes that constant), but the classical algorithm
+        // simply keeps the pairing; we reject to stay conservative.
+        return std::nullopt;
+      }
+      continue;
+    }
+    // vt is a view variable.
+    const bool vt_distinguished = view_head_vars.count(vt.name()) > 0;
+    if (qt.IsVariable() && distinguished.count(qt.name()) > 0 &&
+        !vt_distinguished) {
+      return std::nullopt;  // Distinguished query var lost in the view.
+    }
+    if (qt.IsConstant() && !vt_distinguished) {
+      return std::nullopt;  // Constant cannot select on a projected-out var.
+    }
+    // Consistency both ways.
+    if (auto it = psi.find(vt.name()); it != psi.end()) {
+      if (it->second != qt) return std::nullopt;
+    } else {
+      psi.emplace(vt.name(), qt);
+    }
+    if (qt.IsVariable()) {
+      if (auto it = query_image.find(qt.name()); it != query_image.end()) {
+        if (it->second != vt) return std::nullopt;
+      } else {
+        query_image.emplace(qt.name(), vt);
+      }
+    }
+  }
+  // Entry: the view head renamed through psi; unseen head vars get fresh
+  // names.
+  std::vector<Term> args;
+  std::map<std::string, Term> fresh;
+  for (const Term& t : view.head().args()) {
+    if (t.IsConstant()) {
+      args.push_back(t);
+      continue;
+    }
+    if (auto it = psi.find(t.name()); it != psi.end()) {
+      args.push_back(it->second);
+      continue;
+    }
+    auto it = fresh.find(t.name());
+    if (it == fresh.end()) {
+      it = fresh
+               .emplace(t.name(), Term::Variable(
+                                      "_b" + std::to_string((*fresh_counter)++)))
+               .first;
+    }
+    args.push_back(it->second);
+  }
+  return Atom(view.name(), std::move(args));
+}
+
+}  // namespace
+
+std::vector<std::vector<Atom>> BuildBuckets(const ConjunctiveQuery& query,
+                                            const ViewSet& views) {
+  std::set<std::string> distinguished;
+  for (const std::string& v : query.HeadVariables()) distinguished.insert(v);
+
+  std::vector<std::vector<Atom>> buckets(query.body().size());
+  int fresh_counter = 0;
+  for (size_t g = 0; g < query.body().size(); ++g) {
+    for (const ConjunctiveQuery& raw_view : views.views()) {
+      const ConjunctiveQuery view =
+          raw_view.RenameVariables("_w" + raw_view.name() + "_");
+      for (const Atom& w : view.body()) {
+        std::optional<Atom> entry = BucketEntry(
+            query.body()[g], w, view, distinguished, &fresh_counter);
+        if (!entry.has_value()) continue;
+        if (std::find(buckets[g].begin(), buckets[g].end(), *entry) ==
+            buckets[g].end()) {
+          buckets[g].push_back(*std::move(entry));
+        }
+      }
+    }
+  }
+  return buckets;
+}
+
+UnionQuery BucketRewritings(const ConjunctiveQuery& query,
+                            const ViewSet& views) {
+  const std::vector<std::vector<Atom>> buckets = BuildBuckets(query, views);
+  UnionQuery result;
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) return result;  // Some subgoal is uncoverable.
+  }
+  std::set<std::string> seen;
+  // Odometer over the cartesian product of buckets.
+  std::vector<size_t> idx(buckets.size(), 0);
+  for (;;) {
+    std::vector<Atom> body;
+    for (size_t g = 0; g < buckets.size(); ++g) {
+      const Atom& atom = buckets[g][idx[g]];
+      if (std::find(body.begin(), body.end(), atom) == body.end()) {
+        body.push_back(atom);
+      }
+    }
+    ConjunctiveQuery candidate(query.head(), std::move(body));
+    const ConjunctiveQuery expansion = Expand(candidate, views);
+    // A contained rewriting's expansion must be contained in the query.
+    if (CqContained(expansion, query) &&
+        seen.insert(candidate.ToString()).second) {
+      result.Add(candidate);
+    }
+    int pos = static_cast<int>(buckets.size()) - 1;
+    while (pos >= 0 && ++idx[pos] == buckets[pos].size()) idx[pos--] = 0;
+    if (pos < 0) break;
+  }
+  return result;
+}
+
+}  // namespace cqac

@@ -1,0 +1,37 @@
+#ifndef CQAC_REWRITING_BUCKET_H_
+#define CQAC_REWRITING_BUCKET_H_
+
+#include <vector>
+
+#include "ast/query.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// The classical bucket algorithm (Levy, Rajaraman & Ordille) for plain
+/// conjunctive queries: a contained-rewriting substrate the paper lists
+/// among its relatives, implemented here both as a baseline for the
+/// MiniCon module and for the data-integration example.
+///
+/// For each query subgoal, the bucket holds view atoms whose definitions
+/// can cover that subgoal (some view subgoal unifies with it while keeping
+/// the query's distinguished variables on the view's head).  Candidate
+/// rewritings take one atom per bucket; each candidate is kept iff its
+/// expansion is contained in the query.  The result is a union of
+/// conjunctive queries, each a contained rewriting of `query`.
+///
+/// Comparisons on the query or views are not handled by this algorithm
+/// (that is the point of the paper); callers pass plain CQs.
+
+/// One bucket per query subgoal.
+std::vector<std::vector<Atom>> BuildBuckets(const ConjunctiveQuery& query,
+                                            const ViewSet& views);
+
+/// Runs the full bucket algorithm and returns the union of all candidate
+/// rewritings that passed the containment check.
+UnionQuery BucketRewritings(const ConjunctiveQuery& query,
+                            const ViewSet& views);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_BUCKET_H_

@@ -1,0 +1,125 @@
+#include "rewriting/contained_rewriter.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "constraints/ac_solver.h"
+#include "constraints/orders.h"
+#include "containment/cqac_containment.h"
+#include "rewriting/expansion.h"
+#include "rewriting/exportable.h"
+#include "rewriting/minicon.h"
+
+namespace cqac {
+
+bool IsSemiInterval(const ConjunctiveQuery& q) {
+  for (const Comparison& c : q.comparisons()) {
+    const bool var_const = c.lhs().IsVariable() && c.rhs().IsConstant();
+    const bool const_var = c.lhs().IsConstant() && c.rhs().IsVariable();
+    const bool equality = c.op() == CompOp::kEq;
+    if (!(var_const || const_var || equality)) return false;
+  }
+  return true;
+}
+
+ContainedRewriteResult FindContainedRewritings(
+    const ConjunctiveQuery& query, const ViewSet& views,
+    ContainedRewriteOptions options) {
+  ContainedRewriteResult result;
+
+  if (!AcSolver::IsSatisfiable(query.comparisons())) {
+    return result;  // The empty union is the (maximal) rewriting.
+  }
+
+  const ConjunctiveQuery q0 = query.WithoutComparisons();
+  std::vector<ConjunctiveQuery> v0_variants;
+  for (const ConjunctiveQuery& view : views.views()) {
+    for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
+      v0_variants.push_back(std::move(variant));
+    }
+  }
+  const std::vector<Mcd> mcds = FormMcds(q0, v0_variants);
+
+  std::vector<Rational> constants = query.Constants();
+  for (const Rational& c : views.Constants()) {
+    if (std::find(constants.begin(), constants.end(), c) == constants.end()) {
+      constants.push_back(c);
+    }
+  }
+
+  std::vector<ConjunctiveQuery> kept_disjuncts;
+  std::vector<ConjunctiveQuery> kept_expansions;
+  std::set<std::string> seen;
+
+  ForEachMcdCombination(
+      mcds, static_cast<int>(query.body().size()),
+      [&](const std::vector<const Mcd*>& combination) {
+        ++result.combinations;
+        std::vector<Atom> body;
+        for (const Mcd* mcd : combination) {
+          if (std::find(body.begin(), body.end(), mcd->view_tuple) ==
+              body.end()) {
+            body.push_back(mcd->view_tuple);
+          }
+        }
+        std::sort(body.begin(), body.end());
+        ConjunctiveQuery base(query.head(), body);
+
+        // Complete with every total order of the candidate's variables.
+        bool keep_going = true;
+        ForEachTotalOrder(
+            base.AllVariables(), constants, [&](const TotalOrder& order) {
+              ++result.candidates;
+              if (options.max_disjuncts >= 0 &&
+                  result.kept >= options.max_disjuncts) {
+                result.truncated = true;
+                keep_going = false;
+                return false;
+              }
+              ConjunctiveQuery disjunct(
+                  base.head(), base.body(),
+                  order.ProjectedComparisons(base.AllVariables()));
+              if (!seen.insert(disjunct.ToString()).second) return true;
+              const ConjunctiveQuery expansion =
+                  Expand(disjunct, views);
+              const std::optional<ConjunctiveQuery> simplified =
+                  SimplifyQuery(expansion);
+              if (!simplified.has_value()) return true;  // Empty disjunct.
+              if (CqacContainedCanonical(*simplified, query)) {
+                kept_disjuncts.push_back(std::move(disjunct));
+                kept_expansions.push_back(*simplified);
+                ++result.kept;
+              }
+              return true;
+            });
+        return keep_going;
+      });
+
+  if (options.drop_subsumed && kept_disjuncts.size() > 1) {
+    // Greedy pairwise subsumption on the expansions.
+    std::vector<bool> dropped(kept_disjuncts.size(), false);
+    for (size_t i = 0; i < kept_disjuncts.size(); ++i) {
+      for (size_t j = 0; j < kept_disjuncts.size(); ++j) {
+        if (i == j || dropped[j] || dropped[i]) continue;
+        if (CqacContainedCanonical(kept_expansions[i], kept_expansions[j])) {
+          // Break mutual-subsumption ties deterministically by index.
+          if (!CqacContainedCanonical(kept_expansions[j],
+                                      kept_expansions[i]) ||
+              i > j) {
+            dropped[i] = true;
+            break;
+          }
+        }
+      }
+    }
+    for (size_t i = 0; i < kept_disjuncts.size(); ++i) {
+      if (!dropped[i]) result.rewriting.Add(std::move(kept_disjuncts[i]));
+    }
+  } else {
+    result.rewriting = UnionQuery(std::move(kept_disjuncts));
+  }
+  return result;
+}
+
+}  // namespace cqac

@@ -1,0 +1,59 @@
+#ifndef CQAC_REWRITING_CONTAINED_REWRITER_H_
+#define CQAC_REWRITING_CONTAINED_REWRITER_H_
+
+#include <cstdint>
+
+#include "ast/query.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// Contained rewritings of CQAC queries using CQAC views — the
+/// data-integration regime the paper discusses alongside its main result.
+/// The paper (following Afrati, Li & Mitra) notes that maximally-contained
+/// rewritings are not known to exist in general once arbitrary
+/// comparisons appear, but do exist when the comparisons are
+/// *semi-interval* (`X op c` with op in {<, <=}, or symmetrically
+/// {>, >=}); this module implements the natural candidate-space algorithm
+/// for that regime and is exact on it.
+///
+/// Candidates are MiniCon combinations of the comparison-free query over
+/// the exported view variants, each completed with every total order of
+/// its variables and the constants of query and views; a candidate is
+/// kept iff its expansion is contained in the query.  The union of all
+/// kept candidates is returned (with optional redundancy elimination).
+
+struct ContainedRewriteOptions {
+  /// Drop disjuncts whose expansion is contained in another kept
+  /// disjunct's expansion (pairwise; keeps the union's semantics).
+  bool drop_subsumed = true;
+
+  /// Abort knob: stop after this many candidate disjuncts (-1 = all).
+  int64_t max_disjuncts = -1;
+};
+
+struct ContainedRewriteResult {
+  /// The union of kept contained rewritings (possibly empty).
+  UnionQuery rewriting;
+
+  int64_t combinations = 0;    // MiniCon combinations enumerated
+  int64_t candidates = 0;      // combination x order candidates
+  int64_t kept = 0;            // candidates whose expansion is contained
+  bool truncated = false;      // max_disjuncts hit
+};
+
+/// Computes the union of contained CQAC rewritings described above.
+/// Sound for any input (every disjunct's expansion is verified contained
+/// in the query); maximally contained on the semi-interval fragment.
+ContainedRewriteResult FindContainedRewritings(
+    const ConjunctiveQuery& query, const ViewSet& views,
+    ContainedRewriteOptions options = {});
+
+/// True when every comparison of `q` is semi-interval: variable-versus-
+/// constant with any operator, or an equality.  (The paper's special case
+/// for which maximally-contained rewritings are known to exist.)
+bool IsSemiInterval(const ConjunctiveQuery& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_CONTAINED_REWRITER_H_

@@ -1,0 +1,374 @@
+#include "rewriting/equiv_rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "constraints/ac_solver.h"
+#include "constraints/orders.h"
+#include "containment/cqac_containment.h"
+#include "engine/canonical.h"
+#include "engine/evaluate.h"
+#include "rewriting/coalesce.h"
+#include "rewriting/expansion.h"
+#include "rewriting/exportable.h"
+#include "rewriting/minicon.h"
+#include "rewriting/view_tuples.h"
+
+namespace cqac {
+
+namespace {
+
+/// The expansion of `disjunct`, simplified when requested.  Unsatisfiable
+/// expansions stay as-is (they compute nothing and pass containment
+/// trivially).
+ConjunctiveQuery ExpandForCheck(const ConjunctiveQuery& disjunct,
+                                const ViewSet& views, bool simplify) {
+  ConjunctiveQuery expansion = Expand(disjunct, views);
+  if (simplify) {
+    std::optional<ConjunctiveQuery> simplified = SimplifyQuery(expansion);
+    if (simplified.has_value()) return *std::move(simplified);
+  }
+  return expansion;
+}
+
+/// True when `tuple`'s MCD-fresh variables (prefix "_f"; unique to one
+/// tuple by construction) can be renamed to make it equal to `other`.
+/// Such a tuple adds nothing to the Pre-Rewriting: the fold is a
+/// containment mapping in one direction and the identity works in the
+/// other, so dropping it preserves equivalence — while genuinely
+/// redundant-but-distinct subgoals (the paper's Example 3) are kept.
+bool FoldsOntoTuple(const Atom& tuple, const Atom& other) {
+  if (&tuple == &other) return false;
+  if (tuple.predicate() != other.predicate() ||
+      tuple.arity() != other.arity() || tuple == other) {
+    return false;
+  }
+  Substitution binding;
+  for (int i = 0; i < tuple.arity(); ++i) {
+    const Term& t = tuple.args()[i];
+    const Term& o = other.args()[i];
+    if (t.IsVariable() && t.name().rfind("_f", 0) == 0) {
+      if (binding.IsBound(t.name())) {
+        if (binding.Lookup(t.name()) != o) return false;
+      } else {
+        binding.Bind(t.name(), o);
+      }
+    } else if (t != o) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+RewriteResult EquivalentRewriter::Run() {
+  RewriteResult result;
+
+  // A query with contradictory comparisons computes nothing; the empty
+  // union is an equivalent rewriting.
+  if (!AcSolver::IsSatisfiable(query_.comparisons())) {
+    result.outcome = RewriteOutcome::kRewritingFound;
+    return result;
+  }
+
+  // --- Shared setup (independent of the canonical database) ---
+
+  // Q0 and the exported variants V0 (Section 3.2 / Examples 5 and 6).
+  const ConjunctiveQuery q0 = query_.WithoutComparisons();
+  std::vector<ConjunctiveQuery> v0_variants;
+  for (const ConjunctiveQuery& view : views_.views()) {
+    for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
+      v0_variants.push_back(std::move(variant));
+    }
+  }
+  result.stats.v0_variants = static_cast<int64_t>(v0_variants.size());
+
+  // MiniCon phase 1 over Q0/V0 (the buckets; formed once).
+  const std::vector<Mcd> mcds = FormMcds(q0, v0_variants);
+  result.stats.mcds_formed = static_cast<int64_t>(mcds.size());
+
+  // All constants of the query and the views participate in the orders.
+  std::vector<Rational> constants = query_.Constants();
+  for (const Rational& c : views_.Constants()) {
+    if (std::find(constants.begin(), constants.end(), c) == constants.end()) {
+      constants.push_back(c);
+    }
+  }
+
+  const int num_subgoals = static_cast<int>(query_.body().size());
+
+  // --- Phase 1: one Pre-Rewriting per kept canonical database ---
+
+  std::vector<ConjunctiveQuery> pre_rewritings;
+  std::set<std::string> pre_rewriting_keys;
+  bool failed = false;
+  bool aborted = false;
+
+  ForEachTotalOrder(
+      query_.AllVariables(), constants, [&](const TotalOrder& order) {
+        ++result.stats.canonical_databases;
+        if (options_.max_canonical_databases >= 0 &&
+            result.stats.canonical_databases >
+                options_.max_canonical_databases) {
+          aborted = true;
+          return false;
+        }
+        CanonicalDatabaseTrace dbtrace;
+        if (options_.explain) dbtrace.order = order.ToString();
+        const CanonicalDatabase cdb = FreezeQuery(query_, order);
+        // Keep only databases on which the query computes its frozen head
+        // (general evaluation: the identity freezing need not be the
+        // witnessing embedding).
+        if (!ComputesTuple(query_, cdb.db, cdb.frozen_head)) {
+          if (options_.explain) {
+            dbtrace.status = "skipped";
+            result.trace.databases.push_back(std::move(dbtrace));
+          }
+          return true;
+        }
+        dbtrace.computes_head = true;
+        ++result.stats.kept_canonical_databases;
+
+        // Step 3.1-3.2: view tuples T_i(V).
+        const ViewTuples tuples = ComputeViewTuples(views_, cdb);
+        result.stats.view_tuples_total += tuples.total;
+        if (options_.explain) dbtrace.view_tuples = tuples.total;
+        if (tuples.empty()) {
+          failed = true;
+          result.failure_reason =
+              "no view produces any tuple on canonical database [" +
+              order.ToString() + "]";
+          if (options_.explain) {
+            dbtrace.status = "no-view-tuples";
+            result.trace.databases.push_back(std::move(dbtrace));
+          }
+          return false;
+        }
+
+        // Step 3.4: prune bucket entries against the database's tuples.
+        std::vector<Mcd> kept;
+        for (const Mcd& mcd : mcds) {
+          bool keep = true;
+          switch (options_.pruning) {
+            case RewriteOptions::Pruning::kNone:
+              break;
+            case RewriteOptions::Pruning::kRelaxedForm: {
+              keep = false;
+              auto it = tuples.unfrozen.find(mcd.view_tuple.predicate());
+              if (it != tuples.unfrozen.end()) {
+                for (const Atom& t : it->second) {
+                  if (IsMoreRelaxedForm(mcd.view_tuple, t)) {
+                    keep = true;
+                    break;
+                  }
+                }
+              }
+              break;
+            }
+            case RewriteOptions::Pruning::kFrozenMatch:
+              keep = MatchesFrozenViewTuple(mcd.view_tuple, tuples, cdb);
+              break;
+          }
+          if (keep) kept.push_back(mcd);
+        }
+        result.stats.mcds_kept_total += static_cast<int64_t>(kept.size());
+
+        if (options_.explain) {
+          dbtrace.kept_mcds = static_cast<int64_t>(kept.size());
+        }
+
+        // Step 3.5: MiniCon phase 2 as an existence check.
+        if (!McdCombinationExists(kept, num_subgoals)) {
+          failed = true;
+          result.failure_reason =
+              "no MiniCon combination covers the query on canonical "
+              "database [" +
+              order.ToString() + "]";
+          if (options_.explain) {
+            dbtrace.status = "no-mcr";
+            result.trace.databases.push_back(std::move(dbtrace));
+          }
+          return false;
+        }
+        if (options_.explain) dbtrace.combination_exists = true;
+
+        // Steps 3.6-3.7 and Phase 2 task (a): the Pre-Rewriting holds all
+        // surviving view tuples plus the database's order constraints
+        // projected onto the variables it uses.
+        std::vector<Atom> body;
+        for (const Mcd& mcd : kept) {
+          if (std::find(body.begin(), body.end(), mcd.view_tuple) ==
+              body.end()) {
+            body.push_back(mcd.view_tuple);
+          }
+        }
+        // Drop tuples whose fresh variables fold onto another kept tuple.
+        {
+          std::vector<bool> dropped(body.size(), false);
+          for (size_t i = 0; i < body.size(); ++i) {
+            for (size_t j = 0; j < body.size(); ++j) {
+              if (i == j || dropped[j]) continue;
+              if (FoldsOntoTuple(body[i], body[j])) {
+                dropped[i] = true;
+                break;
+              }
+            }
+          }
+          std::vector<Atom> reduced;
+          for (size_t i = 0; i < body.size(); ++i) {
+            if (!dropped[i]) reduced.push_back(body[i]);
+          }
+          body = std::move(reduced);
+        }
+        std::sort(body.begin(), body.end());
+        std::vector<std::string> body_vars;
+        {
+          std::set<std::string> seen;
+          for (const Atom& a : body) {
+            for (const Term& t : a.args()) {
+              if (t.IsVariable() && seen.insert(t.name()).second) {
+                body_vars.push_back(t.name());
+              }
+            }
+          }
+        }
+        ConjunctiveQuery pre(query_.head(), std::move(body),
+                             order.ProjectedComparisons(body_vars));
+        if (options_.explain) {
+          dbtrace.pre_rewriting = pre.ToString();
+          dbtrace.status = "ok";
+          result.trace.databases.push_back(std::move(dbtrace));
+        }
+        if (pre_rewriting_keys.insert(pre.ToString()).second) {
+          pre_rewritings.push_back(std::move(pre));
+        }
+        return true;
+      });
+
+  if (aborted) {
+    result.outcome = RewriteOutcome::kAborted;
+    result.failure_reason = "canonical database budget exceeded";
+    return result;
+  }
+  if (failed) {
+    result.outcome = RewriteOutcome::kNoRewriting;
+    return result;
+  }
+  if (pre_rewritings.empty()) {
+    // The query computes its head on no canonical database: impossible for
+    // a satisfiable safe query, but guard anyway.
+    result.outcome = RewriteOutcome::kNoRewriting;
+    result.failure_reason = "query computes its head on no canonical database";
+    return result;
+  }
+
+  // --- Phase 2 task (b): every expansion must be contained in the query ---
+
+  std::map<std::string, bool> phase2_verdicts;
+  bool phase2_failed = false;
+  for (const ConjunctiveQuery& pre : pre_rewritings) {
+    const ConjunctiveQuery expansion =
+        ExpandForCheck(pre, views_, options_.simplify_expansions);
+    ++result.stats.phase2_checks;
+    ContainmentStats cstats;
+    const bool contained = CqacContainedCanonical(expansion, query_, &cstats);
+    result.stats.phase2_orders += cstats.orders_enumerated;
+    if (options_.explain) phase2_verdicts[pre.ToString()] = contained;
+    if (!contained) {
+      result.outcome = RewriteOutcome::kNoRewriting;
+      result.failure_reason =
+          "expansion not contained in the query: " + pre.ToString();
+      phase2_failed = true;
+      break;
+    }
+  }
+  if (options_.explain) {
+    for (CanonicalDatabaseTrace& db : result.trace.databases) {
+      if (db.status != "ok") continue;
+      auto it = phase2_verdicts.find(db.pre_rewriting);
+      if (it == phase2_verdicts.end()) continue;  // Unchecked after failure.
+      db.expansion_contained = it->second;
+      if (it->second) {
+        db.status = "ok";
+        result.trace.left_column.push_back(db.order);
+      } else {
+        db.status = "phase2-failed";
+        result.trace.right_column.push_back(db.order);
+      }
+    }
+  }
+  if (phase2_failed) return result;
+
+  UnionQuery rewriting(std::move(pre_rewritings));
+  if (options_.coalesce_output) rewriting = CoalesceUnion(rewriting);
+
+  // The default frozen-match pruning guarantees Lemma 2 (every
+  // Pre-Rewriting computes the query's head on its canonical database, so
+  // the union contains the query).  The ablation modes do not: without
+  // step 3.4 the Pre-Rewritings can conjoin mutually exclusive view
+  // tuples (e.g. the paper's Example 2 with no pruning joins v1 and v2,
+  // whose expansion demands both X = 0 and X > 0 witnesses).  Check the
+  // missing direction explicitly for those modes.
+  if (options_.pruning != RewriteOptions::Pruning::kFrozenMatch) {
+    UnionQuery expanded;
+    for (const ConjunctiveQuery& d : rewriting.disjuncts()) {
+      expanded.Add(ExpandForCheck(d, views_, options_.simplify_expansions));
+    }
+    if (!CqacContainedInUnion(query_, expanded)) {
+      result.outcome = RewriteOutcome::kNoRewriting;
+      result.failure_reason =
+          "union of Pre-Rewritings does not contain the query (weakened "
+          "pruning mode lost Lemma 2)";
+      return result;
+    }
+  }
+
+  // Optional output minimization: drop disjuncts covered by the others.
+  if (options_.minimize_output && rewriting.size() > 1) {
+    std::vector<ConjunctiveQuery> disjuncts = rewriting.disjuncts();
+    for (size_t i = 0; i < disjuncts.size() && disjuncts.size() > 1;) {
+      UnionQuery others_expanded;
+      for (size_t j = 0; j < disjuncts.size(); ++j) {
+        if (j != i) {
+          others_expanded.Add(ExpandForCheck(disjuncts[j], views_,
+                                             options_.simplify_expansions));
+        }
+      }
+      const ConjunctiveQuery expansion_i =
+          ExpandForCheck(disjuncts[i], views_, options_.simplify_expansions);
+      if (CqacContainedInUnion(expansion_i, others_expanded)) {
+        disjuncts.erase(disjuncts.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+    rewriting = UnionQuery(std::move(disjuncts));
+  }
+
+  result.rewriting = std::move(rewriting);
+  result.outcome = RewriteOutcome::kRewritingFound;
+
+  if (options_.verify) {
+    result.verified = RewritingIsEquivalent(query_, result.rewriting, views_);
+  }
+  return result;
+}
+
+RewriteResult FindEquivalentRewriting(const ConjunctiveQuery& query,
+                                      const ViewSet& views) {
+  return EquivalentRewriter(query, views).Run();
+}
+
+bool RewritingIsEquivalent(const ConjunctiveQuery& query,
+                           const UnionQuery& rewriting, const ViewSet& views) {
+  UnionQuery expanded;
+  for (const ConjunctiveQuery& disjunct : rewriting.disjuncts()) {
+    expanded.Add(ExpandForCheck(disjunct, views, /*simplify=*/true));
+  }
+  return CqacContainedInUnion(query, expanded) &&
+         UnionCqacContained(expanded, UnionQuery({query}));
+}
+
+}  // namespace cqac

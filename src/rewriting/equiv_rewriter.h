@@ -1,0 +1,150 @@
+#ifndef CQAC_REWRITING_EQUIV_REWRITER_H_
+#define CQAC_REWRITING_EQUIV_REWRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/query.h"
+#include "rewriting/explain.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// Options controlling the equivalent-rewriting algorithm.
+struct RewriteOptions {
+  /// How Phase 1 step 3.4 prunes the MCD buckets against the canonical
+  /// database's view tuples.
+  /// Only kFrozenMatch (the default) carries the paper's Lemma 2 — that
+  /// the union of Pre-Rewritings contains the query — by construction.
+  /// The weaker modes exist as ablations; with them the algorithm runs an
+  /// extra final containment check and may (correctly) answer
+  /// kNoRewriting on inputs where the default finds one, demonstrating
+  /// that the paper's pruning step 3.4 is required for completeness-with-
+  /// soundness, not merely for speed.
+  enum class Pruning {
+    /// No pruning: every MCD stays in every bucket.
+    kNone,
+    /// Literal Definition 2: keep an MCD iff its view tuple is a more
+    /// relaxed form of some unfrozen view tuple of the database.
+    kRelaxedForm,
+    /// Definition 2 grounded on the canonical database (the default):
+    /// keep an MCD iff its view tuple, with query variables frozen,
+    /// matches a ground view tuple.
+    kFrozenMatch,
+  };
+  Pruning pruning = Pruning::kFrozenMatch;
+
+  /// Simplify expansions (forced equalities, redundant comparisons) before
+  /// the Phase-2 containment check.  Equivalence-preserving; dramatically
+  /// reduces the number of variables the check enumerates.
+  bool simplify_expansions = true;
+
+  /// Independently verify the produced rewriting (both containment
+  /// directions on the expansions) before returning it.
+  bool verify = false;
+
+  /// Compact the output union with the exact coalescing rules of
+  /// rewriting/coalesce.h (merge adjacent comparison regions, drop
+  /// subsumed disjuncts with equal bodies).  Off by default so the raw
+  /// one-disjunct-per-canonical-database output matches the paper's
+  /// presentation.
+  bool coalesce_output = false;
+
+  /// Greedily drop output disjuncts whose expansion is covered by the
+  /// remaining disjuncts' expansions.  Produces the compact unions shown
+  /// in the paper's examples; costs one union-containment check per
+  /// disjunct.
+  bool minimize_output = false;
+
+  /// Collect a per-canonical-database trace (RewriteResult::trace),
+  /// including the paper's two-column tableau.  Costs memory and a little
+  /// time; off by default.
+  bool explain = false;
+
+  /// Abort (outcome kAborted) once this many canonical databases of the
+  /// query have been enumerated; -1 means no limit.
+  int64_t max_canonical_databases = -1;
+};
+
+/// Counters describing the work one Run() performed.
+struct RewriteStats {
+  int64_t canonical_databases = 0;       // total orders enumerated
+  int64_t kept_canonical_databases = 0;  // on which Q computes its head
+  int64_t v0_variants = 0;               // exported view variants
+  int64_t mcds_formed = 0;               // MCDs over Q0/V0 (formed once)
+  int64_t mcds_kept_total = 0;           // sum over kept databases
+  int64_t view_tuples_total = 0;         // sum of |T_i(V)|
+  int64_t phase2_checks = 0;             // expansion containment checks
+  int64_t phase2_orders = 0;             // orders visited by those checks
+};
+
+enum class RewriteOutcome {
+  kRewritingFound,
+  kNoRewriting,
+  kAborted,  // max_canonical_databases exceeded
+};
+
+/// The algorithm's answer.
+struct RewriteResult {
+  RewriteOutcome outcome = RewriteOutcome::kNoRewriting;
+
+  /// The equivalent rewriting (union of CQACs over the view predicates);
+  /// meaningful iff `outcome == kRewritingFound`.
+  UnionQuery rewriting;
+
+  /// True when options.verify was set and the verification passed.
+  bool verified = false;
+
+  /// Human-readable explanation for kNoRewriting / kAborted.
+  std::string failure_reason;
+
+  /// Per-database trace; populated iff options.explain.
+  RewriteTrace trace;
+
+  RewriteStats stats;
+};
+
+/// The paper's sound and complete algorithm (Section 3) for finding an
+/// equivalent rewriting of a CQAC query using CQAC views, in the language
+/// of unions of CQACs.
+///
+/// Phase 1 enumerates the canonical databases of the query (total orders
+/// of its variables and all constants of query and views), keeps those on
+/// which the query computes its frozen head, and builds one Pre-Rewriting
+/// per database from the MiniCon MCDs of the comparison-stripped query
+/// over the exported view variants, pruned against the database's view
+/// tuples.  Phase 2 attaches each database's order constraints, expands
+/// with respect to the views, and keeps the whole answer only if every
+/// expansion is contained in the query (the two-column tableau).
+class EquivalentRewriter {
+ public:
+  EquivalentRewriter(ConjunctiveQuery query, ViewSet views,
+                     RewriteOptions options = {})
+      : query_(std::move(query)),
+        views_(std::move(views)),
+        options_(options) {}
+
+  /// Runs the algorithm.  Deterministic for fixed inputs.
+  RewriteResult Run();
+
+ private:
+  ConjunctiveQuery query_;
+  ViewSet views_;
+  RewriteOptions options_;
+};
+
+/// Convenience entry point with default options.
+RewriteResult FindEquivalentRewriting(const ConjunctiveQuery& query,
+                                      const ViewSet& views);
+
+/// Independent equivalence check used for verification and tests:
+/// expands `rewriting` with respect to `views` and tests both containment
+/// directions against `query`.
+bool RewritingIsEquivalent(const ConjunctiveQuery& query,
+                           const UnionQuery& rewriting, const ViewSet& views);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_EQUIV_REWRITER_H_

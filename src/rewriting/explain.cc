@@ -1,0 +1,35 @@
+#include "rewriting/explain.h"
+
+namespace cqac {
+
+std::string TableauToString(const RewriteTrace& trace) {
+  std::string out;
+  out += "two-column tableau (Figure 3):\n";
+  out += "  Q satisfies db        | Q does not satisfy db\n";
+  out += "  ----------------------+----------------------\n";
+  const size_t rows =
+      std::max(trace.left_column.size(), trace.right_column.size());
+  for (size_t i = 0; i < rows; ++i) {
+    std::string left =
+        i < trace.left_column.size() ? trace.left_column[i] : "";
+    left.resize(22, ' ');
+    out += "  " + left + "| ";
+    if (i < trace.right_column.size()) out += trace.right_column[i];
+    out += "\n";
+  }
+  out += "\nper-database log:\n";
+  for (const CanonicalDatabaseTrace& db : trace.databases) {
+    out += "  [" + db.order + "] " + db.status;
+    if (db.computes_head) {
+      out += "  tuples=" + std::to_string(db.view_tuples) +
+             " kept_mcds=" + std::to_string(db.kept_mcds);
+    }
+    if (!db.pre_rewriting.empty()) {
+      out += "\n      PR: " + db.pre_rewriting;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cqac

@@ -1,0 +1,61 @@
+#ifndef CQAC_REWRITING_EXPLAIN_H_
+#define CQAC_REWRITING_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cqac {
+
+/// A per-canonical-database trace of the algorithm — the machine-readable
+/// form of the paper's two-column tableau (Figure 3) extended with the
+/// Phase-1 bookkeeping of Figure 2.  Collected when
+/// `RewriteOptions::explain` is set; rendering is via TableauToString.
+struct CanonicalDatabaseTrace {
+  /// The total order, e.g. "A < 8" (the tableau's row label).
+  std::string order;
+
+  /// Whether the query computes its frozen head here (databases that do
+  /// not are skipped by Phase 1 step 2).
+  bool computes_head = false;
+
+  /// |T_i(V)|: ground view tuples the database produced.
+  int64_t view_tuples = 0;
+
+  /// MCDs surviving the step-3.4 pruning (of stats.mcds_formed).
+  int64_t kept_mcds = 0;
+
+  /// Whether MiniCon phase 2 found a covering combination.
+  bool combination_exists = false;
+
+  /// The Pre-Rewriting PR_i' (with the order constraints attached); empty
+  /// when the database was skipped or failed earlier.
+  std::string pre_rewriting;
+
+  /// Phase 2's verdict: the expansion is contained in the query.  In the
+  /// paper's tableau, true places the row's order in the left column
+  /// ("Q satisfies db") and false in the right one — any right-column
+  /// entry kills the rewriting.
+  bool expansion_contained = false;
+
+  /// How far this database got: "skipped", "no-view-tuples", "no-mcr",
+  /// "phase2-failed", or "ok".
+  std::string status;
+};
+
+/// The full trace of one EquivalentRewriter::Run.
+struct RewriteTrace {
+  std::vector<CanonicalDatabaseTrace> databases;
+
+  /// Rows of the final two-column tableau (orders of kept databases),
+  /// partitioned by Phase 2's verdict.
+  std::vector<std::string> left_column;   // expansion contained in Q
+  std::vector<std::string> right_column;  // expansion NOT contained in Q
+};
+
+/// Renders the trace as the paper's tableau plus a per-database log.
+std::string TableauToString(const RewriteTrace& trace);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_EXPLAIN_H_

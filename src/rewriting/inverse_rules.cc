@@ -1,0 +1,254 @@
+#include "rewriting/inverse_rules.h"
+
+// GCC 12 raises a spurious -Wmaybe-uninitialized deep inside
+// std::variant's copy machinery for the EValue alias below.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <variant>
+
+namespace cqac {
+
+namespace {
+
+/// A constant or a ground Skolem term.
+using EValue = std::variant<Rational, SkolemValue>;
+
+bool EValueEquals(const EValue& a, const EValue& b) {
+  if (a.index() != b.index()) return false;
+  if (a.index() == 0) return std::get<0>(a) == std::get<0>(b);
+  return std::get<1>(a) == std::get<1>(b);
+}
+
+struct EValueLess {
+  bool operator()(const EValue& a, const EValue& b) const {
+    if (a.index() != b.index()) return a.index() < b.index();
+    if (a.index() == 0) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) < std::get<1>(b);
+  }
+};
+
+using ETuple = std::vector<EValue>;
+
+struct ETupleLess {
+  bool operator()(const ETuple& a, const ETuple& b) const {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end(), EValueLess());
+  }
+};
+
+using EDatabase = std::map<std::string, std::set<ETuple, ETupleLess>>;
+
+}  // namespace
+
+bool operator<(const SkolemValue& a, const SkolemValue& b) {
+  if (a.view_index != b.view_index) return a.view_index < b.view_index;
+  if (a.variable != b.variable) return a.variable < b.variable;
+  return std::lexicographical_compare(a.args.begin(), a.args.end(),
+                                      b.args.begin(), b.args.end());
+}
+
+std::string SkolemValue::ToString() const {
+  std::string out = "f_v" + std::to_string(view_index) + "," + variable + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string InverseRule::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    if (args[i].constant.has_value()) {
+      out += args[i].constant->ToString();
+    } else if (args[i].is_skolem) {
+      out += "f_v" + std::to_string(view_index) + "," + args[i].variable +
+             "(";
+      for (size_t j = 0; j < view_head_vars.size(); ++j) {
+        if (j > 0) out += ",";
+        out += view_head_vars[j];
+      }
+      out += ")";
+    } else {
+      out += args[i].variable;
+    }
+  }
+  out += ") :- " + view_name + "(";
+  for (size_t j = 0; j < view_head_vars.size(); ++j) {
+    if (j > 0) out += ",";
+    out += view_head_vars[j];
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<InverseRule> BuildInverseRules(const ViewSet& views) {
+  std::vector<InverseRule> rules;
+  for (int v = 0; v < views.size(); ++v) {
+    const ConjunctiveQuery& view = views.views()[v];
+    const std::vector<std::string> head_vars = view.HeadVariables();
+    std::set<std::string> distinguished(head_vars.begin(), head_vars.end());
+    for (const Atom& atom : view.body()) {
+      InverseRule rule;
+      rule.view_index = v;
+      rule.view_name = view.name();
+      rule.view_head_vars = head_vars;
+      rule.predicate = atom.predicate();
+      for (const Term& t : atom.args()) {
+        InverseRuleTerm arg;
+        if (t.IsConstant()) {
+          arg.constant = t.value();
+        } else if (distinguished.count(t.name()) > 0) {
+          arg.is_skolem = false;
+          arg.variable = t.name();
+        } else {
+          arg.is_skolem = true;
+          arg.variable = t.name();
+        }
+        rule.args.push_back(std::move(arg));
+      }
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+namespace {
+
+/// Fires every inverse rule on every tuple of the view extension,
+/// producing the extended fact base.
+EDatabase DeriveFacts(const std::vector<InverseRule>& rules,
+                      const ViewSet& views, const Database& view_extension) {
+  EDatabase facts;
+  for (const InverseRule& rule : rules) {
+    const Relation& extension = view_extension.Get(rule.view_name);
+    const ConjunctiveQuery* view = &views.views()[rule.view_index];
+    for (const Tuple& tuple : extension.tuples()) {
+      // Bind the view's head variables positionally; repeated head
+      // variables and head constants act as filters.
+      std::map<std::string, Rational> binding;
+      bool ok = true;
+      const auto& head_args = view->head().args();
+      if (tuple.size() != head_args.size()) continue;
+      for (size_t i = 0; i < head_args.size() && ok; ++i) {
+        const Term& t = head_args[i];
+        if (t.IsConstant()) {
+          ok = t.value() == tuple[i];
+          continue;
+        }
+        auto [it, inserted] = binding.emplace(t.name(), tuple[i]);
+        if (!inserted) ok = it->second == tuple[i];
+      }
+      if (!ok) continue;
+      // Skolem arguments: the bound head-variable values in order.
+      std::vector<Rational> skolem_args;
+      for (const std::string& hv : rule.view_head_vars) {
+        skolem_args.push_back(binding.at(hv));
+      }
+      ETuple fact;
+      fact.reserve(rule.args.size());
+      for (const InverseRuleTerm& arg : rule.args) {
+        if (arg.constant.has_value()) {
+          fact.push_back(EValue(*arg.constant));
+        } else if (arg.is_skolem) {
+          SkolemValue sk;
+          sk.view_index = rule.view_index;
+          sk.variable = arg.variable;
+          sk.args = skolem_args;
+          fact.push_back(EValue(std::move(sk)));
+        } else {
+          fact.push_back(EValue(binding.at(arg.variable)));
+        }
+      }
+      facts[rule.predicate].insert(std::move(fact));
+    }
+  }
+  return facts;
+}
+
+/// Backtracking evaluation of a plain CQ over the extended fact base.
+class EEvaluator {
+ public:
+  EEvaluator(const ConjunctiveQuery& query, const EDatabase& db)
+      : query_(query), db_(db) {}
+
+  Relation Run() {
+    Relation out;
+    Search(0, &out);
+    return out;
+  }
+
+ private:
+  void Search(size_t depth, Relation* out) {
+    if (depth == query_.body().size()) {
+      Emit(out);
+      return;
+    }
+    const Atom& atom = query_.body()[depth];
+    auto it = db_.find(atom.predicate());
+    if (it == db_.end()) return;
+    for (const ETuple& fact : it->second) {
+      if (fact.size() != atom.args().size()) continue;
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < fact.size() && ok; ++i) {
+        const Term& t = atom.args()[i];
+        if (t.IsConstant()) {
+          ok = fact[i].index() == 0 && std::get<0>(fact[i]) == t.value();
+          continue;
+        }
+        auto bound = bindings_.find(t.name());
+        if (bound == bindings_.end()) {
+          bindings_.emplace(t.name(), fact[i]);
+          newly_bound.push_back(t.name());
+        } else {
+          ok = EValueEquals(bound->second, fact[i]);
+        }
+      }
+      if (ok) Search(depth + 1, out);
+      for (const std::string& v : newly_bound) bindings_.erase(v);
+    }
+  }
+
+  void Emit(Relation* out) {
+    Tuple head;
+    head.reserve(query_.head().args().size());
+    for (const Term& t : query_.head().args()) {
+      if (t.IsConstant()) {
+        head.push_back(t.value());
+        continue;
+      }
+      auto it = bindings_.find(t.name());
+      if (it == bindings_.end()) return;
+      // Certain answers only: Skolem terms in the head disqualify.
+      if (it->second.index() != 0) return;
+      head.push_back(std::get<0>(it->second));
+    }
+    out->Insert(head);
+  }
+
+  const ConjunctiveQuery& query_;
+  const EDatabase& db_;
+  std::map<std::string, EValue> bindings_;
+};
+
+}  // namespace
+
+Relation AnswerViaInverseRules(const ConjunctiveQuery& query,
+                               const ViewSet& views,
+                               const Database& view_extension) {
+  if (!query.IsPlainCQ()) return Relation();
+  const std::vector<InverseRule> rules = BuildInverseRules(views);
+  const EDatabase facts = DeriveFacts(rules, views, view_extension);
+  return EEvaluator(query, facts).Run();
+}
+
+}  // namespace cqac

@@ -1,0 +1,99 @@
+#ifndef CQAC_REWRITING_INVERSE_RULES_H_
+#define CQAC_REWRITING_INVERSE_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "engine/database.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// The inverse-rules algorithm (Duschka & Genesereth), the third classical
+/// rewriting substrate the paper's related work lists next to the bucket
+/// algorithm and MiniCon.  Views are "inverted": each body atom of a view
+/// becomes a rule deriving that base relation from the view's head, with
+/// the view's nondistinguished variables replaced by Skolem terms over the
+/// head variables.  For
+///
+///   v(X,Z) :- e(X,Y), e(Y,Z)
+///
+/// the inverse rules are
+///
+///   e(X, f_v,Y(X,Z)) :- v(X,Z)
+///   e(f_v,Y(X,Z), Z) :- v(X,Z)
+///
+/// Evaluating the original query over the facts these rules derive from a
+/// view extension — and discarding any answer still containing a Skolem
+/// term — yields exactly the certain answers (the maximally-contained
+/// rewriting's output) for plain conjunctive queries and views.
+///
+/// This module is self-contained: Skolem terms only ever appear applied
+/// to concrete values (the view tuples' constants), so a one-level
+/// constant-or-Skolem value domain suffices.
+
+/// One argument position of an inverse rule's head: either a view head
+/// variable carried through, or a Skolem function of all head variables,
+/// standing for one nondistinguished variable of the view.
+struct InverseRuleTerm {
+  bool is_skolem = false;
+
+  /// The carried head variable, or the Skolemized nondistinguished
+  /// variable's name.  Empty when `constant` is set.
+  std::string variable;
+
+  /// A constant of the view body carried through verbatim.
+  std::optional<Rational> constant;
+};
+
+/// One inverse rule: `predicate(args) :- view_name(head vars)`.
+struct InverseRule {
+  int view_index = 0;
+  std::string view_name;
+  std::vector<std::string> view_head_vars;
+  std::string predicate;
+  std::vector<InverseRuleTerm> args;
+
+  /// Renders as `e(X,f_v,Y(X,Z)) :- v(X,Z)`.
+  std::string ToString() const;
+};
+
+/// Builds the inverse rules of every view.  Comparisons are ignored (the
+/// classical algorithm addresses plain CQs; a view's comparisons were
+/// already enforced when its extension was materialized).  Views with
+/// repeated head variables or constants in the head are handled by
+/// matching, not rejected.
+std::vector<InverseRule> BuildInverseRules(const ViewSet& views);
+
+/// A value in the inverse-rules evaluation: a constant or a ground Skolem
+/// term `f_{view,var}(c1, ..., ck)`.
+struct SkolemValue {
+  int view_index = 0;
+  std::string variable;
+  std::vector<Rational> args;
+
+  friend bool operator==(const SkolemValue& a, const SkolemValue& b) {
+    return a.view_index == b.view_index && a.variable == b.variable &&
+           a.args == b.args;
+  }
+  friend bool operator<(const SkolemValue& a, const SkolemValue& b);
+
+  std::string ToString() const;
+};
+
+/// Computes the certain answers of a *plain conjunctive* query over a
+/// view extension (a database whose relations are named after the views),
+/// by applying the inverse rules once and evaluating the query over the
+/// derived facts, keeping only answers free of Skolem terms.
+///
+/// Returns an empty relation when the query has comparisons (out of the
+/// algorithm's scope).
+Relation AnswerViaInverseRules(const ConjunctiveQuery& query,
+                               const ViewSet& views,
+                               const Database& view_extension);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_INVERSE_RULES_H_

@@ -1,0 +1,384 @@
+#include "rewriting/minicon.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace cqac {
+
+std::string Mcd::ToString() const {
+  std::string out = view_tuple.ToString() + " covers {";
+  for (size_t i = 0; i < covered.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(covered[i]);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+/// Search state for forming one MCD.  Value semantics: branches copy it.
+struct McdState {
+  // Query variable images, disjoint by construction: at most one of the
+  // three maps binds a given variable.
+  std::map<std::string, int> image_class;         // -> head-var class id
+  std::map<std::string, std::string> image_nondist;  // -> existential var
+  std::map<std::string, Rational> image_const;    // -> constant
+
+  // Union-find over the view's head variables (the lazily discovered head
+  // homomorphism), plus an optional constant each class is pinned to.
+  std::vector<int> parent;
+  std::vector<std::optional<Rational>> class_const;
+
+  std::set<int> covered;             // query subgoal indices
+  std::set<int> used_view_subgoals;  // one-to-one mapping (footnote 4)
+
+  int Find(int c) {
+    while (parent[c] != c) c = parent[c];
+    return c;
+  }
+
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (class_const[a].has_value() && class_const[b].has_value() &&
+        *class_const[a] != *class_const[b]) {
+      return false;
+    }
+    if (class_const[b].has_value()) class_const[a] = class_const[b];
+    parent[b] = a;
+    return true;
+  }
+
+  bool PinConstant(int c, const Rational& k) {
+    c = Find(c);
+    if (class_const[c].has_value()) return *class_const[c] == k;
+    class_const[c] = k;
+    return true;
+  }
+};
+
+/// Builds MCDs for one (query, view-variant) pair.
+class McdBuilder {
+ public:
+  McdBuilder(const ConjunctiveQuery& query, const ConjunctiveQuery& view,
+             int view_index, std::vector<Mcd>* out)
+      : query_(query), view_(view), view_index_(view_index), out_(out) {
+    // Head-variable classes: one per distinct head variable.
+    for (const std::string& hv : view_.HeadVariables()) {
+      headvar_class_.emplace(hv, static_cast<int>(headvar_class_.size()));
+    }
+    // Subgoal lists per query variable (for the shared-variable property).
+    for (size_t g = 0; g < query_.body().size(); ++g) {
+      for (const Term& t : query_.body()[g].args()) {
+        if (t.IsVariable()) {
+          subgoals_of_[t.name()].insert(static_cast<int>(g));
+        }
+      }
+    }
+    for (const std::string& hv : query_.HeadVariables()) {
+      query_distinguished_.insert(hv);
+    }
+  }
+
+  void Run() {
+    const int num_classes = static_cast<int>(headvar_class_.size());
+    for (size_t g = 0; g < query_.body().size(); ++g) {
+      for (size_t w = 0; w < view_.body().size(); ++w) {
+        McdState state;
+        state.parent.resize(num_classes);
+        for (int i = 0; i < num_classes; ++i) state.parent[i] = i;
+        state.class_const.resize(num_classes);
+        if (!MapSubgoal(static_cast<int>(g), static_cast<int>(w), &state)) {
+          continue;
+        }
+        Close(state);
+      }
+    }
+  }
+
+ private:
+  bool IsViewDistinguished(const std::string& v) const {
+    return headvar_class_.count(v) > 0;
+  }
+
+  /// Unifies query subgoal `g` onto view subgoal `w`, updating `state`.
+  bool MapSubgoal(int g, int w, McdState* state) {
+    const Atom& qa = query_.body()[g];
+    const Atom& va = view_.body()[w];
+    if (qa.predicate() != va.predicate() || qa.arity() != va.arity()) {
+      return false;
+    }
+    if (state->used_view_subgoals.count(w) > 0) return false;
+    for (int i = 0; i < qa.arity(); ++i) {
+      if (!UnifyPosition(qa.args()[i], va.args()[i], state)) return false;
+    }
+    state->covered.insert(g);
+    state->used_view_subgoals.insert(w);
+    return true;
+  }
+
+  bool UnifyPosition(const Term& qt, const Term& vt, McdState* state) {
+    if (qt.IsConstant()) {
+      if (vt.IsConstant()) return qt.value() == vt.value();
+      if (IsViewDistinguished(vt.name())) {
+        return state->PinConstant(headvar_class_.at(vt.name()), qt.value());
+      }
+      return false;  // A plain-CQ existential variable cannot be pinned.
+    }
+    const std::string& x = qt.name();
+    // Case split on x's current image.
+    if (auto it = state->image_const.find(x);
+        it != state->image_const.end()) {
+      if (vt.IsConstant()) return it->second == vt.value();
+      if (IsViewDistinguished(vt.name())) {
+        return state->PinConstant(headvar_class_.at(vt.name()), it->second);
+      }
+      return false;
+    }
+    if (auto it = state->image_class.find(x);
+        it != state->image_class.end()) {
+      if (vt.IsConstant()) return state->PinConstant(it->second, vt.value());
+      if (IsViewDistinguished(vt.name())) {
+        return state->Union(it->second, headvar_class_.at(vt.name()));
+      }
+      return false;  // Distinguished image cannot be equated with an
+                     // existential variable by any head homomorphism.
+    }
+    if (auto it = state->image_nondist.find(x);
+        it != state->image_nondist.end()) {
+      return vt.IsVariable() && vt.name() == it->second;
+    }
+    // x is fresh.
+    if (vt.IsConstant()) {
+      state->image_const.emplace(x, vt.value());
+      return true;
+    }
+    if (IsViewDistinguished(vt.name())) {
+      state->image_class.emplace(x, headvar_class_.at(vt.name()));
+      return true;
+    }
+    // Mapping onto an existential view variable: forbidden for the query's
+    // head variables (MiniCon clause C1), and triggers coverage of every
+    // subgoal containing x (clause C2, the shared-variable property).
+    if (query_distinguished_.count(x) > 0) return false;
+    state->image_nondist.emplace(x, vt.name());
+    return true;
+  }
+
+  /// The subgoals the shared-variable property still requires.
+  std::vector<int> PendingSubgoals(const McdState& state) const {
+    std::set<int> pending;
+    for (const auto& [x, image] : state.image_nondist) {
+      (void)image;
+      auto it = subgoals_of_.find(x);
+      if (it == subgoals_of_.end()) continue;
+      for (int g : it->second) {
+        if (state.covered.count(g) == 0) pending.insert(g);
+      }
+    }
+    return std::vector<int>(pending.begin(), pending.end());
+  }
+
+  /// Depth-first closure: keep mapping pending subgoals until none remain.
+  void Close(const McdState& state) {
+    const std::vector<int> pending = PendingSubgoals(state);
+    if (pending.empty()) {
+      Emit(state);
+      return;
+    }
+    const int g = pending.front();
+    for (size_t w = 0; w < view_.body().size(); ++w) {
+      McdState branch = state;
+      if (MapSubgoal(g, static_cast<int>(w), &branch)) Close(branch);
+    }
+  }
+
+  void Emit(McdState state) {
+    // Build the view tuple: each head position shows the term its class
+    // resolves to.  Preference order per class: lexicographically least
+    // query variable mapped there, else the pinned constant, else a
+    // canonical fresh variable.
+    std::map<int, std::string> class_qvar;
+    for (const auto& [x, c] : state.image_class) {
+      const int root = state.Find(c);
+      auto it = class_qvar.find(root);
+      if (it == class_qvar.end() || x < it->second) class_qvar[root] = x;
+    }
+    std::map<int, std::string> class_fresh;
+    std::vector<Term> args;
+    Substitution constant_bindings;
+    for (const Term& head_term : view_.head().args()) {
+      if (head_term.IsConstant()) {
+        args.push_back(head_term);
+        continue;
+      }
+      const int root = state.Find(headvar_class_.at(head_term.name()));
+      auto qv = class_qvar.find(root);
+      if (qv != class_qvar.end()) {
+        args.push_back(Term::Variable(qv->second));
+        if (state.class_const[root].has_value()) {
+          constant_bindings.Bind(qv->second,
+                                 Term::Constant(*state.class_const[root]));
+        }
+      } else if (state.class_const[root].has_value()) {
+        args.push_back(Term::Constant(*state.class_const[root]));
+      } else {
+        auto fresh = class_fresh.find(root);
+        if (fresh == class_fresh.end()) {
+          fresh = class_fresh
+                      .emplace(root, "_F" + std::to_string(class_fresh.size()))
+                      .first;
+        }
+        args.push_back(Term::Variable(fresh->second));
+      }
+    }
+
+    Mcd mcd;
+    mcd.view_index = view_index_;
+    mcd.view_tuple = Atom(view_.name(), std::move(args));
+    mcd.covered.assign(state.covered.begin(), state.covered.end());
+    for (const auto& [x, c] : state.image_class) {
+      const int root = state.Find(c);
+      auto qv = class_qvar.find(root);
+      mcd.mapping.Bind(x, Term::Variable(qv->second));
+    }
+    for (const auto& [x, k] : state.image_const) {
+      mcd.mapping.Bind(x, Term::Constant(k));
+      constant_bindings.Bind(x, Term::Constant(k));
+    }
+    mcd.mapping = mcd.mapping.ComposeWith(constant_bindings);
+    out_->push_back(std::move(mcd));
+  }
+
+  const ConjunctiveQuery& query_;
+  const ConjunctiveQuery& view_;
+  const int view_index_;
+  std::vector<Mcd>* out_;
+  std::map<std::string, int> headvar_class_;
+  std::map<std::string, std::set<int>> subgoals_of_;
+  std::set<std::string> query_distinguished_;
+};
+
+}  // namespace
+
+std::vector<Mcd> FormMcds(const ConjunctiveQuery& query,
+                          const std::vector<ConjunctiveQuery>& views) {
+  std::vector<Mcd> raw;
+  for (size_t v = 0; v < views.size(); ++v) {
+    // Rename the view apart so its variables never collide with the
+    // query's.
+    const ConjunctiveQuery renamed =
+        views[v].RenameVariables("_v" + std::to_string(v) + "_");
+    McdBuilder(query, renamed, static_cast<int>(v), &raw).Run();
+  }
+  // Deduplicate (same view, coverage, tuple); then give fresh variables
+  // globally unique names so distinct MCDs never share them.
+  std::vector<Mcd> result;
+  std::set<std::string> seen;
+  for (Mcd& mcd : raw) {
+    std::string key = std::to_string(mcd.view_index) + "|" + mcd.ToString();
+    if (!seen.insert(std::move(key)).second) continue;
+    Substitution rename;
+    for (const Term& t : mcd.view_tuple.args()) {
+      if (t.IsVariable() && t.name().rfind("_F", 0) == 0 &&
+          !rename.IsBound(t.name())) {
+        rename.Bind(t.name(),
+                    Term::Variable("_f" + std::to_string(result.size()) + "_" +
+                                   std::to_string(rename.size())));
+      }
+    }
+    mcd.view_tuple = rename.Apply(mcd.view_tuple);
+    result.push_back(std::move(mcd));
+  }
+  return result;
+}
+
+namespace {
+
+bool CombinationSearch(
+    const std::vector<Mcd>& mcds, const std::set<int>& remaining,
+    std::vector<const Mcd*>* chosen,
+    const std::function<bool(const std::vector<const Mcd*>&)>& fn) {
+  if (remaining.empty()) return fn(*chosen);
+  const int target = *remaining.begin();
+  for (const Mcd& mcd : mcds) {
+    if (std::find(mcd.covered.begin(), mcd.covered.end(), target) ==
+        mcd.covered.end()) {
+      continue;
+    }
+    // Pairwise-disjoint coverage: every covered subgoal must still be
+    // uncovered.
+    bool disjoint = true;
+    for (int g : mcd.covered) {
+      if (remaining.count(g) == 0) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    std::set<int> next = remaining;
+    for (int g : mcd.covered) next.erase(g);
+    chosen->push_back(&mcd);
+    const bool keep_going = CombinationSearch(mcds, next, chosen, fn);
+    chosen->pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void ForEachMcdCombination(
+    const std::vector<Mcd>& mcds, int num_subgoals,
+    const std::function<bool(const std::vector<const Mcd*>&)>& fn) {
+  std::set<int> remaining;
+  for (int g = 0; g < num_subgoals; ++g) remaining.insert(g);
+  std::vector<const Mcd*> chosen;
+  CombinationSearch(mcds, remaining, &chosen, fn);
+}
+
+bool McdCombinationExists(const std::vector<Mcd>& mcds, int num_subgoals) {
+  bool exists = false;
+  ForEachMcdCombination(mcds, num_subgoals,
+                        [&exists](const std::vector<const Mcd*>&) {
+                          exists = true;
+                          return false;  // Stop at the first combination.
+                        });
+  return exists;
+}
+
+UnionQuery MiniConRewritings(const ConjunctiveQuery& query,
+                             const std::vector<ConjunctiveQuery>& views) {
+  const std::vector<Mcd> mcds = FormMcds(query, views);
+  UnionQuery result;
+  std::set<std::string> seen;
+  ForEachMcdCombination(
+      mcds, static_cast<int>(query.body().size()),
+      [&](const std::vector<const Mcd*>& combination) {
+        std::vector<Atom> body;
+        Substitution head_fix;
+        for (const Mcd* mcd : combination) {
+          body.push_back(mcd->view_tuple);
+          // Head variables pinned to constants surface in the head.
+          for (const auto& [var, term] : mcd->mapping.bindings()) {
+            if (term.IsConstant() && query.IsDistinguished(var)) {
+              head_fix.Bind(var, term);
+            }
+          }
+        }
+        std::sort(body.begin(), body.end());
+        ConjunctiveQuery disjunct(head_fix.Apply(query.head()),
+                                  std::move(body));
+        if (seen.insert(disjunct.ToString()).second) {
+          result.Add(disjunct);
+        }
+        return true;
+      });
+  return result;
+}
+
+}  // namespace cqac

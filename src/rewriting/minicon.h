@@ -1,0 +1,69 @@
+#ifndef CQAC_REWRITING_MINICON_H_
+#define CQAC_REWRITING_MINICON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "ast/substitution.h"
+
+namespace cqac {
+
+/// A MiniCon Description (Pottinger & Halevy), restricted to one-to-one
+/// subgoal mappings as the paper's footnote 4 prescribes for equivalent
+/// rewritings.  An MCD records that some subset of the query's subgoals
+/// can be answered by one view atom.
+struct Mcd {
+  /// Index of the view (variant) in the MiniCon input list.
+  int view_index = 0;
+
+  /// The view atom usable in a rewriting: head predicate of the view with
+  /// each argument renamed to the query variable mapped there (the paper's
+  /// `mu^-1` renaming), a constant the homomorphism pinned, or a fresh
+  /// variable `_f<k>_<i>` when nothing from the query reaches it.
+  Atom view_tuple;
+
+  /// Sorted indices of the query subgoals this MCD covers.
+  std::vector<int> covered;
+
+  /// The underlying containment-mapping fragment: query variable -> term
+  /// of the (homomorphism-specialized) view.
+  Substitution mapping;
+
+  std::string ToString() const;
+};
+
+/// MiniCon phase 1 for plain CQs: forms all MCDs of `query` over `views`
+/// (typically the AC-stripped query `Q0` and the exported variants `V0`).
+///
+/// Per the MiniCon property, a mapping seed grows until every query
+/// variable sent to a nondistinguished view variable has all its subgoals
+/// covered (the "shared variable property"); query head variables must map
+/// to distinguished view terms.  Mappings are one-to-one on subgoals.
+/// Duplicate MCDs (same view, coverage, and tuple) are emitted once.
+std::vector<Mcd> FormMcds(const ConjunctiveQuery& query,
+                          const std::vector<ConjunctiveQuery>& views);
+
+/// MiniCon phase 2, existence form: true when some subset of `mcds` with
+/// pairwise-disjoint coverage covers all `num_subgoals` query subgoals.
+bool McdCombinationExists(const std::vector<Mcd>& mcds, int num_subgoals);
+
+/// MiniCon phase 2, enumeration form: invokes `fn` with every combination
+/// of MCDs (pairwise-disjoint coverage, covering all subgoals); stops when
+/// `fn` returns false.  Used to generate plain-CQ rewritings (the MCR of
+/// Q0 using V0) and by the enumeration baseline.
+void ForEachMcdCombination(
+    const std::vector<Mcd>& mcds, int num_subgoals,
+    const std::function<bool(const std::vector<const Mcd*>&)>& fn);
+
+/// Convenience: the maximally-contained rewriting of a plain CQ `query`
+/// over plain-CQ `views` as a union of conjunctive queries, one disjunct
+/// per MCD combination (Pottinger & Halevy's phase-2 output, one-to-one
+/// variant).  Each disjunct's body is the combination's view tuples.
+UnionQuery MiniConRewritings(const ConjunctiveQuery& query,
+                             const std::vector<ConjunctiveQuery>& views);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_MINICON_H_

@@ -1,0 +1,61 @@
+#ifndef CQAC_REWRITING_VIEW_SET_H_
+#define CQAC_REWRITING_VIEW_SET_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/query.h"
+
+namespace cqac {
+
+/// A named collection of view definitions (CQACs over the base schema).
+/// Head predicates must be distinct; they double as the view names usable
+/// in rewritings.
+class ViewSet {
+ public:
+  ViewSet() = default;
+  explicit ViewSet(std::vector<ConjunctiveQuery> views)
+      : views_(std::move(views)) {}
+
+  const std::vector<ConjunctiveQuery>& views() const { return views_; }
+  bool empty() const { return views_.empty(); }
+  int size() const { return static_cast<int>(views_.size()); }
+
+  void Add(ConjunctiveQuery view) { views_.push_back(std::move(view)); }
+
+  /// The view whose head predicate is `name`, or nullptr.
+  const ConjunctiveQuery* Find(const std::string& name) const {
+    for (const ConjunctiveQuery& v : views_) {
+      if (v.name() == name) return &v;
+    }
+    return nullptr;
+  }
+
+  /// All constants occurring in any view, ascending and deduplicated.
+  std::vector<Rational> Constants() const {
+    std::vector<Rational> out;
+    for (const ConjunctiveQuery& v : views_) {
+      for (const Rational& c : v.Constants()) {
+        bool present = false;
+        for (const Rational& existing : out) {
+          if (existing == c) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) out.push_back(c);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::vector<ConjunctiveQuery> views_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_VIEW_SET_H_

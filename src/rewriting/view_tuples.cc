@@ -1,0 +1,76 @@
+#include "rewriting/view_tuples.h"
+
+#include "engine/evaluate.h"
+
+namespace cqac {
+
+ViewTuples ComputeViewTuples(const ViewSet& views,
+                             const CanonicalDatabase& cdb) {
+  ViewTuples result;
+  for (const ConjunctiveQuery& view : views.views()) {
+    const Relation output = Evaluate(view, cdb.db);
+    std::vector<Tuple>& ground = result.ground[view.name()];
+    std::vector<Atom>& unfrozen = result.unfrozen[view.name()];
+    for (const Tuple& tuple : output.tuples()) {
+      ground.push_back(tuple);
+      std::vector<Term> args;
+      args.reserve(tuple.size());
+      for (const Rational& value : tuple) {
+        args.push_back(cdb.Unfreeze(value));
+      }
+      unfrozen.push_back(Atom(view.name(), std::move(args)));
+      ++result.total;
+    }
+  }
+  return result;
+}
+
+bool IsMoreRelaxedForm(const Atom& more_relaxed, const Atom& tuple) {
+  if (more_relaxed.predicate() != tuple.predicate() ||
+      more_relaxed.arity() != tuple.arity()) {
+    return false;
+  }
+  std::map<std::string, Term> mapping;
+  for (int i = 0; i < more_relaxed.arity(); ++i) {
+    const Term& from = more_relaxed.args()[i];
+    const Term& to = tuple.args()[i];
+    if (from.IsConstant()) {
+      if (from != to) return false;
+      continue;
+    }
+    auto [it, inserted] = mapping.emplace(from.name(), to);
+    if (!inserted && it->second != to) return false;
+  }
+  return true;
+}
+
+bool MatchesFrozenViewTuple(const Atom& mcd_tuple, const ViewTuples& tuples,
+                            const CanonicalDatabase& cdb) {
+  auto it = tuples.ground.find(mcd_tuple.predicate());
+  if (it == tuples.ground.end()) return false;
+  for (const Tuple& ground : it->second) {
+    if (static_cast<int>(ground.size()) != mcd_tuple.arity()) continue;
+    std::map<std::string, Rational> free_bindings;
+    bool ok = true;
+    for (int i = 0; i < mcd_tuple.arity() && ok; ++i) {
+      const Term& t = mcd_tuple.args()[i];
+      if (t.IsConstant()) {
+        ok = t.value() == ground[i];
+        continue;
+      }
+      auto frozen = cdb.assignment.find(t.name());
+      if (frozen != cdb.assignment.end()) {
+        // Query variable: pinned to its canonical value.
+        ok = frozen->second == ground[i];
+        continue;
+      }
+      // Fresh/existential variable: free, but used consistently.
+      auto [binding, inserted] = free_bindings.emplace(t.name(), ground[i]);
+      if (!inserted) ok = binding->second == ground[i];
+    }
+    if (ok) return true;
+  }
+  return false;
+}
+
+}  // namespace cqac

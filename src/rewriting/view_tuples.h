@@ -1,0 +1,60 @@
+#ifndef CQAC_REWRITING_VIEW_TUPLES_H_
+#define CQAC_REWRITING_VIEW_TUPLES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/atom.h"
+#include "engine/canonical.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+
+/// The view tuples of one canonical database (the paper's `T_i(V)`,
+/// Section 2.5 / Phase 1 step 3.1): for each view, both the ground result
+/// of applying the view definition to the canonical database and its
+/// unfrozen form over the query's variables.
+struct ViewTuples {
+  /// Ground tuples per view name: `V(D_i)` as evaluated (comparisons of
+  /// the view checked against the database's rational values, which
+  /// realizes the paper's "the total order must satisfy the ACs of the
+  /// views").
+  std::map<std::string, std::vector<Tuple>> ground;
+
+  /// Unfrozen tuples per view name: each value mapped back to its order
+  /// block's representative term.
+  std::map<std::string, std::vector<Atom>> unfrozen;
+
+  /// Total number of ground tuples across all views.
+  int64_t total = 0;
+
+  bool empty() const { return total == 0; }
+};
+
+/// Applies every view to the canonical database and unfreezes the results.
+ViewTuples ComputeViewTuples(const ViewSet& views,
+                             const CanonicalDatabase& cdb);
+
+/// Definition 2 of the paper: `more_relaxed` is a more relaxed form of
+/// `tuple` iff there is a containment mapping from `more_relaxed` to
+/// `tuple` (same predicate, variables mapped positionally and
+/// consistently, constants fixed).  E.g. `v(A,B)` is a more relaxed form
+/// of `v(A,A)` but not vice versa.
+bool IsMoreRelaxedForm(const Atom& more_relaxed, const Atom& tuple);
+
+/// The pruning test of Phase 1 step 3.4, grounded on the canonical
+/// database: keeps an MCD view tuple iff, with the query's variables
+/// frozen to their canonical values (fresh/existential variables free but
+/// consistent), it matches some ground tuple that the view produced on the
+/// database.  This is the canonical-database shadow of Definition 2 — the
+/// matched ground tuple unfreezes to a `T_i(V)` member of which the MCD
+/// tuple is a more relaxed form — and it additionally guarantees that the
+/// Pre-Rewriting built from the kept tuples computes the query's frozen
+/// head on the database (the paper's Lemma 2).
+bool MatchesFrozenViewTuple(const Atom& mcd_tuple, const ViewTuples& tuples,
+                            const CanonicalDatabase& cdb);
+
+}  // namespace cqac
+
+#endif  // CQAC_REWRITING_VIEW_TUPLES_H_

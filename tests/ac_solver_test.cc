@@ -1,0 +1,244 @@
+#include "constraints/ac_solver.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+/// Parses the comparison list of a dummy rule body, e.g. "X < Y, Y <= 3".
+std::vector<Comparison> Comps(const std::string& text) {
+  return Parser::MustParseRule("q() :- d(X), " + text).comparisons();
+}
+
+Comparison Comp(const std::string& text) {
+  const std::vector<Comparison> cs = Comps(text);
+  EXPECT_EQ(cs.size(), 1u);
+  return cs[0];
+}
+
+TEST(AcSolverTest, EmptyConjunctionSatisfiable) {
+  EXPECT_TRUE(AcSolver::IsSatisfiable({}));
+}
+
+TEST(AcSolverTest, SingleComparisonSatisfiable) {
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("X < Y")));
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("X = Y")));
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("X != Y")));
+}
+
+TEST(AcSolverTest, DirectContradiction) {
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X < Y, Y < X")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X < X")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X = Y, X != Y")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X < Y, X = Y")));
+}
+
+TEST(AcSolverTest, StrictCycleUnsatisfiable) {
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X <= Y, Y <= Z, Z < X")));
+}
+
+TEST(AcSolverTest, NonStrictCycleForcesEquality) {
+  const std::vector<Comparison> cs = Comps("X <= Y, Y <= Z, Z <= X");
+  EXPECT_TRUE(AcSolver::IsSatisfiable(cs));
+  EXPECT_TRUE(AcSolver::Implies(cs, Comp("X = Z")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X <= Y, Y <= X, X != Y")));
+}
+
+TEST(AcSolverTest, ConstantComparisons) {
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("3 < 5")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("5 < 3")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("3 = 5")));
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("3 != 5")));
+}
+
+TEST(AcSolverTest, VariableBetweenConstants) {
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("3 < X, X < 4")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("4 < X, X < 3")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("3 <= X, X < 3")));
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("3 <= X, X <= 3")));
+}
+
+TEST(AcSolverTest, ChainThroughConstantsUnsatisfiable) {
+  // X >= 5 and a path X <= Y <= 3 contradicts 3 < 5.
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X >= 5, X <= Y, Y <= 3")));
+}
+
+TEST(AcSolverTest, DensityMakesOpenIntervalsSatisfiable) {
+  // Over the integers this would be unsatisfiable; over the rationals the
+  // open interval (3, 4) is inhabited.
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("3 < X, X < 4, X != 3.5")));
+}
+
+TEST(AcSolverTest, EqualityWithConstantPropagates) {
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X = 3, X = 5")));
+  EXPECT_TRUE(AcSolver::IsSatisfiable(Comps("X = 3, Y = 5, X < Y")));
+  EXPECT_FALSE(AcSolver::IsSatisfiable(Comps("X = 3, Y = 5, X > Y")));
+}
+
+TEST(AcSolverTest, ImpliesTransitivity) {
+  EXPECT_TRUE(AcSolver::Implies(Comps("X < Y, Y < Z"), Comp("X < Z")));
+  EXPECT_TRUE(AcSolver::Implies(Comps("X <= Y, Y < Z"), Comp("X < Z")));
+  EXPECT_TRUE(AcSolver::Implies(Comps("X <= Y, Y <= Z"), Comp("X <= Z")));
+  EXPECT_FALSE(AcSolver::Implies(Comps("X <= Y, Y <= Z"), Comp("X < Z")));
+}
+
+TEST(AcSolverTest, ImpliesWithConstants) {
+  EXPECT_TRUE(AcSolver::Implies(Comps("X < 3"), Comp("X < 5")));
+  EXPECT_FALSE(AcSolver::Implies(Comps("X < 5"), Comp("X < 3")));
+  EXPECT_TRUE(AcSolver::Implies(Comps("X <= 3"), Comp("X != 5")));
+  EXPECT_TRUE(AcSolver::Implies(Comps("X < Y, Y < 3"), Comp("X != 7")));
+}
+
+TEST(AcSolverTest, ImpliesNotEqual) {
+  EXPECT_TRUE(AcSolver::Implies(Comps("X < Y"), Comp("X != Y")));
+  EXPECT_FALSE(AcSolver::Implies(Comps("X <= Y"), Comp("X != Y")));
+}
+
+TEST(AcSolverTest, ImpliesEqualityFromSandwich) {
+  EXPECT_TRUE(AcSolver::Implies(Comps("X <= Y, Y <= X"), Comp("X = Y")));
+  EXPECT_TRUE(AcSolver::Implies(Comps("3 <= X, X <= 3"), Comp("X = 3")));
+}
+
+TEST(AcSolverTest, VacuousImplicationFromUnsatAxioms) {
+  EXPECT_TRUE(AcSolver::Implies(Comps("X < X"), Comp("X = 7")));
+}
+
+TEST(AcSolverTest, ImpliesAllAndEquivalent) {
+  EXPECT_TRUE(
+      AcSolver::ImpliesAll(Comps("X = Y, Y = Z"), Comps("X = Z, X <= Z")));
+  EXPECT_TRUE(AcSolver::Equivalent(Comps("X <= Y, Y <= X"), Comps("X = Y")));
+  EXPECT_FALSE(AcSolver::Equivalent(Comps("X <= Y"), Comps("X < Y")));
+}
+
+TEST(AcSolverTest, ImpliedRelationPrefersStrongest) {
+  auto rel = AcSolver::ImpliedRelation(Comps("X <= Y, Y <= X"),
+                                       Term::Variable("X"),
+                                       Term::Variable("Y"));
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, CompOp::kEq);
+
+  rel = AcSolver::ImpliedRelation(Comps("X < Y"), Term::Variable("X"),
+                                  Term::Variable("Y"));
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, CompOp::kLt);
+
+  rel = AcSolver::ImpliedRelation(Comps("X <= Y"), Term::Variable("X"),
+                                  Term::Variable("Y"));
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_EQ(*rel, CompOp::kLe);
+
+  rel = AcSolver::ImpliedRelation(Comps("X < Y"), Term::Variable("X"),
+                                  Term::Variable("Z"));
+  EXPECT_FALSE(rel.has_value());
+}
+
+TEST(AcSolverTest, ForcedEqualitiesCollapseScc) {
+  auto forced = AcSolver::ForcedEqualities(Comps("X <= Y, Y <= X"));
+  ASSERT_TRUE(forced.has_value());
+  // Y is bound to the lexicographically smaller X.
+  EXPECT_TRUE(forced->IsBound("Y"));
+  EXPECT_EQ(forced->Lookup("Y"), Term::Variable("X"));
+  EXPECT_FALSE(forced->IsBound("X"));
+}
+
+TEST(AcSolverTest, ForcedEqualitiesPreferConstantRepresentative) {
+  auto forced = AcSolver::ForcedEqualities(Comps("X <= 3, 3 <= X"));
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->Lookup("X"), Term::Constant(3));
+}
+
+TEST(AcSolverTest, ForcedEqualitiesEmptyWhenNoneForced) {
+  auto forced = AcSolver::ForcedEqualities(Comps("X <= Y, Y <= Z"));
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_TRUE(forced->empty());
+}
+
+TEST(AcSolverTest, ForcedEqualitiesNulloptWhenUnsat) {
+  EXPECT_FALSE(AcSolver::ForcedEqualities(Comps("X < X")).has_value());
+}
+
+TEST(AcSolverTest, ForcedEqualitiesLongCycle) {
+  auto forced =
+      AcSolver::ForcedEqualities(Comps("A <= B, B <= C, C <= D, D <= A"));
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->size(), 3);
+  EXPECT_EQ(forced->Lookup("D"), Term::Variable("A"));
+}
+
+TEST(AcSolverTest, SatisfiedByEvaluatesAssignment) {
+  const std::vector<Comparison> cs = Comps("X < Y, Y <= 3");
+  EXPECT_TRUE(AcSolver::SatisfiedBy(
+      cs, {{"X", Rational(1)}, {"Y", Rational(2)}}));
+  EXPECT_FALSE(AcSolver::SatisfiedBy(
+      cs, {{"X", Rational(2)}, {"Y", Rational(2)}}));
+  EXPECT_FALSE(AcSolver::SatisfiedBy(
+      cs, {{"X", Rational(1)}, {"Y", Rational(4)}}));
+  // Missing binding -> false.
+  EXPECT_FALSE(AcSolver::SatisfiedBy(cs, {{"X", Rational(1)}}));
+}
+
+TEST(AcSolverTest, RemoveRedundantDropsImplied) {
+  const std::vector<Comparison> reduced =
+      AcSolver::RemoveRedundant(Comps("X < Y, Y < Z, X < Z"));
+  EXPECT_EQ(reduced.size(), 2u);
+  EXPECT_TRUE(AcSolver::Equivalent(reduced, Comps("X < Y, Y < Z, X < Z")));
+}
+
+TEST(AcSolverTest, RemoveRedundantDropsConstantTautologies) {
+  const std::vector<Comparison> reduced =
+      AcSolver::RemoveRedundant(Comps("3 < 5, X < Y"));
+  EXPECT_EQ(reduced.size(), 1u);
+  EXPECT_EQ(reduced[0].ToString(), "X < Y");
+}
+
+TEST(AcSolverTest, RemoveRedundantKeepsIndependentConstraints) {
+  const std::vector<Comparison> original = Comps("X < Y, Z < W");
+  EXPECT_EQ(AcSolver::RemoveRedundant(original).size(), 2u);
+}
+
+// Property sweep: implication must agree with brute-force evaluation on a
+// small grid of assignments (soundness direction: implied formulas hold
+// under every satisfying grid assignment).
+class AcSolverGridProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AcSolverGridProperty, ImpliedComparisonsHoldOnGrid) {
+  const int seed = GetParam();
+  // Small deterministic family of axiom sets, varied by seed.
+  const std::vector<std::vector<Comparison>> axiom_sets = {
+      Comps("X < Y, Y <= Z"),
+      Comps("X <= Y, Y <= X"),
+      Comps("X <= 2, 1 <= X"),
+      Comps("X < Y, Y < 3"),
+      Comps("X != Y, X <= Y"),
+  };
+  const std::vector<Comparison>& axioms =
+      axiom_sets[seed % axiom_sets.size()];
+  const std::vector<Comparison> candidates = Comps(
+      "X < Y, X <= Y, X = Y, X != Y, X >= Y, X > Y, X < Z, X <= Z, X < 3, "
+      "X <= 2, Y > 1, Z != 0");
+  for (const Comparison& candidate : candidates) {
+    if (!AcSolver::Implies(axioms, candidate)) continue;
+    // Check the implication on all grid points.
+    for (int x = 0; x <= 4; ++x) {
+      for (int y = 0; y <= 4; ++y) {
+        for (int z = 0; z <= 4; ++z) {
+          const std::map<std::string, Rational> assignment = {
+              {"X", Rational(x)}, {"Y", Rational(y)}, {"Z", Rational(z)}};
+          if (AcSolver::SatisfiedBy(axioms, assignment)) {
+            EXPECT_TRUE(AcSolver::SatisfiedBy({candidate}, assignment))
+                << "axioms satisfied but implied candidate "
+                << candidate.ToString() << " fails at x=" << x << " y=" << y
+                << " z=" << z;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AcSolverGridProperty,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace cqac

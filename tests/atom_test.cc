@@ -1,0 +1,63 @@
+#include "ast/atom.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+Atom MakeAtom() {
+  return Atom("a", {Term::Variable("X"), Term::Constant(3)});
+}
+
+TEST(AtomTest, Accessors) {
+  const Atom a = MakeAtom();
+  EXPECT_EQ(a.predicate(), "a");
+  EXPECT_EQ(a.arity(), 2);
+  EXPECT_EQ(a.args()[0], Term::Variable("X"));
+  EXPECT_EQ(a.args()[1], Term::Constant(3));
+}
+
+TEST(AtomTest, ZeroAryAtom) {
+  const Atom a("q", {});
+  EXPECT_EQ(a.arity(), 0);
+  EXPECT_EQ(a.ToString(), "q()");
+}
+
+TEST(AtomTest, ToString) {
+  EXPECT_EQ(MakeAtom().ToString(), "a(X,3)");
+}
+
+TEST(AtomTest, Equality) {
+  EXPECT_EQ(MakeAtom(), MakeAtom());
+  EXPECT_NE(MakeAtom(), Atom("b", {Term::Variable("X"), Term::Constant(3)}));
+  EXPECT_NE(MakeAtom(), Atom("a", {Term::Variable("Y"), Term::Constant(3)}));
+  EXPECT_NE(MakeAtom(), Atom("a", {Term::Variable("X")}));
+}
+
+TEST(AtomTest, OrderingByPredicateThenArgs) {
+  const Atom a("a", {Term::Variable("X")});
+  const Atom b("b", {Term::Variable("X")});
+  const Atom a2("a", {Term::Variable("Y")});
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a < a2);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(AtomTest, HashConsistentWithEquality) {
+  std::unordered_set<Atom> set;
+  set.insert(MakeAtom());
+  set.insert(MakeAtom());
+  set.insert(Atom("a", {Term::Variable("X")}));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(AtomTest, MutableArgs) {
+  Atom a = MakeAtom();
+  a.mutable_args()[0] = Term::Variable("Z");
+  EXPECT_EQ(a.args()[0], Term::Variable("Z"));
+}
+
+}  // namespace
+}  // namespace cqac

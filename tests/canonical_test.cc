@@ -1,0 +1,113 @@
+#include "engine/canonical.h"
+
+#include "constraints/ac_solver.h"
+#include "engine/evaluate.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(CanonicalTest, FreezeDistinctGivesDistinctValues) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y), b(Y,Z)");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  EXPECT_EQ(cdb.assignment.size(), 3u);
+  EXPECT_NE(cdb.assignment.at("X"), cdb.assignment.at("Y"));
+  EXPECT_NE(cdb.assignment.at("Y"), cdb.assignment.at("Z"));
+  EXPECT_EQ(cdb.db.Get("a").size(), 1);
+  EXPECT_EQ(cdb.db.Get("b").size(), 1);
+}
+
+TEST(CanonicalTest, FreezeDistinctValuesAvoidConstants) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,7), X < 9");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  EXPECT_GT(cdb.assignment.at("X"), Rational(9));
+}
+
+TEST(CanonicalTest, FrozenHeadMatchesAssignment) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X,3) :- a(X,Y)");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  ASSERT_EQ(cdb.frozen_head.size(), 2u);
+  EXPECT_EQ(cdb.frozen_head[0], cdb.assignment.at("X"));
+  EXPECT_EQ(cdb.frozen_head[1], Rational(3));
+}
+
+TEST(CanonicalTest, QueryComputesItsOwnFrozenHead) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X) :- a(X,Y), b(Y,Z)");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  EXPECT_TRUE(ComputesTuple(q, cdb.db, cdb.frozen_head));
+}
+
+TEST(CanonicalTest, UnfreezeRoundTrip) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y)");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  EXPECT_EQ(cdb.Unfreeze(cdb.assignment.at("X")), Term::Variable("X"));
+  EXPECT_EQ(cdb.Unfreeze(cdb.assignment.at("Y")), Term::Variable("Y"));
+  // Unknown values unfreeze to themselves.
+  EXPECT_EQ(cdb.Unfreeze(Rational(1000)), Term::Constant(1000));
+}
+
+TEST(CanonicalTest, UnfreezeAtom) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y)");
+  const CanonicalDatabase cdb = FreezeQueryDistinct(q);
+  const Atom ground("v", {Term::Constant(cdb.assignment.at("Y")),
+                          Term::Constant(cdb.assignment.at("X"))});
+  EXPECT_EQ(cdb.UnfreezeAtom(ground).ToString(), "v(Y,X)");
+}
+
+TEST(CanonicalTest, FreezeUnderOrderMergesBlockVariables) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y)");
+  // Find the order X = Y (one block, no constants).
+  const auto orders = EnumerateTotalOrders({"X", "Y"}, {});
+  for (const TotalOrder& order : orders) {
+    if (order.ToString() != "X = Y") continue;
+    const CanonicalDatabase cdb = FreezeQuery(q, order);
+    EXPECT_EQ(cdb.assignment.at("X"), cdb.assignment.at("Y"));
+    // The single a-fact has both positions equal.
+    const Tuple expected = {cdb.assignment.at("X"), cdb.assignment.at("X")};
+    EXPECT_TRUE(cdb.db.Get("a").Contains(expected));
+    // Unfreezing yields the block representative X.
+    EXPECT_EQ(cdb.Unfreeze(cdb.assignment.at("Y")), Term::Variable("X"));
+    return;
+  }
+  FAIL() << "order X = Y not enumerated";
+}
+
+TEST(CanonicalTest, FreezeUnderOrderWithConstantBlock) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X)");
+  const auto orders = EnumerateTotalOrders({"X"}, {Rational(8)});
+  for (const TotalOrder& order : orders) {
+    const CanonicalDatabase cdb = FreezeQuery(q, order);
+    if (order.ToString() == "X = 8") {
+      EXPECT_EQ(cdb.assignment.at("X"), Rational(8));
+      EXPECT_EQ(cdb.Unfreeze(Rational(8)), Term::Constant(8));
+    } else if (order.ToString() == "X < 8") {
+      EXPECT_LT(cdb.assignment.at("X"), Rational(8));
+    } else {
+      EXPECT_GT(cdb.assignment.at("X"), Rational(8));
+    }
+  }
+}
+
+// Paper Example 5: the canonical databases of
+// Q: q(A) :- r(A), s(A,A), A <= 8 with the view constant set {8} are
+// D1 = {r(a), s(a,a)} with a<8, D2 with a=8, D3 with a>8; only D1 and D2
+// satisfy the comparison.
+TEST(CanonicalTest, PaperExample5CanonicalDatabases) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(A) :- r(A), s(A,A), A <= 8");
+  const auto orders = EnumerateTotalOrders(q.AllVariables(), {Rational(8)});
+  ASSERT_EQ(orders.size(), 3u);
+  int satisfying = 0;
+  for (const TotalOrder& order : orders) {
+    const CanonicalDatabase cdb = FreezeQuery(q, order);
+    EXPECT_EQ(cdb.db.Get("r").size(), 1);
+    EXPECT_EQ(cdb.db.Get("s").size(), 1);
+    if (AcSolver::SatisfiedBy(q.comparisons(), cdb.assignment)) ++satisfying;
+  }
+  EXPECT_EQ(satisfying, 2);
+}
+
+}  // namespace
+}  // namespace cqac

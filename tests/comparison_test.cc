@@ -1,0 +1,93 @@
+#include "ast/comparison.h"
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+constexpr CompOp kAllOps[] = {CompOp::kLt, CompOp::kLe, CompOp::kEq,
+                              CompOp::kNe, CompOp::kGe, CompOp::kGt};
+
+TEST(CompOpTest, ToStringRoundTrip) {
+  EXPECT_EQ(CompOpToString(CompOp::kLt), "<");
+  EXPECT_EQ(CompOpToString(CompOp::kLe), "<=");
+  EXPECT_EQ(CompOpToString(CompOp::kEq), "=");
+  EXPECT_EQ(CompOpToString(CompOp::kNe), "!=");
+  EXPECT_EQ(CompOpToString(CompOp::kGe), ">=");
+  EXPECT_EQ(CompOpToString(CompOp::kGt), ">");
+}
+
+TEST(CompOpTest, FlipIsAnInvolution) {
+  for (CompOp op : kAllOps) {
+    EXPECT_EQ(FlipOp(FlipOp(op)), op) << CompOpToString(op);
+  }
+}
+
+TEST(CompOpTest, NegateIsAnInvolution) {
+  for (CompOp op : kAllOps) {
+    EXPECT_EQ(NegateOp(NegateOp(op)), op) << CompOpToString(op);
+  }
+}
+
+TEST(CompOpTest, FlipAgreesWithSemantics) {
+  // a op b  iff  b flip(op) a, checked over a 5x5 grid.
+  for (CompOp op : kAllOps) {
+    for (int a = -2; a <= 2; ++a) {
+      for (int b = -2; b <= 2; ++b) {
+        EXPECT_EQ(EvalCompOp(Rational(a), op, Rational(b)),
+                  EvalCompOp(Rational(b), FlipOp(op), Rational(a)))
+            << a << CompOpToString(op) << b;
+      }
+    }
+  }
+}
+
+TEST(CompOpTest, NegateAgreesWithSemantics) {
+  for (CompOp op : kAllOps) {
+    for (int a = -2; a <= 2; ++a) {
+      for (int b = -2; b <= 2; ++b) {
+        EXPECT_NE(EvalCompOp(Rational(a), op, Rational(b)),
+                  EvalCompOp(Rational(a), NegateOp(op), Rational(b)))
+            << a << CompOpToString(op) << b;
+      }
+    }
+  }
+}
+
+TEST(CompOpTest, OpenOperators) {
+  EXPECT_TRUE(IsOpenOp(CompOp::kLt));
+  EXPECT_TRUE(IsOpenOp(CompOp::kGt));
+  EXPECT_FALSE(IsOpenOp(CompOp::kLe));
+  EXPECT_FALSE(IsOpenOp(CompOp::kGe));
+  EXPECT_FALSE(IsOpenOp(CompOp::kEq));
+  EXPECT_FALSE(IsOpenOp(CompOp::kNe));
+}
+
+TEST(CompOpTest, EvalOnRationals) {
+  EXPECT_TRUE(EvalCompOp(Rational(1, 3), CompOp::kLt, Rational(1, 2)));
+  EXPECT_FALSE(EvalCompOp(Rational(1, 2), CompOp::kLt, Rational(1, 2)));
+  EXPECT_TRUE(EvalCompOp(Rational(1, 2), CompOp::kLe, Rational(2, 4)));
+  EXPECT_TRUE(EvalCompOp(Rational(1, 2), CompOp::kEq, Rational(2, 4)));
+  EXPECT_TRUE(EvalCompOp(Rational(1, 2), CompOp::kNe, Rational(1, 3)));
+}
+
+TEST(ComparisonTest, FlippedAndNegated) {
+  const Comparison c(Term::Variable("X"), CompOp::kLt, Term::Constant(5));
+  EXPECT_EQ(c.Flipped().ToString(), "5 > X");
+  EXPECT_EQ(c.Negated().ToString(), "X >= 5");
+  EXPECT_EQ(c.Flipped().Flipped(), c);
+  EXPECT_EQ(c.Negated().Negated(), c);
+}
+
+TEST(ComparisonTest, EqualityAndOrdering) {
+  const Comparison a(Term::Variable("X"), CompOp::kLt, Term::Constant(5));
+  const Comparison b(Term::Variable("X"), CompOp::kLe, Term::Constant(5));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Comparison(Term::Variable("X"), CompOp::kLt,
+                          Term::Constant(5)));
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,141 @@
+#include "rewriting/contained_rewriter.h"
+
+#include "containment/cqac_containment.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "rewriting/equiv_rewriter.h"
+#include "rewriting/expansion.h"
+
+namespace cqac {
+namespace {
+
+ViewSet Views(const std::string& program) {
+  return ViewSet(Parser::MustParseProgram(program));
+}
+
+UnionQuery ExpandedSimplified(const UnionQuery& rewriting,
+                              const ViewSet& views) {
+  UnionQuery out;
+  for (const ConjunctiveQuery& d : rewriting.disjuncts()) {
+    std::optional<ConjunctiveQuery> s = SimplifyQuery(Expand(d, views));
+    if (s.has_value()) out.Add(*std::move(s));
+  }
+  return out;
+}
+
+TEST(IsSemiIntervalTest, Classification) {
+  EXPECT_TRUE(IsSemiInterval(
+      Parser::MustParseRule("q(X) :- a(X), X < 7, X >= 0")));
+  EXPECT_TRUE(IsSemiInterval(Parser::MustParseRule("q(X) :- a(X)")));
+  EXPECT_TRUE(IsSemiInterval(
+      Parser::MustParseRule("q(X) :- a(X,Y), X = Y, 3 <= X")));
+  EXPECT_FALSE(IsSemiInterval(
+      Parser::MustParseRule("q(X) :- a(X,Y), X < Y")));
+}
+
+TEST(ContainedRewriterTest, EveryDisjunctIsContained) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views(
+      "v1(T) :- a(T), T < 3.\n"
+      "v2(T) :- a(T), T < 10.");
+  const ContainedRewriteResult result = FindContainedRewritings(q, views);
+  ASSERT_GT(result.rewriting.size(), 0);
+  for (const ConjunctiveQuery& d : result.rewriting.disjuncts()) {
+    std::optional<ConjunctiveQuery> exp = SimplifyQuery(Expand(d, views));
+    ASSERT_TRUE(exp.has_value());
+    EXPECT_TRUE(CqacContainedCanonical(*exp, q)) << d.ToString();
+  }
+}
+
+TEST(ContainedRewriterTest, CoversTheSemiIntervalMaximum) {
+  // v2 restricted by X < 7 IS the query; the MCR must be equivalent.
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views("v2(T) :- a(T), T < 10.");
+  const ContainedRewriteResult result = FindContainedRewritings(q, views);
+  const UnionQuery expanded = ExpandedSimplified(result.rewriting, views);
+  EXPECT_TRUE(CqacContainedInUnion(q, expanded));
+  EXPECT_TRUE(UnionCqacContained(expanded, UnionQuery({q})));
+}
+
+TEST(ContainedRewriterTest, PartialCoverageStaysPartial) {
+  // Only values below 3 are reachable: contained but not equivalent.
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views("v1(T) :- a(T), T < 3.");
+  const ContainedRewriteResult result = FindContainedRewritings(q, views);
+  ASSERT_GT(result.rewriting.size(), 0);
+  const UnionQuery expanded = ExpandedSimplified(result.rewriting, views);
+  EXPECT_TRUE(UnionCqacContained(expanded, UnionQuery({q})));
+  EXPECT_FALSE(CqacContainedInUnion(q, expanded));
+  // And the equivalent rewriter agrees nothing equivalent exists.
+  EXPECT_EQ(FindEquivalentRewriting(q, views).outcome,
+            RewriteOutcome::kNoRewriting);
+}
+
+TEST(ContainedRewriterTest, MatchesEquivalentRewriterWhenOneExists) {
+  // Paper Example 2: the MCR and the equivalent rewriting coincide.
+  const ConjunctiveQuery q = Parser::MustParseRule("q() :- p(X), X >= 0");
+  const ViewSet views = Views(
+      "v1() :- p(X), X = 0.\n"
+      "v2() :- p(X), X > 0.");
+  const ContainedRewriteResult contained =
+      FindContainedRewritings(q, views);
+  const UnionQuery expanded = ExpandedSimplified(contained.rewriting, views);
+  EXPECT_TRUE(UnionCqacEquivalent(UnionQuery({q}), expanded));
+}
+
+TEST(ContainedRewriterTest, EmptyWhenNoViewApplies) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ContainedRewriteResult result =
+      FindContainedRewritings(q, Views("v(T) :- b(T)."));
+  EXPECT_TRUE(result.rewriting.empty());
+}
+
+TEST(ContainedRewriterTest, UnsatisfiableQueryYieldsEmptyUnion) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X) :- a(X), X < 0, X > 1");
+  const ContainedRewriteResult result =
+      FindContainedRewritings(q, Views("v(T) :- a(T)."));
+  EXPECT_TRUE(result.rewriting.empty());
+}
+
+TEST(ContainedRewriterTest, SubsumptionShrinksOutput) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views("v2(T) :- a(T), T < 10.");
+  ContainedRewriteOptions keep_all;
+  keep_all.drop_subsumed = false;
+  const ContainedRewriteResult full =
+      FindContainedRewritings(q, views, keep_all);
+  const ContainedRewriteResult reduced = FindContainedRewritings(q, views);
+  EXPECT_LE(reduced.rewriting.size(), full.rewriting.size());
+  // Same semantics either way.
+  EXPECT_TRUE(UnionCqacEquivalent(ExpandedSimplified(full.rewriting, views),
+                                  ExpandedSimplified(reduced.rewriting,
+                                                     views)));
+}
+
+TEST(ContainedRewriterTest, MaxDisjunctsTruncates) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views(
+      "v1(T) :- a(T), T < 3.\n"
+      "v2(T) :- a(T), T < 10.");
+  ContainedRewriteOptions options;
+  options.max_disjuncts = 1;
+  options.drop_subsumed = false;
+  const ContainedRewriteResult result =
+      FindContainedRewritings(q, views, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.rewriting.size(), 1);
+}
+
+TEST(ContainedRewriterTest, CountersPopulated) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views("v2(T) :- a(T), T < 10.");
+  const ContainedRewriteResult result = FindContainedRewritings(q, views);
+  EXPECT_GT(result.combinations, 0);
+  EXPECT_GT(result.candidates, 0);
+  EXPECT_GT(result.kept, 0);
+  EXPECT_FALSE(result.truncated);
+}
+
+}  // namespace
+}  // namespace cqac

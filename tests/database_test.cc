@@ -1,0 +1,77 @@
+#include "engine/database.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(RelationTest, InsertAndContains) {
+  Relation r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Insert({Rational(1), Rational(2)}));
+  EXPECT_FALSE(r.Insert({Rational(1), Rational(2)}));  // Duplicate.
+  EXPECT_TRUE(r.Insert({Rational(1), Rational(3)}));
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_TRUE(r.Contains({Rational(1), Rational(2)}));
+  EXPECT_FALSE(r.Contains({Rational(2), Rational(1)}));
+}
+
+TEST(RelationTest, SubsetOf) {
+  Relation small, big;
+  small.Insert({Rational(1)});
+  big.Insert({Rational(1)});
+  big.Insert({Rational(2)});
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.SubsetOf(small));
+  EXPECT_TRUE(Relation().SubsetOf(small));
+}
+
+TEST(RelationTest, EqualityAndToString) {
+  Relation a, b;
+  a.Insert({Rational(1), Rational(2)});
+  b.Insert({Rational(1), Rational(2)});
+  EXPECT_EQ(a, b);
+  b.Insert({Rational(3), Rational(4)});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(b.ToString(), "{(1,2), (3,4)}");
+}
+
+TEST(DatabaseTest, InsertAndGet) {
+  Database db;
+  db.Insert("a", {Rational(1), Rational(2)});
+  db.Insert("b", {Rational(3)});
+  EXPECT_EQ(db.Get("a").size(), 1);
+  EXPECT_EQ(db.Get("b").size(), 1);
+  EXPECT_TRUE(db.Get("missing").empty());
+}
+
+TEST(DatabaseTest, InsertFactRequiresGroundAtom) {
+  Database db;
+  EXPECT_TRUE(db.InsertFact(Atom("a", {Term::Constant(1)})));
+  EXPECT_FALSE(db.InsertFact(Atom("a", {Term::Variable("X")})));
+  EXPECT_EQ(db.Get("a").size(), 1);
+}
+
+TEST(DatabaseTest, ZeroArityFact) {
+  Database db;
+  EXPECT_TRUE(db.InsertFact(Atom("flag", {})));
+  EXPECT_TRUE(db.Get("flag").Contains({}));
+}
+
+TEST(DatabaseTest, ToStringListsRelations) {
+  Database db;
+  db.Insert("a", {Rational(1)});
+  db.Insert("b", {Rational(2)});
+  EXPECT_EQ(db.ToString(), "a: {(1)}\nb: {(2)}");
+}
+
+TEST(DatabaseTest, RationalValuedTuples) {
+  Database db;
+  db.Insert("p", {Rational(1, 2)});
+  EXPECT_TRUE(db.Get("p").Contains({Rational(2, 4)}));
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,123 @@
+#include "rewriting/enumeration.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "rewriting/equiv_rewriter.h"
+
+namespace cqac {
+namespace {
+
+ViewSet Views(const std::string& program) {
+  return ViewSet(Parser::MustParseProgram(program));
+}
+
+TEST(EnumerationTest, PaperExample2Union) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q() :- p(X), X >= 0");
+  const ViewSet views = Views(
+      "v1() :- p(X), X = 0.\n"
+      "v2() :- p(X), X > 0.");
+  EnumerationOptions options;
+  options.max_subgoals = 2;
+  const EnumerationResult result =
+      EnumerateEquivalentRewriting(q, views, options);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(RewritingIsEquivalent(q, result.rewriting, views));
+  EXPECT_GE(result.rewriting.size(), 2);
+}
+
+TEST(EnumerationTest, PaperExample5) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(A) :- r(A), s(A,A), A <= 8");
+  const ViewSet views =
+      Views("v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.");
+  const EnumerationResult result = EnumerateEquivalentRewriting(q, views);
+  ASSERT_TRUE(result.found);
+  EXPECT_TRUE(RewritingIsEquivalent(q, result.rewriting, views));
+}
+
+TEST(EnumerationTest, NoRewritingWithinBudget) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(A) :- r(A), s(A,A), A <= 8");
+  const ViewSet views =
+      Views("v(Y,Z) :- r(X), s(Y,Z), Y <= X, X < Z.");
+  const EnumerationResult result = EnumerateEquivalentRewriting(q, views);
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.budget_exhausted);  // Exhausted the space, not budget.
+}
+
+TEST(EnumerationTest, BudgetExhaustion) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X,Y) :- a(X,Z), b(Z,Y), X < 5");
+  const ViewSet views = Views(
+      "v1(T,W) :- a(T,W).\n"
+      "v2(W,U) :- b(W,U).");
+  EnumerationOptions options;
+  options.max_candidates = 1;
+  options.max_fresh_variables = 1;
+  const EnumerationResult result =
+      EnumerateEquivalentRewriting(q, views, options);
+  EXPECT_FALSE(result.found);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_EQ(result.candidate_bodies, 2);  // Stopped on the second body.
+}
+
+TEST(EnumerationTest, UnsatisfiableQueryTriviallyRewritten) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X) :- a(X), X < 0, X > 1");
+  const EnumerationResult result =
+      EnumerateEquivalentRewriting(q, Views("v(T) :- a(T)."));
+  EXPECT_TRUE(result.found);
+  EXPECT_TRUE(result.rewriting.empty());
+}
+
+TEST(EnumerationTest, CountersAdvance) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X), X < 7");
+  const ViewSet views = Views("v(T) :- a(T).");
+  const EnumerationResult result = EnumerateEquivalentRewriting(q, views);
+  ASSERT_TRUE(result.found);
+  EXPECT_GT(result.candidate_bodies, 0);
+  EXPECT_GT(result.candidate_disjuncts, 0);
+  EXPECT_GT(result.containment_checks, 0);
+}
+
+// The baseline and the paper's algorithm must agree on existence for
+// small instances.
+struct AgreementCase {
+  const char* query;
+  const char* views;
+};
+
+class EnumerationAgreementProperty
+    : public ::testing::TestWithParam<AgreementCase> {};
+
+TEST_P(EnumerationAgreementProperty, AgreesWithEquivalentRewriter) {
+  const ConjunctiveQuery q = Parser::MustParseRule(GetParam().query);
+  const ViewSet views = Views(GetParam().views);
+
+  const RewriteResult fast = FindEquivalentRewriting(q, views);
+  EnumerationOptions options;
+  options.max_subgoals = 2;
+  const EnumerationResult naive =
+      EnumerateEquivalentRewriting(q, views, options);
+
+  EXPECT_EQ(fast.outcome == RewriteOutcome::kRewritingFound, naive.found)
+      << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnumerationAgreementProperty,
+    ::testing::Values(
+        AgreementCase{"q(X) :- a(X), X < 7", "v(T) :- a(T)."},
+        AgreementCase{"q(X) :- a(X), X < 7", "v(T) :- a(T), T < 3."},
+        AgreementCase{"q(X) :- a(X), X < 7", "v(T) :- a(T), T < 7."},
+        AgreementCase{"q(A) :- r(A), s(A,A), A <= 8",
+                      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z."},
+        AgreementCase{"q(A) :- r(A), s(A,A), A <= 8",
+                      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X < Z."},
+        AgreementCase{"q() :- p(X), X >= 0",
+                      "v1() :- p(X), X = 0.\nv2() :- p(X), X > 0."},
+        AgreementCase{"q() :- p(X), X >= 0",
+                      "v1() :- p(X), X > 0.\nv2() :- p(X), X > 1."}));
+
+}  // namespace
+}  // namespace cqac

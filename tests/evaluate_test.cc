@@ -1,0 +1,183 @@
+#include "engine/evaluate.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+Database MakeChainDb() {
+  // a: 1->2->3->4 edges.
+  Database db;
+  db.Insert("a", {Rational(1), Rational(2)});
+  db.Insert("a", {Rational(2), Rational(3)});
+  db.Insert("a", {Rational(3), Rational(4)});
+  return db;
+}
+
+TEST(EvaluateTest, SingleAtomProjection) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,Y)"), db);
+  EXPECT_EQ(result.size(), 3);
+  EXPECT_TRUE(result.Contains({Rational(1)}));
+  EXPECT_TRUE(result.Contains({Rational(3)}));
+  EXPECT_FALSE(result.Contains({Rational(4)}));
+}
+
+TEST(EvaluateTest, JoinTwoAtoms) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X,Z) :- a(X,Y), a(Y,Z)"), db);
+  EXPECT_EQ(result.size(), 2);
+  EXPECT_TRUE(result.Contains({Rational(1), Rational(3)}));
+  EXPECT_TRUE(result.Contains({Rational(2), Rational(4)}));
+}
+
+TEST(EvaluateTest, ConstantInBodyFilters) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(Y) :- a(2,Y)"), db);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_TRUE(result.Contains({Rational(3)}));
+}
+
+TEST(EvaluateTest, ConstantInHeadEmitted) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(9,X) :- a(X,2)"), db);
+  EXPECT_TRUE(result.Contains({Rational(9), Rational(1)}));
+}
+
+TEST(EvaluateTest, RepeatedVariableInAtom) {
+  Database db;
+  db.Insert("a", {Rational(1), Rational(1)});
+  db.Insert("a", {Rational(1), Rational(2)});
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,X)"), db);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_TRUE(result.Contains({Rational(1)}));
+}
+
+TEST(EvaluateTest, ComparisonFiltersResults) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,Y), X < 3"), db);
+  EXPECT_EQ(result.size(), 2);
+  EXPECT_FALSE(result.Contains({Rational(3)}));
+}
+
+TEST(EvaluateTest, ComparisonBetweenVariables) {
+  Database db;
+  db.Insert("p", {Rational(1), Rational(5)});
+  db.Insert("p", {Rational(5), Rational(1)});
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X,Y) :- p(X,Y), X < Y"), db);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_TRUE(result.Contains({Rational(1), Rational(5)}));
+}
+
+TEST(EvaluateTest, ConstantOnlyComparisonTrue) {
+  const Database db = MakeChainDb();
+  EXPECT_EQ(Evaluate(Parser::MustParseRule("q(X) :- a(X,Y), 1 < 2"), db).size(),
+            3);
+}
+
+TEST(EvaluateTest, ConstantOnlyComparisonFalse) {
+  const Database db = MakeChainDb();
+  EXPECT_TRUE(
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,Y), 2 < 1"), db).empty());
+}
+
+TEST(EvaluateTest, BooleanQueryTrue) {
+  const Database db = MakeChainDb();
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q() :- a(X,Y), X < Y"), db);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_TRUE(result.Contains({}));
+}
+
+TEST(EvaluateTest, BooleanQueryFalse) {
+  const Database db = MakeChainDb();
+  EXPECT_TRUE(
+      Evaluate(Parser::MustParseRule("q() :- a(X,X)"), db).empty());
+}
+
+TEST(EvaluateTest, EmptyDatabaseYieldsNothing) {
+  Database db;
+  EXPECT_TRUE(Evaluate(Parser::MustParseRule("q(X) :- a(X,Y)"), db).empty());
+}
+
+TEST(EvaluateTest, RationalValuesCompareExactly) {
+  Database db;
+  db.Insert("p", {Rational(1, 3)});
+  db.Insert("p", {Rational(1, 2)});
+  const Relation result =
+      Evaluate(Parser::MustParseRule("q(X) :- p(X), X < 0.4"), db);
+  EXPECT_EQ(result.size(), 1);
+  EXPECT_TRUE(result.Contains({Rational(1, 3)}));
+}
+
+TEST(EvaluateTest, UnsafeComparisonVariableYieldsNothing) {
+  const Database db = MakeChainDb();
+  EXPECT_TRUE(
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,Y), W < 3"), db).empty());
+}
+
+TEST(EvaluateTest, UnionEvaluation) {
+  const Database db = MakeChainDb();
+  const UnionQuery u = Parser::MustParseUnion(
+      "q(X) :- a(X, 2).\n"
+      "q(X) :- a(3, X).");
+  const Relation result = Evaluate(u, db);
+  EXPECT_EQ(result.size(), 2);
+  EXPECT_TRUE(result.Contains({Rational(1)}));
+  EXPECT_TRUE(result.Contains({Rational(4)}));
+}
+
+TEST(EvaluateTest, ComputesTupleFindsTarget) {
+  const Database db = MakeChainDb();
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X,Z) :- a(X,Y), a(Y,Z)");
+  EXPECT_TRUE(ComputesTuple(q, db, {Rational(1), Rational(3)}));
+  EXPECT_FALSE(ComputesTuple(q, db, {Rational(1), Rational(4)}));
+}
+
+TEST(EvaluateTest, ComputesTupleArityMismatch) {
+  const Database db = MakeChainDb();
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y)");
+  EXPECT_FALSE(ComputesTuple(q, db, {Rational(1), Rational(2)}));
+}
+
+TEST(EvaluateTest, ComputesTupleOnUnion) {
+  const Database db = MakeChainDb();
+  const UnionQuery u = Parser::MustParseUnion(
+      "q(X) :- a(X, 2).\n"
+      "q(X) :- a(3, X).");
+  EXPECT_TRUE(ComputesTuple(u, db, {Rational(4)}));
+  EXPECT_FALSE(ComputesTuple(u, db, {Rational(2)}));
+}
+
+TEST(EvaluateTest, SelfJoinTriangle) {
+  Database db;
+  db.Insert("e", {Rational(1), Rational(2)});
+  db.Insert("e", {Rational(2), Rational(3)});
+  db.Insert("e", {Rational(3), Rational(1)});
+  const ConjunctiveQuery triangle =
+      Parser::MustParseRule("q() :- e(X,Y), e(Y,Z), e(Z,X)");
+  EXPECT_FALSE(Evaluate(triangle, db).empty());
+  Database no_triangle;
+  no_triangle.Insert("e", {Rational(1), Rational(2)});
+  no_triangle.Insert("e", {Rational(2), Rational(3)});
+  EXPECT_TRUE(Evaluate(triangle, no_triangle).empty());
+}
+
+TEST(EvaluateTest, DuplicateSubgoalsHarmless) {
+  const Database db = MakeChainDb();
+  const Relation once = Evaluate(Parser::MustParseRule("q(X) :- a(X,Y)"), db);
+  const Relation twice =
+      Evaluate(Parser::MustParseRule("q(X) :- a(X,Y), a(X,Y)"), db);
+  EXPECT_EQ(once, twice);
+}
+
+}  // namespace
+}  // namespace cqac

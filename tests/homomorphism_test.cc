@@ -1,0 +1,143 @@
+#include "containment/homomorphism.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(UnifyAtomOntoTest, SimpleVariableBinding) {
+  const Atom from = Parser::MustParseRule("x() :- a(X,Y)").body()[0];
+  const Atom to = Parser::MustParseRule("x() :- a(1,2)").body()[0];
+  const auto s = UnifyAtomOnto(from, to, Substitution());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->Lookup("X"), Term::Constant(1));
+  EXPECT_EQ(s->Lookup("Y"), Term::Constant(2));
+}
+
+TEST(UnifyAtomOntoTest, PredicateMismatch) {
+  const Atom from("a", {Term::Variable("X")});
+  const Atom to("b", {Term::Variable("X")});
+  EXPECT_FALSE(UnifyAtomOnto(from, to, Substitution()).has_value());
+}
+
+TEST(UnifyAtomOntoTest, ArityMismatch) {
+  const Atom from("a", {Term::Variable("X")});
+  const Atom to("a", {Term::Variable("X"), Term::Variable("Y")});
+  EXPECT_FALSE(UnifyAtomOnto(from, to, Substitution()).has_value());
+}
+
+TEST(UnifyAtomOntoTest, ConstantMustMatchExactly) {
+  const Atom from("a", {Term::Constant(3)});
+  EXPECT_TRUE(
+      UnifyAtomOnto(from, Atom("a", {Term::Constant(3)}), Substitution())
+          .has_value());
+  EXPECT_FALSE(
+      UnifyAtomOnto(from, Atom("a", {Term::Constant(4)}), Substitution())
+          .has_value());
+  EXPECT_FALSE(
+      UnifyAtomOnto(from, Atom("a", {Term::Variable("X")}), Substitution())
+          .has_value());
+}
+
+TEST(UnifyAtomOntoTest, RepeatedVariableNeedsEqualImages) {
+  const Atom from("a", {Term::Variable("X"), Term::Variable("X")});
+  EXPECT_TRUE(UnifyAtomOnto(
+                  from, Atom("a", {Term::Constant(1), Term::Constant(1)}),
+                  Substitution())
+                  .has_value());
+  EXPECT_FALSE(UnifyAtomOnto(
+                   from, Atom("a", {Term::Constant(1), Term::Constant(2)}),
+                   Substitution())
+                   .has_value());
+}
+
+TEST(UnifyAtomOntoTest, RespectsBaseBindings) {
+  Substitution base;
+  base.Bind("X", Term::Constant(7));
+  const Atom from("a", {Term::Variable("X")});
+  EXPECT_FALSE(
+      UnifyAtomOnto(from, Atom("a", {Term::Constant(3)}), base).has_value());
+  EXPECT_TRUE(
+      UnifyAtomOnto(from, Atom("a", {Term::Constant(7)}), base).has_value());
+}
+
+TEST(ContainmentMappingTest, IdentityMappingExists) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- a(X,Y)");
+  EXPECT_TRUE(FindContainmentMapping(q, q).has_value());
+}
+
+TEST(ContainmentMappingTest, MapsOntoSpecializedQuery) {
+  const ConjunctiveQuery general = Parser::MustParseRule("q(X) :- a(X,Y)");
+  const ConjunctiveQuery special = Parser::MustParseRule("q(X) :- a(X,X)");
+  // general -> special exists (Y -> X); witnesses special ⊑ general.
+  EXPECT_TRUE(FindContainmentMapping(general, special).has_value());
+  // special -> general requires a(X,X) in the target; absent.
+  EXPECT_FALSE(FindContainmentMapping(special, general).has_value());
+}
+
+TEST(ContainmentMappingTest, HeadMustMapExactly) {
+  const ConjunctiveQuery q1 = Parser::MustParseRule("q(X) :- a(X,Y)");
+  const ConjunctiveQuery q2 = Parser::MustParseRule("q(Y) :- a(X,Y)");
+  // Mapping q1 -> q2 must send X to Y (head) and then a(Y, ?) must match
+  // a(X,Y): fails.
+  EXPECT_FALSE(FindContainmentMapping(q1, q2).has_value());
+}
+
+TEST(ContainmentMappingTest, HeadConstantsMustAgree) {
+  const ConjunctiveQuery q1 = Parser::MustParseRule("q(3) :- a(X)");
+  const ConjunctiveQuery q2 = Parser::MustParseRule("q(4) :- a(X)");
+  EXPECT_FALSE(FindContainmentMapping(q1, q2).has_value());
+  const ConjunctiveQuery q3 = Parser::MustParseRule("q(3) :- a(Y)");
+  EXPECT_TRUE(FindContainmentMapping(q1, q3).has_value());
+}
+
+TEST(ContainmentMappingTest, HeadVariableOntoConstant) {
+  const ConjunctiveQuery q1 = Parser::MustParseRule("q(X) :- a(X)");
+  const ConjunctiveQuery q2 = Parser::MustParseRule("q(3) :- a(3)");
+  EXPECT_TRUE(FindContainmentMapping(q1, q2).has_value());
+}
+
+TEST(ContainmentMappingTest, AllMappingsEnumerated) {
+  const ConjunctiveQuery from = Parser::MustParseRule("q() :- a(X)");
+  const ConjunctiveQuery to = Parser::MustParseRule("q() :- a(U), a(V)");
+  const std::vector<Substitution> all = AllContainmentMappings(from, to);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(ContainmentMappingTest, MappingCountMultiplies) {
+  const ConjunctiveQuery from = Parser::MustParseRule("q() :- a(X), b(Y)");
+  const ConjunctiveQuery to =
+      Parser::MustParseRule("q() :- a(U), a(V), b(W), b(S), b(T)");
+  EXPECT_EQ(AllContainmentMappings(from, to).size(), 6u);
+}
+
+TEST(ContainmentMappingTest, SharedVariableConstrainsChoices) {
+  const ConjunctiveQuery from = Parser::MustParseRule("q() :- a(X), b(X)");
+  const ConjunctiveQuery to =
+      Parser::MustParseRule("q() :- a(1), a(2), b(2), b(3)");
+  const std::vector<Substitution> all = AllContainmentMappings(from, to);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].Lookup("X"), Term::Constant(2));
+}
+
+TEST(ContainmentMappingTest, ForEachStopsEarly) {
+  const ConjunctiveQuery from = Parser::MustParseRule("q() :- a(X)");
+  const ConjunctiveQuery to =
+      Parser::MustParseRule("q() :- a(1), a(2), a(3)");
+  int seen = 0;
+  ForEachContainmentMapping(from, to, [&seen](const Substitution&) {
+    ++seen;
+    return seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(ContainmentMappingTest, NoMappingWhenPredicateMissing) {
+  const ConjunctiveQuery from = Parser::MustParseRule("q() :- c(X)");
+  const ConjunctiveQuery to = Parser::MustParseRule("q() :- a(X)");
+  EXPECT_FALSE(FindContainmentMapping(from, to).has_value());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,85 @@
+#include "ast/hypergraph.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(HypergraphTest, SingleAtomIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(Parser::MustParseRule("q(X) :- a(X,Y)")));
+}
+
+TEST(HypergraphTest, EmptyBodyIsAcyclic) {
+  ConjunctiveQuery q(Atom("q", {}), {});
+  EXPECT_TRUE(IsAcyclic(q));
+}
+
+TEST(HypergraphTest, ChainIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(
+      Parser::MustParseRule("q(X,W) :- a(X,Y), b(Y,Z), c(Z,W)")));
+}
+
+TEST(HypergraphTest, StarIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(
+      Parser::MustParseRule("q(X) :- a(X,Y), b(X,Z), c(X,W)")));
+}
+
+TEST(HypergraphTest, TriangleIsCyclic) {
+  EXPECT_FALSE(IsAcyclic(
+      Parser::MustParseRule("q() :- a(X,Y), b(Y,Z), c(Z,X)")));
+}
+
+TEST(HypergraphTest, PaperExample3HeptagonIsCyclic) {
+  EXPECT_FALSE(IsAcyclic(Parser::MustParseRule(
+      "q() :- a(X1,X2), a(X2,X3), a(X3,X4), a(X4,X5), a(X5,X6), a(X6,X7), "
+      "a(X7,X1)")));
+}
+
+TEST(HypergraphTest, TriangleWithCoveringEdgeIsAcyclic) {
+  // A ternary atom covering all three variables absorbs the cycle
+  // (alpha-acyclicity is not closed under subqueries).
+  EXPECT_TRUE(IsAcyclic(Parser::MustParseRule(
+      "q() :- a(X,Y), b(Y,Z), c(Z,X), t(X,Y,Z)")));
+}
+
+TEST(HypergraphTest, ComparisonsDoNotCreateCycles) {
+  EXPECT_TRUE(IsAcyclic(Parser::MustParseRule(
+      "q(X) :- a(X,Y), b(Y,Z), X < Z, Z < X")));
+}
+
+TEST(HypergraphTest, EliminationOrderCoversAllAtoms) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X,W) :- a(X,Y), b(Y,Z), c(Z,W)");
+  const std::vector<int> order = GyoEliminationOrder(q);
+  ASSERT_EQ(order.size(), 3u);
+  std::set<int> distinct(order.begin(), order.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(HypergraphTest, EliminationOrderEmptyForCyclic) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q() :- a(X,Y), b(Y,Z), c(Z,X)");
+  EXPECT_TRUE(GyoEliminationOrder(q).empty());
+}
+
+TEST(HypergraphTest, JoinVariables) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X) :- a(X,Y), b(Y,Z), c(W)");
+  EXPECT_EQ(JoinVariables(q), (std::vector<std::string>{"Y"}));
+}
+
+TEST(HypergraphTest, JoinVariablesOfSelfJoin) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q() :- a(X,Y), a(Y,X)");
+  const std::vector<std::string> joins = JoinVariables(q);
+  EXPECT_EQ(joins.size(), 2u);
+}
+
+TEST(HypergraphTest, DuplicateAtomsStayAcyclic) {
+  EXPECT_TRUE(IsAcyclic(Parser::MustParseRule("q() :- a(X,Y), a(X,Y)")));
+}
+
+}  // namespace
+}  // namespace cqac

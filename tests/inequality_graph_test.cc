@@ -1,0 +1,110 @@
+#include "constraints/inequality_graph.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+std::vector<Comparison> Comps(const std::string& text) {
+  return Parser::MustParseRule("q() :- d(X), " + text).comparisons();
+}
+
+TEST(InequalityGraphTest, ImpliesLeqAlongPath) {
+  const InequalityGraph g(Comps("A <= B, B <= C"));
+  EXPECT_TRUE(g.ImpliesLeq(Term::Variable("A"), Term::Variable("C")));
+  EXPECT_FALSE(g.ImpliesLeq(Term::Variable("C"), Term::Variable("A")));
+}
+
+TEST(InequalityGraphTest, ImpliesLeqReflexive) {
+  const InequalityGraph g(Comps("A <= B"));
+  EXPECT_TRUE(g.ImpliesLeq(Term::Variable("A"), Term::Variable("A")));
+}
+
+TEST(InequalityGraphTest, ImpliesLtRequiresStrictEdge) {
+  const InequalityGraph g(Comps("A <= B, B < C, C <= D"));
+  EXPECT_TRUE(g.ImpliesLt(Term::Variable("A"), Term::Variable("D")));
+  EXPECT_FALSE(g.ImpliesLt(Term::Variable("A"), Term::Variable("B")));
+}
+
+TEST(InequalityGraphTest, EqualityGivesBothDirections) {
+  const InequalityGraph g(Comps("A = B"));
+  EXPECT_TRUE(g.ImpliesLeq(Term::Variable("A"), Term::Variable("B")));
+  EXPECT_TRUE(g.ImpliesLeq(Term::Variable("B"), Term::Variable("A")));
+}
+
+TEST(InequalityGraphTest, FlippedOperatorsNormalized) {
+  const InequalityGraph g(Comps("B >= A, C > B"));
+  EXPECT_TRUE(g.ImpliesLeq(Term::Variable("A"), Term::Variable("C")));
+  EXPECT_TRUE(g.ImpliesLt(Term::Variable("A"), Term::Variable("C")));
+}
+
+TEST(InequalityGraphTest, ConstantOrderEdgesAreImplicit) {
+  const InequalityGraph g(Comps("A <= 3, 5 <= B"));
+  EXPECT_TRUE(g.ImpliesLt(Term::Variable("A"), Term::Variable("B")));
+}
+
+// The paper's Example 5 view: v(Y, Z) :- r(X), s(Y, Z), Y <= X, X <= Z.
+// X is nondistinguished, sandwiched between distinguished Y and Z.
+TEST(InequalityGraphTest, Example5LeqGeqSets) {
+  const InequalityGraph g(Comps("Y <= X, X <= Z"));
+  const std::vector<std::string> distinguished = {"Y", "Z"};
+  EXPECT_EQ(g.LeqSet("X", distinguished), (std::vector<std::string>{"Y"}));
+  EXPECT_EQ(g.GeqSet("X", distinguished), (std::vector<std::string>{"Z"}));
+  EXPECT_TRUE(g.IsExportable("X", distinguished));
+}
+
+// Example 10's view has Y <= X, X < Z: the strict edge kills the geq-set.
+TEST(InequalityGraphTest, Example10NotExportable) {
+  const InequalityGraph g(Comps("Y <= X, X < Z"));
+  const std::vector<std::string> distinguished = {"Y", "Z"};
+  EXPECT_EQ(g.LeqSet("X", distinguished), (std::vector<std::string>{"Y"}));
+  EXPECT_TRUE(g.GeqSet("X", distinguished).empty());
+  EXPECT_FALSE(g.IsExportable("X", distinguished));
+}
+
+// Example 6's view: v(X, Y, W) with X <= Z1, W <= Z1, Z1 <= Y.
+TEST(InequalityGraphTest, Example6ExportableThroughEitherSide) {
+  const InequalityGraph g(Comps("X <= Z1, W <= Z1, Z1 <= Y"));
+  const std::vector<std::string> distinguished = {"X", "Y", "W"};
+  const std::vector<std::string> leq = g.LeqSet("Z1", distinguished);
+  // Both X and W sit below Z1 with pure <= paths.
+  EXPECT_EQ(leq, (std::vector<std::string>{"X", "W"}));
+  EXPECT_EQ(g.GeqSet("Z1", distinguished), (std::vector<std::string>{"Y"}));
+  EXPECT_TRUE(g.IsExportable("Z1", distinguished));
+}
+
+TEST(InequalityGraphTest, IntermediateDistinguishedVariableBlocksPath) {
+  // Y <= D <= X with D distinguished: Y is not in the leq-set (every path
+  // passes through D); D is.
+  const InequalityGraph g(Comps("Y <= D, D <= X"));
+  const std::vector<std::string> distinguished = {"Y", "D"};
+  EXPECT_EQ(g.LeqSet("X", distinguished), (std::vector<std::string>{"D"}));
+}
+
+TEST(InequalityGraphTest, StrictEdgeOnAlternatePathDisqualifies) {
+  // Y <= X via one path but also Y < X via another: equating would be
+  // inconsistent, so Y must not be in the leq-set.
+  const InequalityGraph g(Comps("Y <= X, Y <= M, M < X"));
+  const std::vector<std::string> distinguished = {"Y", "Z"};
+  EXPECT_TRUE(g.LeqSet("X", distinguished).empty());
+}
+
+TEST(InequalityGraphTest, UnknownVariableHasEmptySets) {
+  const InequalityGraph g(Comps("A <= B"));
+  EXPECT_TRUE(g.LeqSet("Q", {"A", "B"}).empty());
+  EXPECT_FALSE(g.IsExportable("Q", {"A", "B"}));
+}
+
+TEST(InequalityGraphTest, NotEqualIgnored) {
+  const InequalityGraph g(Comps("A != B"));
+  EXPECT_FALSE(g.ImpliesLeq(Term::Variable("A"), Term::Variable("B")));
+}
+
+TEST(InequalityGraphTest, VariableEqualToDistinguishedIsExportable) {
+  const InequalityGraph g(Comps("X = Y"));
+  EXPECT_TRUE(g.IsExportable("X", {"Y"}));
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,150 @@
+#include "rewriting/inverse_rules.h"
+
+#include "engine/evaluate.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "rewriting/expansion.h"
+#include "rewriting/minicon.h"
+
+namespace cqac {
+namespace {
+
+ViewSet Views(const std::string& program) {
+  return ViewSet(Parser::MustParseProgram(program));
+}
+
+TEST(InverseRulesTest, RulesForPathView) {
+  const ViewSet views = Views("v(X,Z) :- e(X,Y), e(Y,Z).");
+  const std::vector<InverseRule> rules = BuildInverseRules(views);
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].ToString(), "e(X,f_v0,Y(X,Z)) :- v(X,Z)");
+  EXPECT_EQ(rules[1].ToString(), "e(f_v0,Y(X,Z),Z) :- v(X,Z)");
+}
+
+TEST(InverseRulesTest, OneRulePerBodyAtomAcrossViews) {
+  const ViewSet views = Views(
+      "v1(X) :- a(X,Y).\n"
+      "v2(X,Z) :- a(X,Y), b(Y,Z), c(Z).");
+  const std::vector<InverseRule> rules = BuildInverseRules(views);
+  EXPECT_EQ(rules.size(), 4u);
+}
+
+TEST(InverseRulesTest, ConstantsCarriedThrough) {
+  const ViewSet views = Views("v(X) :- a(X,3).");
+  const std::vector<InverseRule> rules = BuildInverseRules(views);
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].ToString(), "a(X,3) :- v(X)");
+}
+
+TEST(InverseRulesTest, IdentityViewAnswersDirectly) {
+  const ViewSet views = Views("v(X,Y) :- e(X,Y).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(2)});
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X,Y) :- e(X,Y)"), views, extension);
+  EXPECT_EQ(answers.ToString(), "{(1,2)}");
+}
+
+TEST(InverseRulesTest, SkolemJoinRecoversThePath) {
+  // The classic: v stores endpoints of 2-paths; the query asks exactly
+  // for 2-paths, so joining through the Skolem midpoint recovers them.
+  const ViewSet views = Views("v(X,Z) :- e(X,Y), e(Y,Z).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(3)});
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X,Z) :- e(X,Y), e(Y,Z)"), views, extension);
+  EXPECT_EQ(answers.ToString(), "{(1,3)}");
+}
+
+TEST(InverseRulesTest, SkolemsNeverLeakIntoAnswers) {
+  // A 3-path cannot be certain from 2-path endpoints: the candidate
+  // answers all contain Skolem midpoints and must be discarded.
+  const ViewSet views = Views("v(X,Z) :- e(X,Y), e(Y,Z).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(3)});
+  extension.Insert("v", {Rational(3), Rational(5)});
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X,W) :- e(X,Y), e(Y,Z), e(Z,W)"), views,
+      extension);
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST(InverseRulesTest, FourPathFromTwoTwoPaths) {
+  // A 4-path IS certain: chain the two view tuples through the shared
+  // constant 3.
+  const ViewSet views = Views("v(X,Z) :- e(X,Y), e(Y,Z).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(3)});
+  extension.Insert("v", {Rational(3), Rational(5)});
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X,W) :- e(X,A), e(A,B), e(B,C), e(C,W)"),
+      views, extension);
+  EXPECT_EQ(answers.ToString(), "{(1,5)}");
+}
+
+TEST(InverseRulesTest, DistinctViewTuplesGetDistinctSkolems) {
+  // Two v-tuples produce two different midpoints; a query demanding a
+  // common midpoint finds none.
+  const ViewSet views = Views("v(X,Z) :- e(X,Y), e(Y,Z).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(3)});
+  extension.Insert("v", {Rational(1), Rational(4)});
+  // The query demands one midpoint reaching both Z and W.
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(Z,W) :- e(Y,Z), e(Y,W)"), views, extension);
+  // (3,3) and (4,4) are certain (each midpoint reaches itself twice);
+  // (3,4) would need the two view tuples' midpoints to coincide, which
+  // cannot be asserted — the Skolem terms are distinct.
+  EXPECT_TRUE(answers.Contains({Rational(3), Rational(3)}));
+  EXPECT_TRUE(answers.Contains({Rational(4), Rational(4)}));
+  EXPECT_FALSE(answers.Contains({Rational(3), Rational(4)}));
+}
+
+TEST(InverseRulesTest, QueriesWithComparisonsRejected) {
+  const ViewSet views = Views("v(X,Y) :- e(X,Y).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(2)});
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X) :- e(X,Y), X < 5"), views, extension);
+  EXPECT_TRUE(answers.empty());
+}
+
+TEST(InverseRulesTest, AgreesWithMiniConRewritingAnswers) {
+  // On plain CQs, the certain answers equal the union of the MiniCon
+  // rewritings evaluated over the same view extension.
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X,Z) :- a(X,Y), b(Y,Z)");
+  const std::vector<ConjunctiveQuery> view_list = Parser::MustParseProgram(
+      "v1(T,W) :- a(T,W).\n"
+      "v2(W,U) :- b(W,U).\n"
+      "v3(T,U) :- a(T,W), b(W,U).");
+  const ViewSet views(view_list);
+
+  Database extension;
+  extension.Insert("v1", {Rational(1), Rational(2)});
+  extension.Insert("v2", {Rational(2), Rational(3)});
+  extension.Insert("v3", {Rational(7), Rational(9)});
+
+  const Relation certain = AnswerViaInverseRules(q, views, extension);
+
+  const UnionQuery rewritings = MiniConRewritings(q, view_list);
+  const Relation via_minicon = Evaluate(rewritings, extension);
+
+  EXPECT_EQ(certain, via_minicon) << "certain: " << certain.ToString()
+                                  << " minicon: " << via_minicon.ToString();
+  EXPECT_TRUE(certain.Contains({Rational(1), Rational(3)}));
+  EXPECT_TRUE(certain.Contains({Rational(7), Rational(9)}));
+}
+
+TEST(InverseRulesTest, RepeatedHeadVariableFiltersExtension) {
+  const ViewSet views = Views("v(X,X) :- e(X,X).");
+  Database extension;
+  extension.Insert("v", {Rational(1), Rational(1)});
+  extension.Insert("v", {Rational(1), Rational(2)});  // Inconsistent row.
+  const Relation answers = AnswerViaInverseRules(
+      Parser::MustParseRule("q(X) :- e(X,X)"), views, extension);
+  EXPECT_EQ(answers.ToString(), "{(1)}");
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,146 @@
+// Corner cases for the full rewriting pipeline: shapes that stress the
+// machinery in ways the paper's examples do not (constants in heads,
+// boolean queries over 0-ary views, duplicate subgoals, views with
+// comparisons between two variables, equality comparisons, self joins).
+// Every found rewriting is independently verified.
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "rewriting/equiv_rewriter.h"
+
+namespace cqac {
+namespace {
+
+RewriteResult Rewrite(const std::string& query, const std::string& views) {
+  RewriteOptions options;
+  options.verify = true;
+  return EquivalentRewriter(Parser::MustParseRule(query),
+                            ViewSet(Parser::MustParseProgram(views)),
+                            options)
+      .Run();
+}
+
+void ExpectFoundAndVerified(const RewriteResult& result) {
+  ASSERT_EQ(result.outcome, RewriteOutcome::kRewritingFound)
+      << result.failure_reason;
+  EXPECT_TRUE(result.verified);
+}
+
+TEST(RewriterCornerCases, ConstantInQueryHead) {
+  ExpectFoundAndVerified(
+      Rewrite("q(3,X) :- a(X), X < 5", "v(T) :- a(T), T < 5."));
+}
+
+TEST(RewriterCornerCases, ConstantInQueryBody) {
+  ExpectFoundAndVerified(
+      Rewrite("q(X) :- a(X,3), X < 5", "v(T,U) :- a(T,U)."));
+}
+
+TEST(RewriterCornerCases, ZeroAryViewAndBooleanQuery) {
+  ExpectFoundAndVerified(
+      Rewrite("q() :- a(X), X > 0", "v() :- a(X), X > 0."));
+}
+
+TEST(RewriterCornerCases, BooleanQueryNeedsStrictlyLooserViewFails) {
+  const RewriteResult result =
+      Rewrite("q() :- a(X), X > 0", "v() :- a(X), X >= 0.");
+  EXPECT_EQ(result.outcome, RewriteOutcome::kNoRewriting);
+}
+
+TEST(RewriterCornerCases, DuplicateQuerySubgoals) {
+  // Deduplicated semantics: the duplicate changes nothing.
+  ExpectFoundAndVerified(
+      Rewrite("q(X) :- a(X), a(X), X < 5", "v(T) :- a(T)."));
+}
+
+TEST(RewriterCornerCases, SelfJoinNeedsBothOrientations) {
+  ExpectFoundAndVerified(Rewrite("q(X) :- e(X,Y), e(Y,X), X < 9",
+                                 "v(T,U) :- e(T,U)."));
+}
+
+TEST(RewriterCornerCases, ViewWithVariableToVariableComparison) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X,Y) :- e(X,Y), X <= Y", "v(T,U) :- e(T,U), T <= U."));
+}
+
+TEST(RewriterCornerCases, ViewComparisonSplitsQuerySpace) {
+  // The query has no comparison; the two views partition by X vs Y.
+  ExpectFoundAndVerified(Rewrite(
+      "q(X,Y) :- e(X,Y)",
+      "vle(T,U) :- e(T,U), T <= U.\n"
+      "vgt(T,U) :- e(T,U), T > U."));
+}
+
+TEST(RewriterCornerCases, GapInViewPartitionFails) {
+  const RewriteResult result = Rewrite(
+      "q(X,Y) :- e(X,Y)",
+      "vlt(T,U) :- e(T,U), T < U.\n"
+      "vgt(T,U) :- e(T,U), T > U.");
+  EXPECT_EQ(result.outcome, RewriteOutcome::kNoRewriting);
+}
+
+TEST(RewriterCornerCases, EqualityComparisonInQuery) {
+  ExpectFoundAndVerified(
+      Rewrite("q(X) :- a(X,Y), Y = 4", "v(T,U) :- a(T,U)."));
+}
+
+TEST(RewriterCornerCases, EqualityComparisonInView) {
+  ExpectFoundAndVerified(
+      Rewrite("q(X) :- a(X,Y), Y = 4", "v(T,U) :- a(T,U), U = 4."));
+}
+
+TEST(RewriterCornerCases, ViewHeadConstantUnusable) {
+  // The view only exports rows with first attribute pinned to 9; the
+  // query ranges over everything.
+  const RewriteResult result =
+      Rewrite("q(X) :- a(X)", "v(T) :- a(T), T = 9.");
+  EXPECT_EQ(result.outcome, RewriteOutcome::kNoRewriting);
+}
+
+TEST(RewriterCornerCases, TwoCopiesOfSameViewJoined) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X,Z) :- e(X,Y), e(Y,Z), X < 3",
+      "v(T,U) :- e(T,U)."));
+}
+
+TEST(RewriterCornerCases, RationalConstants) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X) :- a(X), X <= 2.5", "v(T) :- a(T), T <= 2.5."));
+}
+
+TEST(RewriterCornerCases, TwoConstantsInterleaved) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X) :- a(X), X > 1, X < 4",
+      "v(T) :- a(T), T > 1, T < 4."));
+}
+
+TEST(RewriterCornerCases, ViewsNarrowerUnionCoversQuery) {
+  // Two overlapping windows jointly cover the query's window.
+  ExpectFoundAndVerified(Rewrite(
+      "q(X) :- a(X), X > 1, X < 4",
+      "v1(T) :- a(T), T > 1, T < 3.\n"
+      "v2(T) :- a(T), T >= 3, T < 4."));
+}
+
+TEST(RewriterCornerCases, ViewsNarrowerWithGapFails) {
+  const RewriteResult result = Rewrite(
+      "q(X) :- a(X), X > 1, X < 4",
+      "v1(T) :- a(T), T > 1, T < 3.\n"
+      "v2(T) :- a(T), T > 3, T < 4.");
+  EXPECT_EQ(result.outcome, RewriteOutcome::kNoRewriting);
+}
+
+TEST(RewriterCornerCases, TernaryPredicates) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X,Z) :- t(X,Y,Z), Y < 5",
+      "v(A,C) :- t(A,B,C), B < 5."));
+}
+
+TEST(RewriterCornerCases, RepeatedVariableInQueryAtom) {
+  ExpectFoundAndVerified(Rewrite(
+      "q(X) :- t(X,X,Y), Y < 5",
+      "v(A,B,C) :- t(A,B,C), C < 5."));
+}
+
+}  // namespace
+}  // namespace cqac

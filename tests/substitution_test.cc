@@ -1,0 +1,99 @@
+#include "ast/substitution.h"
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(SubstitutionTest, EmptyIsIdentity) {
+  Substitution s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Apply(Term::Variable("X")), Term::Variable("X"));
+  EXPECT_EQ(s.Apply(Term::Constant(3)), Term::Constant(3));
+}
+
+TEST(SubstitutionTest, BindAndLookup) {
+  Substitution s;
+  s.Bind("X", Term::Constant(5));
+  EXPECT_TRUE(s.IsBound("X"));
+  EXPECT_FALSE(s.IsBound("Y"));
+  EXPECT_EQ(s.Lookup("X"), Term::Constant(5));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(SubstitutionTest, BindOverwrites) {
+  Substitution s;
+  s.Bind("X", Term::Constant(5));
+  s.Bind("X", Term::Variable("Y"));
+  EXPECT_EQ(s.Lookup("X"), Term::Variable("Y"));
+}
+
+TEST(SubstitutionTest, Unbind) {
+  Substitution s;
+  s.Bind("X", Term::Constant(5));
+  s.Unbind("X");
+  EXPECT_FALSE(s.IsBound("X"));
+}
+
+TEST(SubstitutionTest, ApplyToTermLeavesConstantsAlone) {
+  Substitution s;
+  s.Bind("X", Term::Variable("Y"));
+  EXPECT_EQ(s.Apply(Term::Constant(9)), Term::Constant(9));
+  EXPECT_EQ(s.Apply(Term::Variable("X")), Term::Variable("Y"));
+  EXPECT_EQ(s.Apply(Term::Variable("Z")), Term::Variable("Z"));
+}
+
+TEST(SubstitutionTest, ApplyToAtom) {
+  Substitution s;
+  s.Bind("X", Term::Constant(1));
+  s.Bind("Y", Term::Variable("Z"));
+  const Atom a("p", {Term::Variable("X"), Term::Variable("Y"),
+                     Term::Variable("W")});
+  const Atom result = s.Apply(a);
+  EXPECT_EQ(result.ToString(), "p(1,Z,W)");
+}
+
+TEST(SubstitutionTest, ApplyToComparison) {
+  Substitution s;
+  s.Bind("X", Term::Constant(4));
+  const Comparison c(Term::Variable("X"), CompOp::kLt, Term::Variable("Y"));
+  EXPECT_EQ(s.Apply(c).ToString(), "4 < Y");
+}
+
+TEST(SubstitutionTest, ApplyIsNotTransitive) {
+  // Application is simultaneous, not iterated: X -> Y, Y -> Z maps X to Y.
+  Substitution s;
+  s.Bind("X", Term::Variable("Y"));
+  s.Bind("Y", Term::Variable("Z"));
+  EXPECT_EQ(s.Apply(Term::Variable("X")), Term::Variable("Y"));
+}
+
+TEST(SubstitutionTest, ComposeAppliesSecondToFirstImages) {
+  Substitution first;
+  first.Bind("X", Term::Variable("Y"));
+  Substitution second;
+  second.Bind("Y", Term::Constant(2));
+  const Substitution composed = first.ComposeWith(second);
+  EXPECT_EQ(composed.Apply(Term::Variable("X")), Term::Constant(2));
+  // Variables only mapped by `second` keep that mapping.
+  EXPECT_EQ(composed.Apply(Term::Variable("Y")), Term::Constant(2));
+}
+
+TEST(SubstitutionTest, ComposeFirstBindingWinsOnOverlap) {
+  Substitution first;
+  first.Bind("X", Term::Constant(1));
+  Substitution second;
+  second.Bind("X", Term::Constant(2));
+  const Substitution composed = first.ComposeWith(second);
+  EXPECT_EQ(composed.Apply(Term::Variable("X")), Term::Constant(1));
+}
+
+TEST(SubstitutionTest, ToString) {
+  Substitution s;
+  s.Bind("X", Term::Constant(1));
+  s.Bind("Y", Term::Variable("Z"));
+  EXPECT_EQ(s.ToString(), "{X -> 1, Y -> Z}");
+}
+
+}  // namespace
+}  // namespace cqac

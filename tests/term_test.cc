@@ -1,0 +1,67 @@
+#include "ast/term.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(TermTest, VariableBasics) {
+  const Term t = Term::Variable("X");
+  EXPECT_TRUE(t.IsVariable());
+  EXPECT_FALSE(t.IsConstant());
+  EXPECT_EQ(t.name(), "X");
+  EXPECT_EQ(t.ToString(), "X");
+}
+
+TEST(TermTest, ConstantBasics) {
+  const Term t = Term::Constant(Rational(7, 2));
+  EXPECT_TRUE(t.IsConstant());
+  EXPECT_FALSE(t.IsVariable());
+  EXPECT_EQ(t.value(), Rational(7, 2));
+  EXPECT_EQ(t.ToString(), "7/2");
+}
+
+TEST(TermTest, IntegerConstantConvenience) {
+  const Term t = Term::Constant(5);
+  EXPECT_TRUE(t.IsConstant());
+  EXPECT_EQ(t.value(), Rational(5));
+}
+
+TEST(TermTest, DefaultIsConstantZero) {
+  const Term t;
+  EXPECT_TRUE(t.IsConstant());
+  EXPECT_EQ(t.value(), Rational(0));
+}
+
+TEST(TermTest, Equality) {
+  EXPECT_EQ(Term::Variable("X"), Term::Variable("X"));
+  EXPECT_NE(Term::Variable("X"), Term::Variable("Y"));
+  EXPECT_EQ(Term::Constant(3), Term::Constant(3));
+  EXPECT_NE(Term::Constant(3), Term::Constant(4));
+  EXPECT_NE(Term::Variable("X"), Term::Constant(3));
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  const Term x = Term::Variable("X");
+  const Term y = Term::Variable("Y");
+  const Term c = Term::Constant(1);
+  EXPECT_TRUE(x < y);
+  EXPECT_FALSE(y < x);
+  // Variables sort before constants per the arbitrary total order.
+  EXPECT_TRUE(x < c);
+  EXPECT_FALSE(c < x);
+  EXPECT_FALSE(x < x);
+}
+
+TEST(TermTest, HashDistinguishesVariableFromConstant) {
+  std::unordered_set<Term> set;
+  set.insert(Term::Variable("X"));
+  set.insert(Term::Constant(1));
+  set.insert(Term::Variable("X"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cqac

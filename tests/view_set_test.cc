@@ -1,0 +1,52 @@
+#include "rewriting/view_set.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(ViewSetTest, EmptyByDefault) {
+  ViewSet views;
+  EXPECT_TRUE(views.empty());
+  EXPECT_EQ(views.size(), 0);
+  EXPECT_EQ(views.Find("v"), nullptr);
+  EXPECT_TRUE(views.Constants().empty());
+}
+
+TEST(ViewSetTest, FindByHeadPredicate) {
+  ViewSet views(Parser::MustParseProgram(
+      "v1(T) :- a(T).\n"
+      "v2(T,U) :- b(T,U)."));
+  ASSERT_NE(views.Find("v1"), nullptr);
+  EXPECT_EQ(views.Find("v1")->head().arity(), 1);
+  ASSERT_NE(views.Find("v2"), nullptr);
+  EXPECT_EQ(views.Find("missing"), nullptr);
+}
+
+TEST(ViewSetTest, AddAppends) {
+  ViewSet views;
+  views.Add(Parser::MustParseRule("v(T) :- a(T)"));
+  EXPECT_EQ(views.size(), 1);
+  EXPECT_NE(views.Find("v"), nullptr);
+}
+
+TEST(ViewSetTest, ConstantsMergedSortedDeduped) {
+  ViewSet views(Parser::MustParseProgram(
+      "v1(T) :- a(T,7), T < 3.\n"
+      "v2(T) :- b(T), T >= 7, T != 0.5."));
+  EXPECT_EQ(views.Constants(),
+            (std::vector<Rational>{Rational(1, 2), Rational(3), Rational(7)}));
+}
+
+TEST(ViewSetTest, FindReturnsFirstOnDuplicateNames) {
+  // Duplicate names are the caller's bug, but Find stays deterministic.
+  ViewSet views;
+  views.Add(Parser::MustParseRule("v(T) :- a(T)"));
+  views.Add(Parser::MustParseRule("v(T) :- b(T)"));
+  ASSERT_NE(views.Find("v"), nullptr);
+  EXPECT_EQ(views.Find("v")->body()[0].predicate(), "a");
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,137 @@
+#include "rewriting/view_tuples.h"
+
+#include "constraints/orders.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace cqac {
+namespace {
+
+TEST(MoreRelaxedFormTest, IdenticalTuples) {
+  const Atom t("v", {Term::Variable("A"), Term::Variable("B")});
+  EXPECT_TRUE(IsMoreRelaxedForm(t, t));
+}
+
+TEST(MoreRelaxedFormTest, GeneralToSpecific) {
+  const Atom general("v", {Term::Variable("A"), Term::Variable("B")});
+  const Atom specific("v", {Term::Variable("A"), Term::Variable("A")});
+  // v(A,B) is a more relaxed form of v(A,A) (map B -> A)...
+  EXPECT_TRUE(IsMoreRelaxedForm(general, specific));
+  // ...but not the other way around.
+  EXPECT_FALSE(IsMoreRelaxedForm(specific, general));
+}
+
+TEST(MoreRelaxedFormTest, VariableToConstant) {
+  const Atom var("v", {Term::Variable("A")});
+  const Atom constant("v", {Term::Constant(3)});
+  EXPECT_TRUE(IsMoreRelaxedForm(var, constant));
+  EXPECT_FALSE(IsMoreRelaxedForm(constant, var));
+}
+
+TEST(MoreRelaxedFormTest, ConstantsMustMatch) {
+  const Atom three("v", {Term::Constant(3)});
+  const Atom four("v", {Term::Constant(4)});
+  EXPECT_TRUE(IsMoreRelaxedForm(three, three));
+  EXPECT_FALSE(IsMoreRelaxedForm(three, four));
+}
+
+TEST(MoreRelaxedFormTest, PredicateAndArityMustMatch) {
+  const Atom v1("v", {Term::Variable("A")});
+  const Atom w1("w", {Term::Variable("A")});
+  const Atom v2("v", {Term::Variable("A"), Term::Variable("B")});
+  EXPECT_FALSE(IsMoreRelaxedForm(v1, w1));
+  EXPECT_FALSE(IsMoreRelaxedForm(v1, v2));
+}
+
+TEST(MoreRelaxedFormTest, ConsistencyAcrossPositions) {
+  const Atom from("v", {Term::Variable("A"), Term::Variable("A")});
+  const Atom to("v", {Term::Variable("B"), Term::Variable("C")});
+  EXPECT_FALSE(IsMoreRelaxedForm(from, to));
+  const Atom to_same("v", {Term::Variable("B"), Term::Variable("B")});
+  EXPECT_TRUE(IsMoreRelaxedForm(from, to_same));
+}
+
+class ViewTuplesFixture : public ::testing::Test {
+ protected:
+  // The paper's Example 5 setting.
+  const ConjunctiveQuery query_ =
+      Parser::MustParseRule("q(A) :- r(A), s(A,A), A <= 8");
+  const ViewSet views_{Parser::MustParseProgram(
+      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z")};
+
+  // Returns the canonical database for the given order string.
+  CanonicalDatabase Freeze(const std::string& order_string) {
+    for (const TotalOrder& order :
+         EnumerateTotalOrders(query_.AllVariables(), {Rational(8)})) {
+      if (order.ToString() == order_string) return FreezeQuery(query_, order);
+    }
+    ADD_FAILURE() << "order not found: " << order_string;
+    return CanonicalDatabase();
+  }
+};
+
+TEST_F(ViewTuplesFixture, PaperExample5TuplesOnD1) {
+  const CanonicalDatabase cdb = Freeze("A < 8");
+  const ViewTuples tuples = ComputeViewTuples(views_, cdb);
+  ASSERT_EQ(tuples.total, 1);
+  ASSERT_EQ(tuples.unfrozen.at("v").size(), 1u);
+  EXPECT_EQ(tuples.unfrozen.at("v")[0].ToString(), "v(A,A)");
+}
+
+TEST_F(ViewTuplesFixture, PaperExample5TuplesOnD2) {
+  const CanonicalDatabase cdb = Freeze("A = 8");
+  const ViewTuples tuples = ComputeViewTuples(views_, cdb);
+  ASSERT_EQ(tuples.total, 1);
+  // On A = 8 the block representative is the constant 8.
+  EXPECT_EQ(tuples.unfrozen.at("v")[0].ToString(), "v(8,8)");
+}
+
+TEST_F(ViewTuplesFixture, ViewWithViolatedComparisonsYieldsNothing) {
+  // Example 10's view requires X < Z, impossible on r(a), s(a,a).
+  const ViewSet strict(Parser::MustParseProgram(
+      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X < Z"));
+  const CanonicalDatabase cdb = Freeze("A < 8");
+  const ViewTuples tuples = ComputeViewTuples(strict, cdb);
+  EXPECT_TRUE(tuples.empty());
+}
+
+TEST_F(ViewTuplesFixture, FrozenMatchPinsQueryVariables) {
+  const CanonicalDatabase cdb = Freeze("A < 8");
+  const ViewTuples tuples = ComputeViewTuples(views_, cdb);
+  // v(A,A) matches the ground tuple (a,a).
+  EXPECT_TRUE(MatchesFrozenViewTuple(
+      Atom("v", {Term::Variable("A"), Term::Variable("A")}), tuples, cdb));
+  // v(A,B) with fresh B also matches (B free).
+  EXPECT_TRUE(MatchesFrozenViewTuple(
+      Atom("v", {Term::Variable("A"), Term::Variable("_f0")}), tuples, cdb));
+  // A constant that is not the frozen value does not match.
+  EXPECT_FALSE(MatchesFrozenViewTuple(
+      Atom("v", {Term::Constant(8), Term::Constant(8)}), tuples, cdb));
+  // Unknown view name: no match.
+  EXPECT_FALSE(MatchesFrozenViewTuple(
+      Atom("w", {Term::Variable("A"), Term::Variable("A")}), tuples, cdb));
+}
+
+TEST_F(ViewTuplesFixture, FrozenMatchFreshVariablesMustBeConsistent) {
+  // A database where the view produces (a, b) with a != b.
+  const ConjunctiveQuery q2 = Parser::MustParseRule("q(A,B) :- r(A), s(A,B)");
+  const ViewSet plain(Parser::MustParseProgram("v(Y,Z) :- s(Y,Z)"));
+  for (const TotalOrder& order : EnumerateTotalOrders({"A", "B"}, {})) {
+    if (order.ToString() != "A < B") continue;
+    const CanonicalDatabase cdb = FreezeQuery(q2, order);
+    const ViewTuples tuples = ComputeViewTuples(plain, cdb);
+    ASSERT_EQ(tuples.total, 1);
+    // v(_x,_x) requires both positions equal; the only tuple is (a,b).
+    EXPECT_FALSE(MatchesFrozenViewTuple(
+        Atom("v", {Term::Variable("_x"), Term::Variable("_x")}), tuples,
+        cdb));
+    EXPECT_TRUE(MatchesFrozenViewTuple(
+        Atom("v", {Term::Variable("_x"), Term::Variable("_y")}), tuples,
+        cdb));
+    return;
+  }
+  FAIL() << "order A < B not found";
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,103 @@
+#include "workload/generator.h"
+
+#include "constraints/ac_solver.h"
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(WorkloadTest, DeterministicForFixedSeed) {
+  WorkloadConfig config;
+  config.seed = 42;
+  WorkloadGenerator g1(config);
+  WorkloadGenerator g2(config);
+  const WorkloadInstance a = g1.Generate();
+  const WorkloadInstance b = g2.Generate();
+  EXPECT_EQ(a.query.ToString(), b.query.ToString());
+  ASSERT_EQ(a.views.size(), b.views.size());
+  for (int i = 0; i < a.views.size(); ++i) {
+    EXPECT_EQ(a.views.views()[i].ToString(), b.views.views()[i].ToString());
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadConfig config;
+  config.seed = 1;
+  WorkloadGenerator g1(config);
+  config.seed = 2;
+  WorkloadGenerator g2(config);
+  EXPECT_NE(g1.Generate().query.ToString(), g2.Generate().query.ToString());
+}
+
+TEST(WorkloadTest, SuccessiveInstancesDiffer) {
+  WorkloadGenerator g(WorkloadConfig{});
+  const std::string first = g.Generate().query.ToString();
+  const std::string second = g.Generate().query.ToString();
+  EXPECT_NE(first, second);
+}
+
+TEST(WorkloadTest, RespectsConfiguredSizes) {
+  WorkloadConfig config;
+  config.num_variables = 5;
+  config.num_subgoals = 4;
+  config.num_views = 7;
+  config.view_subgoals = 2;
+  config.seed = 7;
+  WorkloadGenerator g(config);
+  const WorkloadInstance instance = g.Generate();
+  EXPECT_EQ(instance.query.body().size(), 4u);
+  EXPECT_LE(instance.query.AllVariables().size(), 5u);
+  EXPECT_EQ(instance.views.size(), 7);
+  for (const ConjunctiveQuery& v : instance.views.views()) {
+    EXPECT_LE(v.body().size(), 2u);
+  }
+}
+
+TEST(WorkloadTest, QueriesAreSafeAndSatisfiable) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    WorkloadGenerator g(config);
+    const WorkloadInstance instance = g.Generate();
+    EXPECT_TRUE(instance.query.IsSafe()) << instance.query.ToString();
+    EXPECT_TRUE(AcSolver::IsSatisfiable(instance.query.comparisons()))
+        << instance.query.ToString();
+  }
+}
+
+TEST(WorkloadTest, ViewsAreSafeAndSatisfiableAndNamed) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    WorkloadGenerator g(config);
+    const WorkloadInstance instance = g.Generate();
+    std::set<std::string> names;
+    for (const ConjunctiveQuery& v : instance.views.views()) {
+      EXPECT_TRUE(v.IsSafe()) << v.ToString();
+      EXPECT_TRUE(AcSolver::IsSatisfiable(v.comparisons())) << v.ToString();
+      EXPECT_TRUE(names.insert(v.name()).second) << "duplicate " << v.name();
+    }
+  }
+}
+
+TEST(WorkloadTest, VariableBudgetDrivesDistinctVariables) {
+  WorkloadConfig config;
+  config.num_variables = 3;
+  config.num_subgoals = 6;
+  config.seed = 5;
+  WorkloadGenerator g(config);
+  const WorkloadInstance instance = g.Generate();
+  EXPECT_LE(instance.query.AllVariables().size(), 3u);
+}
+
+TEST(WorkloadTest, NoConstantsWhenConfigured) {
+  WorkloadConfig config;
+  config.num_constants = 0;
+  config.seed = 3;
+  WorkloadGenerator g(config);
+  const WorkloadInstance instance = g.Generate();
+  EXPECT_TRUE(instance.query.Constants().empty());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -1,0 +1,20 @@
+// cqacsh: interactive shell over the cqac library.
+//
+//   $ ./build/tools/cqacsh
+//   cqac> view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.
+//   cqac> query q(A) :- r(A), s(A,A), A <= 8.
+//   cqac> rewrite verify coalesce
+//
+// Also scriptable:  ./build/tools/cqacsh < session.cqac
+
+#include <iostream>
+
+#include <unistd.h>
+
+#include "cli/shell.h"
+
+int main() {
+  cqac::Shell shell(std::cout);
+  shell.ProcessStream(std::cin, /*interactive=*/isatty(STDIN_FILENO) != 0);
+  return 0;
+}
