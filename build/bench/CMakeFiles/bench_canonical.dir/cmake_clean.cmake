@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_canonical.dir/bench_canonical.cc.o"
+  "CMakeFiles/bench_canonical.dir/bench_canonical.cc.o.d"
+  "bench_canonical"
+  "bench_canonical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_canonical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

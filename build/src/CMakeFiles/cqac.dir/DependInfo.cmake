@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/atom.cc" "src/CMakeFiles/cqac.dir/ast/atom.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/atom.cc.o.d"
+  "/root/repo/src/ast/comparison.cc" "src/CMakeFiles/cqac.dir/ast/comparison.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/comparison.cc.o.d"
+  "/root/repo/src/ast/hypergraph.cc" "src/CMakeFiles/cqac.dir/ast/hypergraph.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/hypergraph.cc.o.d"
+  "/root/repo/src/ast/query.cc" "src/CMakeFiles/cqac.dir/ast/query.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/query.cc.o.d"
+  "/root/repo/src/ast/substitution.cc" "src/CMakeFiles/cqac.dir/ast/substitution.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/substitution.cc.o.d"
+  "/root/repo/src/ast/term.cc" "src/CMakeFiles/cqac.dir/ast/term.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/term.cc.o.d"
+  "/root/repo/src/ast/value.cc" "src/CMakeFiles/cqac.dir/ast/value.cc.o" "gcc" "src/CMakeFiles/cqac.dir/ast/value.cc.o.d"
+  "/root/repo/src/cli/shell.cc" "src/CMakeFiles/cqac.dir/cli/shell.cc.o" "gcc" "src/CMakeFiles/cqac.dir/cli/shell.cc.o.d"
+  "/root/repo/src/constraints/ac_solver.cc" "src/CMakeFiles/cqac.dir/constraints/ac_solver.cc.o" "gcc" "src/CMakeFiles/cqac.dir/constraints/ac_solver.cc.o.d"
+  "/root/repo/src/constraints/inequality_graph.cc" "src/CMakeFiles/cqac.dir/constraints/inequality_graph.cc.o" "gcc" "src/CMakeFiles/cqac.dir/constraints/inequality_graph.cc.o.d"
+  "/root/repo/src/constraints/orders.cc" "src/CMakeFiles/cqac.dir/constraints/orders.cc.o" "gcc" "src/CMakeFiles/cqac.dir/constraints/orders.cc.o.d"
+  "/root/repo/src/containment/cq_containment.cc" "src/CMakeFiles/cqac.dir/containment/cq_containment.cc.o" "gcc" "src/CMakeFiles/cqac.dir/containment/cq_containment.cc.o.d"
+  "/root/repo/src/containment/cqac_containment.cc" "src/CMakeFiles/cqac.dir/containment/cqac_containment.cc.o" "gcc" "src/CMakeFiles/cqac.dir/containment/cqac_containment.cc.o.d"
+  "/root/repo/src/containment/homomorphism.cc" "src/CMakeFiles/cqac.dir/containment/homomorphism.cc.o" "gcc" "src/CMakeFiles/cqac.dir/containment/homomorphism.cc.o.d"
+  "/root/repo/src/containment/normalization.cc" "src/CMakeFiles/cqac.dir/containment/normalization.cc.o" "gcc" "src/CMakeFiles/cqac.dir/containment/normalization.cc.o.d"
+  "/root/repo/src/engine/canonical.cc" "src/CMakeFiles/cqac.dir/engine/canonical.cc.o" "gcc" "src/CMakeFiles/cqac.dir/engine/canonical.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/cqac.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/cqac.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/evaluate.cc" "src/CMakeFiles/cqac.dir/engine/evaluate.cc.o" "gcc" "src/CMakeFiles/cqac.dir/engine/evaluate.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/cqac.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/cqac.dir/parser/parser.cc.o.d"
+  "/root/repo/src/rewriting/bucket.cc" "src/CMakeFiles/cqac.dir/rewriting/bucket.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/bucket.cc.o.d"
+  "/root/repo/src/rewriting/coalesce.cc" "src/CMakeFiles/cqac.dir/rewriting/coalesce.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/coalesce.cc.o.d"
+  "/root/repo/src/rewriting/contained_rewriter.cc" "src/CMakeFiles/cqac.dir/rewriting/contained_rewriter.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/contained_rewriter.cc.o.d"
+  "/root/repo/src/rewriting/enumeration.cc" "src/CMakeFiles/cqac.dir/rewriting/enumeration.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/enumeration.cc.o.d"
+  "/root/repo/src/rewriting/equiv_rewriter.cc" "src/CMakeFiles/cqac.dir/rewriting/equiv_rewriter.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/equiv_rewriter.cc.o.d"
+  "/root/repo/src/rewriting/expansion.cc" "src/CMakeFiles/cqac.dir/rewriting/expansion.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/expansion.cc.o.d"
+  "/root/repo/src/rewriting/explain.cc" "src/CMakeFiles/cqac.dir/rewriting/explain.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/explain.cc.o.d"
+  "/root/repo/src/rewriting/exportable.cc" "src/CMakeFiles/cqac.dir/rewriting/exportable.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/exportable.cc.o.d"
+  "/root/repo/src/rewriting/inverse_rules.cc" "src/CMakeFiles/cqac.dir/rewriting/inverse_rules.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/inverse_rules.cc.o.d"
+  "/root/repo/src/rewriting/minicon.cc" "src/CMakeFiles/cqac.dir/rewriting/minicon.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/minicon.cc.o.d"
+  "/root/repo/src/rewriting/view_tuples.cc" "src/CMakeFiles/cqac.dir/rewriting/view_tuples.cc.o" "gcc" "src/CMakeFiles/cqac.dir/rewriting/view_tuples.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cqac.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cqac.dir/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ac_solver_test.dir/ac_solver_test.cc.o"
+  "CMakeFiles/ac_solver_test.dir/ac_solver_test.cc.o.d"
+  "ac_solver_test"
+  "ac_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ac_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

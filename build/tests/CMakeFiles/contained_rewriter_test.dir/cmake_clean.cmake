@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contained_rewriter_test.dir/contained_rewriter_test.cc.o"
+  "CMakeFiles/contained_rewriter_test.dir/contained_rewriter_test.cc.o.d"
+  "contained_rewriter_test"
+  "contained_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contained_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_containment_test.dir/cq_containment_test.cc.o"
+  "CMakeFiles/cq_containment_test.dir/cq_containment_test.cc.o.d"
+  "cq_containment_test"
+  "cq_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqac_containment_test.dir/cqac_containment_test.cc.o"
+  "CMakeFiles/cqac_containment_test.dir/cqac_containment_test.cc.o.d"
+  "cqac_containment_test"
+  "cqac_containment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqac_containment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equiv_rewriter_test.dir/equiv_rewriter_test.cc.o"
+  "CMakeFiles/equiv_rewriter_test.dir/equiv_rewriter_test.cc.o.d"
+  "equiv_rewriter_test"
+  "equiv_rewriter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equiv_rewriter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exportable_test.dir/exportable_test.cc.o"
+  "CMakeFiles/exportable_test.dir/exportable_test.cc.o.d"
+  "exportable_test"
+  "exportable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exportable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orders_test.dir/orders_test.cc.o"
+  "CMakeFiles/orders_test.dir/orders_test.cc.o.d"
+  "orders_test"
+  "orders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

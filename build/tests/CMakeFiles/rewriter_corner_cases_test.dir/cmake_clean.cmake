@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rewriter_corner_cases_test.dir/rewriter_corner_cases_test.cc.o"
+  "CMakeFiles/rewriter_corner_cases_test.dir/rewriter_corner_cases_test.cc.o.d"
+  "rewriter_corner_cases_test"
+  "rewriter_corner_cases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rewriter_corner_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

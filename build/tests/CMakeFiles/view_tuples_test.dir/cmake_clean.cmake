@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_tuples_test.dir/view_tuples_test.cc.o"
+  "CMakeFiles/view_tuples_test.dir/view_tuples_test.cc.o.d"
+  "view_tuples_test"
+  "view_tuples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_tuples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cqacsh.dir/cqacsh.cc.o"
+  "CMakeFiles/cqacsh.dir/cqacsh.cc.o.d"
+  "cqacsh"
+  "cqacsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cqacsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
