@@ -7,6 +7,7 @@
 // Example-4-shaped instance (two overlapping views, each carrying one of
 // the query's two comparisons).
 
+#include "bench/bench_common.h"
 #include "benchmark/benchmark.h"
 #include "parser/parser.h"
 #include "rewriting/equiv_rewriter.h"
@@ -55,4 +56,4 @@ BENCHMARK(BM_Folding_Off)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

@@ -60,4 +60,4 @@ BENCHMARK(BM_Pruning_FrozenMatch)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

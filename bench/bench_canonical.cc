@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "benchmark/benchmark.h"
 #include "constraints/orders.h"
 
@@ -89,4 +90,4 @@ BENCHMARK(BM_EnumerateSatisfyingChained)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

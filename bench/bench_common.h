@@ -1,13 +1,37 @@
 #ifndef CQAC_BENCH_BENCH_COMMON_H_
 #define CQAC_BENCH_BENCH_COMMON_H_
 
+#include <chrono>
 #include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "benchmark/benchmark.h"
 #include "rewriting/equiv_rewriter.h"
+#include "runtime/memo_cache.h"
+#include "runtime/thread_pool.h"
 #include "workload/generator.h"
 
 namespace cqac_bench {
+
+/// Worker threads for rewriter-driven benches, set by --jobs N.
+/// 0 = hardware concurrency (the default), 1 = the serial fallback.
+inline int g_jobs = 0;
+
+/// When non-empty (--json <path>), BenchMain writes a machine-readable
+/// trajectory record there after the run.
+inline std::string g_json_path;
+
+/// Shared containment memo cache: benches run with the same cache
+/// configuration the batch service uses, and its hit/miss counters land
+/// in the --json record.
+inline cqac::MemoCache& SharedMemo() {
+  static cqac::MemoCache memo(1 << 16);
+  return memo;
+}
 
 /// Runs the paper's algorithm on `instances_per_point` deterministic
 /// workload instances for this config and accumulates counters into the
@@ -25,8 +49,10 @@ inline int RunRewriterPoint(benchmark::State& state,
     const cqac::WorkloadInstance instance = generator.Generate();
     cqac::RewriteOptions options;
     options.verify = false;
+    options.jobs = g_jobs;
     const cqac::RewriteResult result =
-        cqac::EquivalentRewriter(instance.query, instance.views, options)
+        cqac::EquivalentRewriter(instance.query, instance.views, options,
+                                 &SharedMemo())
             .Run();
     if (result.outcome == cqac::RewriteOutcome::kRewritingFound) ++found;
     canonical += result.stats.canonical_databases;
@@ -41,6 +67,107 @@ inline int RunRewriterPoint(benchmark::State& state,
   return found;
 }
 
+/// Console reporter that additionally records each benchmark's mean real
+/// time, for the --json trajectory record.
+class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      const double seconds =
+          run.iterations > 0 ? run.real_accumulated_time / run.iterations
+                             : run.real_accumulated_time;
+      results_.emplace_back(run.benchmark_name(), seconds * 1e3);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& results() const {
+    return results_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Shared main of every bench_* binary: strips the repo's own flags
+/// (--jobs N, --json <path>), hands the rest to Google Benchmark, and
+/// writes the trajectory record when asked.  The JSON schema is
+/// {name, wall_ms, jobs, cache_hits, cache_misses, benchmarks[]} — one
+/// file per run, accumulated as BENCH_*.json trajectory files under
+/// results/.
+inline int BenchMain(int argc, char** argv) {
+  std::string name = argc > 0 ? argv[0] : "bench";
+  if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
+    name = name.substr(slash + 1);
+  }
+
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      g_jobs = std::atoi(argv[++i]);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      g_jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      g_json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      g_json_path = arg.c_str() + 7;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+
+  JsonTrajectoryReporter reporter;
+  const auto started = std::chrono::steady_clock::now();
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+
+  if (!g_json_path.empty()) {
+    const cqac::MemoCacheStats cache = SharedMemo().Stats();
+    std::ofstream json(g_json_path);
+    json << "{\n"
+         << "  \"name\": \"" << JsonEscape(name) << "\",\n"
+         << "  \"wall_ms\": " << wall_ms << ",\n"
+         << "  \"jobs\": " << cqac::ThreadPool::ResolveJobs(g_jobs) << ",\n"
+         << "  \"cache_hits\": " << cache.hits << ",\n"
+         << "  \"cache_misses\": " << cache.misses << ",\n"
+         << "  \"benchmarks\": [";
+    const auto& results = reporter.results();
+    for (size_t i = 0; i < results.size(); ++i) {
+      json << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+           << JsonEscape(results[i].first) << "\", \"wall_ms\": "
+           << results[i].second << "}";
+    }
+    json << "\n  ]\n}\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
 }  // namespace cqac_bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() adding --jobs / --json.
+#define CQAC_BENCH_MAIN()                                     \
+  int main(int argc, char** argv) {                           \
+    return cqac_bench::BenchMain(argc, argv);                 \
+  }
 
 #endif  // CQAC_BENCH_BENCH_COMMON_H_

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "benchmark/benchmark.h"
 #include "containment/cqac_containment.h"
 #include "parser/parser.h"
@@ -81,4 +82,4 @@ BENCHMARK(BM_Containment_CaseSplit_Implication)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

@@ -31,9 +31,13 @@ void BM_PaperAlgorithm(benchmark::State& state) {
       InstanceFor(static_cast<int>(state.range(0)),
                   static_cast<int>(state.range(1)));
   int64_t found = 0;
+  cqac::RewriteOptions options;
+  options.jobs = cqac_bench::g_jobs;
   for (auto _ : state) {
     const cqac::RewriteResult result =
-        cqac::FindEquivalentRewriting(instance.query, instance.views);
+        cqac::EquivalentRewriter(instance.query, instance.views, options,
+                                 &cqac_bench::SharedMemo())
+            .Run();
     found = result.outcome == cqac::RewriteOutcome::kRewritingFound;
     benchmark::DoNotOptimize(result);
   }
@@ -75,4 +79,4 @@ BENCHMARK(BM_NaiveEnumeration)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

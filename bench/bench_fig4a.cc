@@ -37,4 +37,4 @@ BENCHMARK(BM_Fig4a_RuntimeVsViews)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

@@ -34,4 +34,4 @@ BENCHMARK(BM_Fig4b_RuntimeVsVariables)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

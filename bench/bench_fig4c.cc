@@ -31,4 +31,4 @@ BENCHMARK(BM_Fig4c_RuntimeVsVariables)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+CQAC_BENCH_MAIN();

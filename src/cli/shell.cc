@@ -126,6 +126,7 @@ void Shell::CmdRewrite(const std::string& args) {
     return;
   }
   RewriteOptions options;
+  options.jobs = default_jobs_;
   std::istringstream flags(args);
   std::string flag;
   bool explain = false;
@@ -138,6 +139,16 @@ void Shell::CmdRewrite(const std::string& args) {
       options.coalesce_output = true;
     } else if (flag == "minimize") {
       options.minimize_output = true;
+    } else if (flag.rfind("jobs=", 0) == 0) {
+      try {
+        options.jobs = std::stoi(flag.substr(5));
+      } catch (...) {
+        out_ << "warning: bad jobs value '" << flag << "' ignored\n";
+      }
+      if (options.jobs < 0) {
+        out_ << "warning: negative jobs value ignored\n";
+        options.jobs = default_jobs_;
+      }
     } else {
       out_ << "warning: unknown flag '" << flag << "' ignored\n";
     }
@@ -311,6 +322,7 @@ void Shell::CmdHelp() {
           "  query <rule>          set the current query\n"
           "  rewrite [flags]       find an equivalent rewriting\n"
           "                        flags: verify explain coalesce minimize\n"
+          "                               jobs=N (0 = all cores, 1 = serial)\n"
           "  contained-rewrite     union of contained rewritings\n"
           "  let <name> <rule>     bind a rule to a name\n"
           "  contained <n1> <n2>   containment test\n"

@@ -39,6 +39,11 @@ class Shell {
  public:
   explicit Shell(std::ostream& out) : out_(out) {}
 
+  /// Default worker-thread count for `rewrite` (0 = hardware concurrency,
+  /// 1 = serial); a per-command `jobs=N` flag overrides it.  Results are
+  /// identical either way — only wall-clock changes.
+  void set_default_jobs(int jobs) { default_jobs_ = jobs; }
+
   /// Processes one input line; returns false when the session should end.
   bool ProcessLine(const std::string& line);
 
@@ -66,6 +71,7 @@ class Shell {
   std::optional<ConjunctiveQuery> Resolve(const std::string& token);
 
   std::ostream& out_;
+  int default_jobs_ = 1;
   ViewSet views_;
   std::optional<ConjunctiveQuery> query_;
   std::map<std::string, ConjunctiveQuery> named_;

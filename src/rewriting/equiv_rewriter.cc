@@ -14,6 +14,8 @@
 #include "rewriting/exportable.h"
 #include "rewriting/minicon.h"
 #include "rewriting/view_tuples.h"
+#include "runtime/memo_cache.h"
+#include "runtime/parallel_rewriter.h"
 
 namespace cqac {
 
@@ -63,7 +65,262 @@ bool FoldsOntoTuple(const Atom& tuple, const Atom& other) {
 
 }  // namespace
 
+void RewriteStats::Merge(const RewriteStats& other) {
+  canonical_databases += other.canonical_databases;
+  kept_canonical_databases += other.kept_canonical_databases;
+  v0_variants += other.v0_variants;
+  mcds_formed += other.mcds_formed;
+  mcds_kept_total += other.mcds_kept_total;
+  view_tuples_total += other.view_tuples_total;
+  phase2_checks += other.phase2_checks;
+  phase2_orders += other.phase2_orders;
+}
+
+RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
+                               const ViewSet& views,
+                               const RewriteOptions& options) {
+  RewriteWork work(query, views, options);
+
+  // Q0 and the exported variants V0 (Section 3.2 / Examples 5 and 6).
+  work.q0 = query.WithoutComparisons();
+  for (const ConjunctiveQuery& view : views.views()) {
+    for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
+      work.v0_variants.push_back(std::move(variant));
+    }
+  }
+
+  // MiniCon phase 1 over Q0/V0 (the buckets; formed once).
+  work.mcds = FormMcds(work.q0, work.v0_variants);
+
+  // All constants of the query and the views participate in the orders.
+  work.constants = query.Constants();
+  for (const Rational& c : views.Constants()) {
+    if (std::find(work.constants.begin(), work.constants.end(), c) ==
+        work.constants.end()) {
+      work.constants.push_back(c);
+    }
+  }
+
+  work.num_subgoals = static_cast<int>(query.body().size());
+  return work;
+}
+
+DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
+                                         const TotalOrder& order) {
+  const RewriteOptions& options = work.options;
+  DatabaseOutcome out;
+  if (options.explain) out.trace.order = order.ToString();
+
+  const CanonicalDatabase cdb = FreezeQuery(work.query, order);
+  // Keep only databases on which the query computes its frozen head
+  // (general evaluation: the identity freezing need not be the witnessing
+  // embedding).
+  if (!ComputesTuple(work.query, cdb.db, cdb.frozen_head)) {
+    out.status = DatabaseOutcome::Status::kSkipped;
+    if (options.explain) out.trace.status = "skipped";
+    return out;
+  }
+  out.trace.computes_head = true;
+  ++out.stats.kept_canonical_databases;
+
+  // Step 3.1-3.2: view tuples T_i(V).
+  const ViewTuples tuples = ComputeViewTuples(work.views, cdb);
+  out.stats.view_tuples_total += tuples.total;
+  if (options.explain) out.trace.view_tuples = tuples.total;
+  if (tuples.empty()) {
+    out.status = DatabaseOutcome::Status::kFailed;
+    out.failure_reason =
+        "no view produces any tuple on canonical database [" +
+        order.ToString() + "]";
+    if (options.explain) out.trace.status = "no-view-tuples";
+    return out;
+  }
+
+  // Step 3.4: prune bucket entries against the database's tuples.
+  std::vector<Mcd> kept;
+  for (const Mcd& mcd : work.mcds) {
+    bool keep = true;
+    switch (options.pruning) {
+      case RewriteOptions::Pruning::kNone:
+        break;
+      case RewriteOptions::Pruning::kRelaxedForm: {
+        keep = false;
+        auto it = tuples.unfrozen.find(mcd.view_tuple.predicate());
+        if (it != tuples.unfrozen.end()) {
+          for (const Atom& t : it->second) {
+            if (IsMoreRelaxedForm(mcd.view_tuple, t)) {
+              keep = true;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case RewriteOptions::Pruning::kFrozenMatch:
+        keep = MatchesFrozenViewTuple(mcd.view_tuple, tuples, cdb);
+        break;
+    }
+    if (keep) kept.push_back(mcd);
+  }
+  out.stats.mcds_kept_total += static_cast<int64_t>(kept.size());
+  if (options.explain) {
+    out.trace.kept_mcds = static_cast<int64_t>(kept.size());
+  }
+
+  // Step 3.5: MiniCon phase 2 as an existence check.
+  if (!McdCombinationExists(kept, work.num_subgoals)) {
+    out.status = DatabaseOutcome::Status::kFailed;
+    out.failure_reason =
+        "no MiniCon combination covers the query on canonical "
+        "database [" +
+        order.ToString() + "]";
+    if (options.explain) out.trace.status = "no-mcr";
+    return out;
+  }
+  if (options.explain) out.trace.combination_exists = true;
+
+  // Steps 3.6-3.7 and Phase 2 task (a): the Pre-Rewriting holds all
+  // surviving view tuples plus the database's order constraints projected
+  // onto the variables it uses.
+  std::vector<Atom> body;
+  for (const Mcd& mcd : kept) {
+    if (std::find(body.begin(), body.end(), mcd.view_tuple) == body.end()) {
+      body.push_back(mcd.view_tuple);
+    }
+  }
+  // Drop tuples whose fresh variables fold onto another kept tuple.
+  {
+    std::vector<bool> dropped(body.size(), false);
+    for (size_t i = 0; i < body.size(); ++i) {
+      for (size_t j = 0; j < body.size(); ++j) {
+        if (i == j || dropped[j]) continue;
+        if (FoldsOntoTuple(body[i], body[j])) {
+          dropped[i] = true;
+          break;
+        }
+      }
+    }
+    std::vector<Atom> reduced;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!dropped[i]) reduced.push_back(body[i]);
+    }
+    body = std::move(reduced);
+  }
+  std::sort(body.begin(), body.end());
+  std::vector<std::string> body_vars;
+  {
+    std::set<std::string> seen;
+    for (const Atom& a : body) {
+      for (const Term& t : a.args()) {
+        if (t.IsVariable() && seen.insert(t.name()).second) {
+          body_vars.push_back(t.name());
+        }
+      }
+    }
+  }
+  ConjunctiveQuery pre(work.query.head(), std::move(body),
+                       order.ProjectedComparisons(body_vars));
+  if (options.explain) {
+    out.trace.pre_rewriting = pre.ToString();
+    out.trace.status = "ok";
+  }
+  out.pre_rewriting = std::move(pre);
+  out.status = DatabaseOutcome::Status::kKept;
+  return out;
+}
+
+Phase2Outcome CheckExpansionContained(const RewriteWork& work,
+                                      const ConjunctiveQuery& pre,
+                                      MemoCache* memo) {
+  const ConjunctiveQuery expansion =
+      ExpandForCheck(pre, work.views, work.options.simplify_expansions);
+  std::string key;
+  if (memo != nullptr) {
+    key = ContainmentMemoKey(expansion, work.query);
+    if (std::optional<bool> cached = memo->Get(key); cached.has_value()) {
+      Phase2Outcome out;
+      out.contained = *cached;
+      out.cache_hit = true;
+      return out;
+    }
+  }
+  ContainmentStats cstats;
+  Phase2Outcome out;
+  out.contained = CqacContainedCanonical(expansion, work.query, &cstats);
+  out.orders_enumerated = cstats.orders_enumerated;
+  if (memo != nullptr) memo->Put(key, out.contained);
+  return out;
+}
+
+void FinalizeFoundRewriting(const RewriteWork& work,
+                            std::vector<ConjunctiveQuery> pre_rewritings,
+                            RewriteResult* result) {
+  const RewriteOptions& options = work.options;
+
+  UnionQuery rewriting(std::move(pre_rewritings));
+  if (options.coalesce_output) rewriting = CoalesceUnion(rewriting);
+
+  // The default frozen-match pruning guarantees Lemma 2 (every
+  // Pre-Rewriting computes the query's head on its canonical database, so
+  // the union contains the query).  The ablation modes do not: without
+  // step 3.4 the Pre-Rewritings can conjoin mutually exclusive view
+  // tuples (e.g. the paper's Example 2 with no pruning joins v1 and v2,
+  // whose expansion demands both X = 0 and X > 0 witnesses).  Check the
+  // missing direction explicitly for those modes.
+  if (options.pruning != RewriteOptions::Pruning::kFrozenMatch) {
+    UnionQuery expanded;
+    for (const ConjunctiveQuery& d : rewriting.disjuncts()) {
+      expanded.Add(
+          ExpandForCheck(d, work.views, options.simplify_expansions));
+    }
+    if (!CqacContainedInUnion(work.query, expanded)) {
+      result->outcome = RewriteOutcome::kNoRewriting;
+      result->failure_reason =
+          "union of Pre-Rewritings does not contain the query (weakened "
+          "pruning mode lost Lemma 2)";
+      return;
+    }
+  }
+
+  // Optional output minimization: drop disjuncts covered by the others.
+  if (options.minimize_output && rewriting.size() > 1) {
+    std::vector<ConjunctiveQuery> disjuncts = rewriting.disjuncts();
+    for (size_t i = 0; i < disjuncts.size() && disjuncts.size() > 1;) {
+      UnionQuery others_expanded;
+      for (size_t j = 0; j < disjuncts.size(); ++j) {
+        if (j != i) {
+          others_expanded.Add(ExpandForCheck(disjuncts[j], work.views,
+                                             options.simplify_expansions));
+        }
+      }
+      const ConjunctiveQuery expansion_i = ExpandForCheck(
+          disjuncts[i], work.views, options.simplify_expansions);
+      if (CqacContainedInUnion(expansion_i, others_expanded)) {
+        disjuncts.erase(disjuncts.begin() + i);
+      } else {
+        ++i;
+      }
+    }
+    rewriting = UnionQuery(std::move(disjuncts));
+  }
+
+  result->rewriting = std::move(rewriting);
+  result->outcome = RewriteOutcome::kRewritingFound;
+
+  if (options.verify) {
+    result->verified =
+        RewritingIsEquivalent(work.query, result->rewriting, work.views);
+  }
+}
+
 RewriteResult EquivalentRewriter::Run() {
+  if (options_.jobs != 1) {
+    return ParallelRewrite(query_, views_, options_, memo_);
+  }
+  return RunSerial();
+}
+
+RewriteResult EquivalentRewriter::RunSerial() {
   RewriteResult result;
 
   // A query with contradictory comparisons computes nothing; the empty
@@ -75,29 +332,9 @@ RewriteResult EquivalentRewriter::Run() {
 
   // --- Shared setup (independent of the canonical database) ---
 
-  // Q0 and the exported variants V0 (Section 3.2 / Examples 5 and 6).
-  const ConjunctiveQuery q0 = query_.WithoutComparisons();
-  std::vector<ConjunctiveQuery> v0_variants;
-  for (const ConjunctiveQuery& view : views_.views()) {
-    for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
-      v0_variants.push_back(std::move(variant));
-    }
-  }
-  result.stats.v0_variants = static_cast<int64_t>(v0_variants.size());
-
-  // MiniCon phase 1 over Q0/V0 (the buckets; formed once).
-  const std::vector<Mcd> mcds = FormMcds(q0, v0_variants);
-  result.stats.mcds_formed = static_cast<int64_t>(mcds.size());
-
-  // All constants of the query and the views participate in the orders.
-  std::vector<Rational> constants = query_.Constants();
-  for (const Rational& c : views_.Constants()) {
-    if (std::find(constants.begin(), constants.end(), c) == constants.end()) {
-      constants.push_back(c);
-    }
-  }
-
-  const int num_subgoals = static_cast<int>(query_.body().size());
+  const RewriteWork work = PrepareRewriteWork(query_, views_, options_);
+  result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
+  result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
 
   // --- Phase 1: one Pre-Rewriting per kept canonical database ---
 
@@ -107,7 +344,7 @@ RewriteResult EquivalentRewriter::Run() {
   bool aborted = false;
 
   ForEachTotalOrder(
-      query_.AllVariables(), constants, [&](const TotalOrder& order) {
+      query_.AllVariables(), work.constants, [&](const TotalOrder& order) {
         ++result.stats.canonical_databases;
         if (options_.max_canonical_databases >= 0 &&
             result.stats.canonical_databases >
@@ -115,134 +352,20 @@ RewriteResult EquivalentRewriter::Run() {
           aborted = true;
           return false;
         }
-        CanonicalDatabaseTrace dbtrace;
-        if (options_.explain) dbtrace.order = order.ToString();
-        const CanonicalDatabase cdb = FreezeQuery(query_, order);
-        // Keep only databases on which the query computes its frozen head
-        // (general evaluation: the identity freezing need not be the
-        // witnessing embedding).
-        if (!ComputesTuple(query_, cdb.db, cdb.frozen_head)) {
-          if (options_.explain) {
-            dbtrace.status = "skipped";
-            result.trace.databases.push_back(std::move(dbtrace));
-          }
-          return true;
+        DatabaseOutcome out = ProcessCanonicalDatabase(work, order);
+        result.stats.Merge(out.stats);
+        if (options_.explain) {
+          result.trace.databases.push_back(std::move(out.trace));
         }
-        dbtrace.computes_head = true;
-        ++result.stats.kept_canonical_databases;
-
-        // Step 3.1-3.2: view tuples T_i(V).
-        const ViewTuples tuples = ComputeViewTuples(views_, cdb);
-        result.stats.view_tuples_total += tuples.total;
-        if (options_.explain) dbtrace.view_tuples = tuples.total;
-        if (tuples.empty()) {
+        if (out.status == DatabaseOutcome::Status::kFailed) {
           failed = true;
-          result.failure_reason =
-              "no view produces any tuple on canonical database [" +
-              order.ToString() + "]";
-          if (options_.explain) {
-            dbtrace.status = "no-view-tuples";
-            result.trace.databases.push_back(std::move(dbtrace));
-          }
+          result.failure_reason = std::move(out.failure_reason);
           return false;
         }
-
-        // Step 3.4: prune bucket entries against the database's tuples.
-        std::vector<Mcd> kept;
-        for (const Mcd& mcd : mcds) {
-          bool keep = true;
-          switch (options_.pruning) {
-            case RewriteOptions::Pruning::kNone:
-              break;
-            case RewriteOptions::Pruning::kRelaxedForm: {
-              keep = false;
-              auto it = tuples.unfrozen.find(mcd.view_tuple.predicate());
-              if (it != tuples.unfrozen.end()) {
-                for (const Atom& t : it->second) {
-                  if (IsMoreRelaxedForm(mcd.view_tuple, t)) {
-                    keep = true;
-                    break;
-                  }
-                }
-              }
-              break;
-            }
-            case RewriteOptions::Pruning::kFrozenMatch:
-              keep = MatchesFrozenViewTuple(mcd.view_tuple, tuples, cdb);
-              break;
-          }
-          if (keep) kept.push_back(mcd);
-        }
-        result.stats.mcds_kept_total += static_cast<int64_t>(kept.size());
-
-        if (options_.explain) {
-          dbtrace.kept_mcds = static_cast<int64_t>(kept.size());
-        }
-
-        // Step 3.5: MiniCon phase 2 as an existence check.
-        if (!McdCombinationExists(kept, num_subgoals)) {
-          failed = true;
-          result.failure_reason =
-              "no MiniCon combination covers the query on canonical "
-              "database [" +
-              order.ToString() + "]";
-          if (options_.explain) {
-            dbtrace.status = "no-mcr";
-            result.trace.databases.push_back(std::move(dbtrace));
-          }
-          return false;
-        }
-        if (options_.explain) dbtrace.combination_exists = true;
-
-        // Steps 3.6-3.7 and Phase 2 task (a): the Pre-Rewriting holds all
-        // surviving view tuples plus the database's order constraints
-        // projected onto the variables it uses.
-        std::vector<Atom> body;
-        for (const Mcd& mcd : kept) {
-          if (std::find(body.begin(), body.end(), mcd.view_tuple) ==
-              body.end()) {
-            body.push_back(mcd.view_tuple);
-          }
-        }
-        // Drop tuples whose fresh variables fold onto another kept tuple.
-        {
-          std::vector<bool> dropped(body.size(), false);
-          for (size_t i = 0; i < body.size(); ++i) {
-            for (size_t j = 0; j < body.size(); ++j) {
-              if (i == j || dropped[j]) continue;
-              if (FoldsOntoTuple(body[i], body[j])) {
-                dropped[i] = true;
-                break;
-              }
-            }
-          }
-          std::vector<Atom> reduced;
-          for (size_t i = 0; i < body.size(); ++i) {
-            if (!dropped[i]) reduced.push_back(body[i]);
-          }
-          body = std::move(reduced);
-        }
-        std::sort(body.begin(), body.end());
-        std::vector<std::string> body_vars;
-        {
-          std::set<std::string> seen;
-          for (const Atom& a : body) {
-            for (const Term& t : a.args()) {
-              if (t.IsVariable() && seen.insert(t.name()).second) {
-                body_vars.push_back(t.name());
-              }
-            }
-          }
-        }
-        ConjunctiveQuery pre(query_.head(), std::move(body),
-                             order.ProjectedComparisons(body_vars));
-        if (options_.explain) {
-          dbtrace.pre_rewriting = pre.ToString();
-          dbtrace.status = "ok";
-          result.trace.databases.push_back(std::move(dbtrace));
-        }
-        if (pre_rewriting_keys.insert(pre.ToString()).second) {
-          pre_rewritings.push_back(std::move(pre));
+        if (out.status == DatabaseOutcome::Status::kKept &&
+            pre_rewriting_keys.insert(out.pre_rewriting->ToString())
+                .second) {
+          pre_rewritings.push_back(*std::move(out.pre_rewriting));
         }
         return true;
       });
@@ -269,14 +392,11 @@ RewriteResult EquivalentRewriter::Run() {
   std::map<std::string, bool> phase2_verdicts;
   bool phase2_failed = false;
   for (const ConjunctiveQuery& pre : pre_rewritings) {
-    const ConjunctiveQuery expansion =
-        ExpandForCheck(pre, views_, options_.simplify_expansions);
     ++result.stats.phase2_checks;
-    ContainmentStats cstats;
-    const bool contained = CqacContainedCanonical(expansion, query_, &cstats);
-    result.stats.phase2_orders += cstats.orders_enumerated;
-    if (options_.explain) phase2_verdicts[pre.ToString()] = contained;
-    if (!contained) {
+    const Phase2Outcome check = CheckExpansionContained(work, pre, memo_);
+    result.stats.phase2_orders += check.orders_enumerated;
+    if (options_.explain) phase2_verdicts[pre.ToString()] = check.contained;
+    if (!check.contained) {
       result.outcome = RewriteOutcome::kNoRewriting;
       result.failure_reason =
           "expansion not contained in the query: " + pre.ToString();
@@ -301,58 +421,7 @@ RewriteResult EquivalentRewriter::Run() {
   }
   if (phase2_failed) return result;
 
-  UnionQuery rewriting(std::move(pre_rewritings));
-  if (options_.coalesce_output) rewriting = CoalesceUnion(rewriting);
-
-  // The default frozen-match pruning guarantees Lemma 2 (every
-  // Pre-Rewriting computes the query's head on its canonical database, so
-  // the union contains the query).  The ablation modes do not: without
-  // step 3.4 the Pre-Rewritings can conjoin mutually exclusive view
-  // tuples (e.g. the paper's Example 2 with no pruning joins v1 and v2,
-  // whose expansion demands both X = 0 and X > 0 witnesses).  Check the
-  // missing direction explicitly for those modes.
-  if (options_.pruning != RewriteOptions::Pruning::kFrozenMatch) {
-    UnionQuery expanded;
-    for (const ConjunctiveQuery& d : rewriting.disjuncts()) {
-      expanded.Add(ExpandForCheck(d, views_, options_.simplify_expansions));
-    }
-    if (!CqacContainedInUnion(query_, expanded)) {
-      result.outcome = RewriteOutcome::kNoRewriting;
-      result.failure_reason =
-          "union of Pre-Rewritings does not contain the query (weakened "
-          "pruning mode lost Lemma 2)";
-      return result;
-    }
-  }
-
-  // Optional output minimization: drop disjuncts covered by the others.
-  if (options_.minimize_output && rewriting.size() > 1) {
-    std::vector<ConjunctiveQuery> disjuncts = rewriting.disjuncts();
-    for (size_t i = 0; i < disjuncts.size() && disjuncts.size() > 1;) {
-      UnionQuery others_expanded;
-      for (size_t j = 0; j < disjuncts.size(); ++j) {
-        if (j != i) {
-          others_expanded.Add(ExpandForCheck(disjuncts[j], views_,
-                                             options_.simplify_expansions));
-        }
-      }
-      const ConjunctiveQuery expansion_i =
-          ExpandForCheck(disjuncts[i], views_, options_.simplify_expansions);
-      if (CqacContainedInUnion(expansion_i, others_expanded)) {
-        disjuncts.erase(disjuncts.begin() + i);
-      } else {
-        ++i;
-      }
-    }
-    rewriting = UnionQuery(std::move(disjuncts));
-  }
-
-  result.rewriting = std::move(rewriting);
-  result.outcome = RewriteOutcome::kRewritingFound;
-
-  if (options_.verify) {
-    result.verified = RewritingIsEquivalent(query_, result.rewriting, views_);
-  }
+  FinalizeFoundRewriting(work, std::move(pre_rewritings), &result);
   return result;
 }
 

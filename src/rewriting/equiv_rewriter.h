@@ -2,15 +2,20 @@
 #define CQAC_REWRITING_EQUIV_REWRITER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "ast/query.h"
+#include "constraints/orders.h"
 #include "rewriting/explain.h"
+#include "rewriting/minicon.h"
 #include "rewriting/view_set.h"
 
 namespace cqac {
+
+class MemoCache;  // runtime/memo_cache.h
 
 /// Options controlling the equivalent-rewriting algorithm.
 struct RewriteOptions {
@@ -66,6 +71,13 @@ struct RewriteOptions {
   /// Abort (outcome kAborted) once this many canonical databases of the
   /// query have been enumerated; -1 means no limit.
   int64_t max_canonical_databases = -1;
+
+  /// Worker threads for the canonical-database fan-out and the Phase-2
+  /// containment checks.  1 (the default) runs the classic serial loop;
+  /// 0 means std::thread::hardware_concurrency(); any other value is the
+  /// thread count of the runtime/parallel_rewriter driver.  Results are
+  /// byte-identical to the serial path regardless of the value.
+  int jobs = 1;
 };
 
 /// Counters describing the work one Run() performed.
@@ -78,6 +90,11 @@ struct RewriteStats {
   int64_t view_tuples_total = 0;         // sum of |T_i(V)|
   int64_t phase2_checks = 0;             // expansion containment checks
   int64_t phase2_orders = 0;             // orders visited by those checks
+
+  /// Element-wise accumulation.  Both the serial loop and the parallel
+  /// driver build their totals exclusively through Merge, so equal work
+  /// yields equal counters regardless of thread count.
+  void Merge(const RewriteStats& other);
 };
 
 enum class RewriteOutcome {
@@ -106,6 +123,98 @@ struct RewriteResult {
   RewriteStats stats;
 };
 
+// ---------------------------------------------------------------------------
+// Work units.
+//
+// The algorithm decomposes into an immutable per-run context plus two kinds
+// of independent, side-effect-free work units: one per canonical database
+// (Phase 1 steps 2-3.7) and one per Pre-Rewriting (the Phase-2 containment
+// check).  The serial EquivalentRewriter::Run and the parallel driver in
+// runtime/parallel_rewriter.cc are both thin schedulers over these units,
+// which is what makes their outputs byte-identical by construction.
+// ---------------------------------------------------------------------------
+
+/// The database-independent setup of one run (Section 3.2): the stripped
+/// query Q0, the exported view variants V0, the MiniCon buckets over them,
+/// and the constant pool of query and views.  Holds references to the
+/// query/views/options, which must outlive it.  Immutable after
+/// construction; safe to share across threads.
+struct RewriteWork {
+  RewriteWork(const ConjunctiveQuery& q, const ViewSet& v,
+              const RewriteOptions& o)
+      : query(q), views(v), options(o) {}
+
+  const ConjunctiveQuery& query;
+  const ViewSet& views;
+  const RewriteOptions& options;
+
+  ConjunctiveQuery q0;                        // query without comparisons
+  std::vector<ConjunctiveQuery> v0_variants;  // exported view variants
+  std::vector<Mcd> mcds;                      // buckets, formed once
+  std::vector<Rational> constants;            // of query and views
+  int num_subgoals = 0;
+};
+
+/// Builds the shared setup.  Deterministic for fixed inputs.
+RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
+                               const ViewSet& views,
+                               const RewriteOptions& options);
+
+/// What Phase 1 concluded about one canonical database.
+struct DatabaseOutcome {
+  enum class Status {
+    kSkipped,  // the query does not compute its frozen head here
+    kFailed,   // no view tuples, or no covering MCD combination: the
+               // paper's "no rewriting exists" short-circuit
+    kKept,     // produced a Pre-Rewriting
+  };
+  Status status = Status::kSkipped;
+
+  /// This database's contribution to the run counters.  Does NOT count
+  /// `canonical_databases` — enumeration is the scheduler's business.
+  RewriteStats stats;
+
+  /// The Pre-Rewriting PR_i' (view tuples plus projected order
+  /// constraints); set iff status == kKept.
+  std::optional<ConjunctiveQuery> pre_rewriting;
+
+  /// Set iff status == kFailed; identical wording to the serial path.
+  std::string failure_reason;
+
+  /// Per-database trace; populated iff options.explain.
+  CanonicalDatabaseTrace trace;
+};
+
+/// Phase 1 steps 2-3.7 for a single canonical database: freeze, keep-test,
+/// view tuples, bucket pruning, MiniCon existence check, Pre-Rewriting
+/// assembly.  Pure function of (work, order); no shared mutable state.
+DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
+                                         const TotalOrder& order);
+
+/// What the Phase-2 containment check concluded about one Pre-Rewriting.
+struct Phase2Outcome {
+  bool contained = false;
+  int64_t orders_enumerated = 0;  // 0 when served from the memo cache
+  bool cache_hit = false;
+};
+
+/// Expands `pre` with respect to the views (simplifying when the options
+/// say so) and tests containment in the query.  When `memo` is non-null
+/// the verdict is memoized under a normalized (expansion, query) key —
+/// the verdict is a pure function of that key, so memoization never
+/// changes results, only `orders_enumerated`.
+Phase2Outcome CheckExpansionContained(const RewriteWork& work,
+                                      const ConjunctiveQuery& pre,
+                                      MemoCache* memo);
+
+/// The post-Phase-2 tail shared by the serial and parallel drivers:
+/// coalescing, the weakened-pruning Lemma-2 check, output minimization,
+/// and optional verification.  Sets result->outcome / rewriting /
+/// verified / failure_reason.
+void FinalizeFoundRewriting(const RewriteWork& work,
+                            std::vector<ConjunctiveQuery> pre_rewritings,
+                            RewriteResult* result);
+
 /// The paper's sound and complete algorithm (Section 3) for finding an
 /// equivalent rewriting of a CQAC query using CQAC views, in the language
 /// of unions of CQACs.
@@ -120,19 +229,28 @@ struct RewriteResult {
 /// expansion is contained in the query (the two-column tableau).
 class EquivalentRewriter {
  public:
+  /// `memo`, when given, caches Phase-2 containment verdicts across runs
+  /// (see runtime/memo_cache.h); it may be shared between concurrent
+  /// rewriters.  The rewriter does not own it.
   EquivalentRewriter(ConjunctiveQuery query, ViewSet views,
-                     RewriteOptions options = {})
+                     RewriteOptions options = {}, MemoCache* memo = nullptr)
       : query_(std::move(query)),
         views_(std::move(views)),
-        options_(options) {}
+        options_(options),
+        memo_(memo) {}
 
-  /// Runs the algorithm.  Deterministic for fixed inputs.
+  /// Runs the algorithm.  Deterministic for fixed inputs; with
+  /// options.jobs != 1 the run is delegated to the parallel driver, whose
+  /// result is byte-identical to the serial one.
   RewriteResult Run();
 
  private:
+  RewriteResult RunSerial();
+
   ConjunctiveQuery query_;
   ViewSet views_;
   RewriteOptions options_;
+  MemoCache* memo_;
 };
 
 /// Convenience entry point with default options.

@@ -1,0 +1,223 @@
+#include "runtime/batch_driver.h"
+
+#include <condition_variable>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "parser/parser.h"
+#include "rewriting/view_set.h"
+#include "runtime/thread_pool.h"
+
+namespace cqac {
+
+namespace {
+
+/// One parsed job: a query plus its views.  `error` is set instead when
+/// the block failed to parse.
+struct BatchJob {
+  std::optional<ConjunctiveQuery> query;
+  ViewSet views;
+  std::string error;
+};
+
+/// Splits off the first whitespace-delimited word.
+std::pair<std::string, std::string> SplitCommand(const std::string& line) {
+  const size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) return {"", ""};
+  const size_t end = line.find_first_of(" \t", start);
+  if (end == std::string::npos) return {line.substr(start), ""};
+  const size_t rest = line.find_first_not_of(" \t", end);
+  return {line.substr(start, end - start),
+          rest == std::string::npos ? "" : line.substr(rest)};
+}
+
+/// Parses the job stream into blocks.  Parse problems become per-job
+/// errors rather than aborting the batch.
+std::vector<BatchJob> ParseJobs(std::istream& in) {
+  std::vector<BatchJob> jobs;
+  BatchJob current;
+  bool current_nonempty = false;
+
+  auto flush = [&] {
+    if (!current_nonempty) return;
+    if (!current.query.has_value() && current.error.empty()) {
+      current.error = "job has views but no query";
+    }
+    jobs.push_back(std::move(current));
+    current = BatchJob();
+    current_nonempty = false;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    auto [command, args] = SplitCommand(line);
+    if (command.empty()) {  // Blank line separates jobs.
+      flush();
+      continue;
+    }
+    if (command[0] == '%' || command[0] == '#') continue;
+    if (command == "run" || command == "---") {
+      flush();
+      continue;
+    }
+    if (!current.error.empty()) continue;  // Skip the rest of a bad block.
+    if (command == "view") {
+      std::string error;
+      std::optional<ConjunctiveQuery> rule = Parser::ParseRule(args, &error);
+      if (!rule.has_value()) {
+        current.error = "bad view: " + error;
+      } else if (current.views.Find(rule->name()) != nullptr) {
+        current.error = "duplicate view '" + rule->name() + "'";
+      } else {
+        current.views.Add(*std::move(rule));
+      }
+      current_nonempty = true;
+    } else if (command == "query") {
+      std::string error;
+      std::optional<ConjunctiveQuery> rule = Parser::ParseRule(args, &error);
+      if (!rule.has_value()) {
+        current.error = "bad query: " + error;
+      } else if (!rule->IsSafe()) {
+        current.error = "unsafe query";
+      } else {
+        current.query = *std::move(rule);
+      }
+      current_nonempty = true;
+    } else {
+      current.error = "unknown directive '" + command + "'";
+      current_nonempty = true;
+    }
+  }
+  flush();
+  return jobs;
+}
+
+/// Renders one job's result block.
+std::string RenderResult(size_t index, const BatchJob& job,
+                         const RewriteResult& result, bool echo) {
+  std::ostringstream out;
+  out << "job " << index << ": ";
+  if (echo && job.query.has_value()) {
+    out << "\n  query " << job.query->ToString() << "\n";
+    for (const ConjunctiveQuery& v : job.views.views()) {
+      out << "  view " << v.ToString() << "\n";
+    }
+    out << "  => ";
+  }
+  switch (result.outcome) {
+    case RewriteOutcome::kRewritingFound:
+      out << "equivalent rewriting (" << result.rewriting.size()
+          << " disjunct" << (result.rewriting.size() == 1 ? "" : "s")
+          << ")\n";
+      for (const ConjunctiveQuery& d : result.rewriting.disjuncts()) {
+        out << "  " << d.ToString() << "\n";
+      }
+      break;
+    case RewriteOutcome::kNoRewriting:
+      out << "no equivalent rewriting";
+      if (!result.failure_reason.empty()) {
+        out << " (" << result.failure_reason << ")";
+      }
+      out << "\n";
+      break;
+    case RewriteOutcome::kAborted:
+      out << "aborted: " << result.failure_reason << "\n";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+BatchSummary RunBatch(std::istream& in, std::ostream& out,
+                      const BatchOptions& options) {
+  BatchSummary summary;
+
+  const std::vector<BatchJob> jobs = ParseJobs(in);
+  summary.jobs_total = static_cast<int64_t>(jobs.size());
+  if (jobs.empty()) {
+    out << "batch: 0 jobs\n";
+    return summary;
+  }
+
+  // Each job runs the serial rewriter on one worker; the shared memo
+  // cache carries containment verdicts across jobs, so repeated or
+  // near-duplicate jobs in a batch get cheaper as the batch proceeds.
+  RewriteOptions per_job = options.rewrite;
+  per_job.jobs = 1;
+  MemoCache memo(options.cache_capacity);
+  ThreadPool pool(ThreadPool::ResolveJobs(options.jobs));
+
+  std::vector<std::string> outputs(jobs.size());
+  std::vector<RewriteOutcome> outcomes(jobs.size(),
+                                       RewriteOutcome::kNoRewriting);
+  std::vector<bool> job_errors(jobs.size(), false);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t done = 0;
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    pool.Submit([&, i] {
+      const BatchJob& job = jobs[i];
+      std::string rendered;
+      bool is_error = false;
+      RewriteOutcome outcome = RewriteOutcome::kNoRewriting;
+      if (!job.error.empty()) {
+        rendered = "job " + std::to_string(i) + ": error: " + job.error + "\n";
+        is_error = true;
+      } else {
+        const RewriteResult result =
+            EquivalentRewriter(*job.query, job.views, per_job, &memo).Run();
+        outcome = result.outcome;
+        rendered = RenderResult(i, job, result, options.echo);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      outputs[i] = std::move(rendered);
+      outcomes[i] = outcome;
+      job_errors[i] = is_error;
+      ++done;
+      cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done == jobs.size(); });
+  }
+
+  // Results print in input order regardless of completion order.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    out << outputs[i];
+    if (job_errors[i]) {
+      ++summary.errors;
+    } else {
+      switch (outcomes[i]) {
+        case RewriteOutcome::kRewritingFound:
+          ++summary.found;
+          break;
+        case RewriteOutcome::kNoRewriting:
+          ++summary.none;
+          break;
+        case RewriteOutcome::kAborted:
+          ++summary.aborted;
+          break;
+      }
+    }
+  }
+
+  summary.cache = memo.Stats();
+  out << "batch: " << summary.jobs_total << " jobs, " << summary.found
+      << " found, " << summary.none << " none, " << summary.aborted
+      << " aborted, " << summary.errors << " errors\n";
+  out << "cache: " << summary.cache.hits << " hits, " << summary.cache.misses
+      << " misses, " << summary.cache.evictions << " evictions\n";
+  return summary;
+}
+
+}  // namespace cqac

@@ -1,0 +1,61 @@
+#ifndef CQAC_RUNTIME_BATCH_DRIVER_H_
+#define CQAC_RUNTIME_BATCH_DRIVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "rewriting/equiv_rewriter.h"
+#include "runtime/memo_cache.h"
+
+namespace cqac {
+
+/// Options of the batch service driver.
+struct BatchOptions {
+  /// Worker threads of the job pool; 0 = hardware concurrency.
+  int jobs = 0;
+
+  /// Per-job rewriting options.  `rewrite.jobs` is forced to 1: the batch
+  /// driver parallelizes ACROSS jobs — each job runs the serial rewriter
+  /// on one worker, which keeps every core busy without oversubscribing.
+  RewriteOptions rewrite;
+
+  /// Total entry budget of the shared containment memo cache.
+  size_t cache_capacity = 1 << 16;
+
+  /// Echo each job's query/view definitions before its result.
+  bool echo = false;
+};
+
+/// Counters of one RunBatch call.
+struct BatchSummary {
+  int64_t jobs_total = 0;
+  int64_t found = 0;      // jobs with an equivalent rewriting
+  int64_t none = 0;       // jobs with provably no rewriting
+  int64_t aborted = 0;    // jobs that hit the canonical-database budget
+  int64_t errors = 0;     // jobs that failed to parse
+  MemoCacheStats cache;   // shared memo cache, summed over all jobs
+};
+
+/// The batch service driver behind `cqacsh --serve-batch`: reads a stream
+/// of rewriting jobs, executes them concurrently over a work-stealing
+/// thread pool with a shared containment memo cache, and writes one
+/// result block per job to `out` — in input order, whatever order the
+/// jobs finished in.
+///
+/// Input format (line oriented; `%` or `#` starts a comment):
+///
+///   view <rule>     add a view to the current job
+///   query <rule>    set the current job's query
+///   run             dispatch the current job and start a new one
+///   ---             same as run
+///   <blank line>    same as run
+///
+/// A trailing job is dispatched at EOF.  Blocks with views but no query
+/// are reported as errors; empty blocks (e.g. consecutive separators) are
+/// ignored.
+BatchSummary RunBatch(std::istream& in, std::ostream& out,
+                      const BatchOptions& options = {});
+
+}  // namespace cqac
+
+#endif  // CQAC_RUNTIME_BATCH_DRIVER_H_

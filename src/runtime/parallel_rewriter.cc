@@ -1,0 +1,257 @@
+#include "runtime/parallel_rewriter.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "constraints/ac_solver.h"
+#include "constraints/orders.h"
+#include "runtime/cancellation.h"
+#include "runtime/memo_cache.h"
+#include "runtime/thread_pool.h"
+
+namespace cqac {
+
+namespace {
+
+/// Countdown latch: the main thread blocks until every fanned-out task
+/// has called Done (whether it executed or was cancelled).  The mutex
+/// also publishes the tasks' writes to their result slots.
+class Latch {
+ public:
+  explicit Latch(int64_t count) : remaining_(count) {}
+
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t remaining_;
+};
+
+/// One canonical database's slot in the fan-out.
+struct DbSlot {
+  bool executed = false;
+  DatabaseOutcome outcome;
+};
+
+/// One Pre-Rewriting's slot in the Phase-2 fan-out.
+struct Phase2Slot {
+  bool executed = false;
+  Phase2Outcome outcome;
+};
+
+}  // namespace
+
+RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
+                              const ViewSet& views,
+                              const RewriteOptions& options,
+                              MemoCache* memo, ThreadPool* pool,
+                              ParallelRewriteReport* report) {
+  RewriteResult result;
+  ParallelRewriteReport local_report;
+  if (report == nullptr) report = &local_report;
+
+  // A query with contradictory comparisons computes nothing; the empty
+  // union is an equivalent rewriting.  (Same early exit as the serial
+  // path, before any threads spin up.)
+  if (!AcSolver::IsSatisfiable(query.comparisons())) {
+    result.outcome = RewriteOutcome::kRewritingFound;
+    return result;
+  }
+
+  // Own a pool only if the caller did not share one.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr) {
+    owned_pool =
+        std::make_unique<ThreadPool>(ThreadPool::ResolveJobs(options.jobs));
+    pool = owned_pool.get();
+  }
+  report->jobs = pool->num_threads();
+  const int64_t stolen_before = pool->tasks_stolen();
+
+  // --- Shared immutable setup ---
+
+  const RewriteWork work = PrepareRewriteWork(query, views, options);
+  result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
+  result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
+
+  // --- Phase 1 fan-out: one task per canonical database ---
+
+  // Materialize the orders the serial loop would have processed.  The
+  // serial path aborts upon *enumerating* database max+1, after fully
+  // processing the first max; reproduce that by capping the worklist.
+  std::vector<TotalOrder> orders;
+  bool abort_pending = false;
+  {
+    int64_t enumerated = 0;
+    ForEachTotalOrder(query.AllVariables(), work.constants,
+                      [&](const TotalOrder& order) {
+                        ++enumerated;
+                        if (options.max_canonical_databases >= 0 &&
+                            enumerated > options.max_canonical_databases) {
+                          abort_pending = true;
+                          return false;
+                        }
+                        orders.push_back(order);
+                        return true;
+                      });
+  }
+
+  const int64_t num_dbs = static_cast<int64_t>(orders.size());
+  report->db_tasks_total = num_dbs;
+  std::vector<DbSlot> db_slots(static_cast<size_t>(num_dbs));
+  PrefixCancel db_cancel;
+  std::atomic<int64_t> db_executed{0};
+  {
+    Latch latch(num_dbs);
+    for (int64_t i = 0; i < num_dbs; ++i) {
+      pool->Submit([&, i] {
+        // First failing D_i cancels everything past it; work at or below
+        // the cutoff must still run so the merge reproduces the serial
+        // prefix (see PrefixCancel).
+        if (db_cancel.ShouldRun(i)) {
+          DbSlot& slot = db_slots[static_cast<size_t>(i)];
+          slot.outcome = ProcessCanonicalDatabase(work, orders[i]);
+          slot.executed = true;
+          db_executed.fetch_add(1, std::memory_order_relaxed);
+          if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
+            db_cancel.FailAt(i);
+          }
+        }
+        latch.Done();
+      });
+    }
+    latch.Wait();
+  }
+  report->db_tasks_executed = db_executed.load();
+  report->db_tasks_cancelled = num_dbs - report->db_tasks_executed;
+
+  // --- Ordered merge: replay the serial loop over the task outcomes ---
+
+  std::vector<ConjunctiveQuery> pre_rewritings;
+  std::set<std::string> pre_rewriting_keys;
+  bool failed = false;
+  for (int64_t i = 0; i < num_dbs; ++i) {
+    DbSlot& slot = db_slots[static_cast<size_t>(i)];
+    ++result.stats.canonical_databases;
+    result.stats.Merge(slot.outcome.stats);
+    if (options.explain) {
+      result.trace.databases.push_back(std::move(slot.outcome.trace));
+    }
+    if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
+      failed = true;
+      result.failure_reason = std::move(slot.outcome.failure_reason);
+      break;
+    }
+    if (slot.outcome.status == DatabaseOutcome::Status::kKept &&
+        pre_rewriting_keys.insert(slot.outcome.pre_rewriting->ToString())
+            .second) {
+      pre_rewritings.push_back(*std::move(slot.outcome.pre_rewriting));
+    }
+  }
+
+  if (failed) {
+    result.outcome = RewriteOutcome::kNoRewriting;
+    return result;
+  }
+  if (abort_pending) {
+    // The serial loop counts the abort-triggering database before
+    // stopping.
+    ++result.stats.canonical_databases;
+    result.outcome = RewriteOutcome::kAborted;
+    result.failure_reason = "canonical database budget exceeded";
+    return result;
+  }
+  if (pre_rewritings.empty()) {
+    result.outcome = RewriteOutcome::kNoRewriting;
+    result.failure_reason = "query computes its head on no canonical database";
+    return result;
+  }
+
+  // --- Phase 2 fan-out: one containment check per Pre-Rewriting ---
+
+  const int64_t num_pres = static_cast<int64_t>(pre_rewritings.size());
+  report->phase2_tasks_total = num_pres;
+  std::vector<Phase2Slot> p2_slots(static_cast<size_t>(num_pres));
+  PrefixCancel p2_cancel;
+  std::atomic<int64_t> p2_executed{0};
+  {
+    Latch latch(num_pres);
+    for (int64_t i = 0; i < num_pres; ++i) {
+      pool->Submit([&, i] {
+        if (p2_cancel.ShouldRun(i)) {
+          Phase2Slot& slot = p2_slots[static_cast<size_t>(i)];
+          slot.outcome =
+              CheckExpansionContained(work, pre_rewritings[i], memo);
+          slot.executed = true;
+          p2_executed.fetch_add(1, std::memory_order_relaxed);
+          if (!slot.outcome.contained) p2_cancel.FailAt(i);
+        }
+        latch.Done();
+      });
+    }
+    latch.Wait();
+  }
+  report->phase2_tasks_executed = p2_executed.load();
+  report->phase2_tasks_cancelled = num_pres - report->phase2_tasks_executed;
+  report->tasks_stolen = pool->tasks_stolen() - stolen_before;
+
+  std::map<std::string, bool> phase2_verdicts;
+  bool phase2_failed = false;
+  for (int64_t i = 0; i < num_pres; ++i) {
+    const Phase2Slot& slot = p2_slots[static_cast<size_t>(i)];
+    ++result.stats.phase2_checks;
+    result.stats.phase2_orders += slot.outcome.orders_enumerated;
+    if (slot.outcome.cache_hit) {
+      ++report->cache_hits;
+    } else {
+      ++report->cache_misses;
+    }
+    if (options.explain) {
+      phase2_verdicts[pre_rewritings[i].ToString()] = slot.outcome.contained;
+    }
+    if (!slot.outcome.contained) {
+      result.outcome = RewriteOutcome::kNoRewriting;
+      result.failure_reason = "expansion not contained in the query: " +
+                              pre_rewritings[i].ToString();
+      phase2_failed = true;
+      break;
+    }
+  }
+  if (options.explain) {
+    for (CanonicalDatabaseTrace& db : result.trace.databases) {
+      if (db.status != "ok") continue;
+      auto it = phase2_verdicts.find(db.pre_rewriting);
+      if (it == phase2_verdicts.end()) continue;  // Unchecked after failure.
+      db.expansion_contained = it->second;
+      if (it->second) {
+        db.status = "ok";
+        result.trace.left_column.push_back(db.order);
+      } else {
+        db.status = "phase2-failed";
+        result.trace.right_column.push_back(db.order);
+      }
+    }
+  }
+  if (phase2_failed) return result;
+
+  FinalizeFoundRewriting(work, std::move(pre_rewritings), &result);
+  return result;
+}
+
+}  // namespace cqac

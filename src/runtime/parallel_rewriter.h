@@ -1,0 +1,63 @@
+#ifndef CQAC_RUNTIME_PARALLEL_REWRITER_H_
+#define CQAC_RUNTIME_PARALLEL_REWRITER_H_
+
+#include <cstdint>
+
+#include "rewriting/equiv_rewriter.h"
+
+namespace cqac {
+
+class MemoCache;
+class ThreadPool;
+
+/// Scheduling telemetry of one ParallelRewrite call — how the fan-out and
+/// the cooperative cancellation behaved.  Unlike RewriteStats (which is
+/// byte-identical to the serial run by construction), these counters
+/// describe the parallel execution itself and legitimately vary run to
+/// run: a canceled task is work the early-abort saved.
+struct ParallelRewriteReport {
+  int jobs = 0;  // worker threads used
+
+  int64_t db_tasks_total = 0;      // canonical databases fanned out
+  int64_t db_tasks_executed = 0;   // ran to completion
+  int64_t db_tasks_cancelled = 0;  // skipped by the cancellation token
+
+  int64_t phase2_tasks_total = 0;
+  int64_t phase2_tasks_executed = 0;
+  int64_t phase2_tasks_cancelled = 0;
+
+  int64_t cache_hits = 0;    // Phase-2 verdicts served from the memo
+  int64_t cache_misses = 0;  // Phase-2 verdicts computed
+
+  int64_t tasks_stolen = 0;  // pool-level: tasks taken from a sibling queue
+};
+
+/// The parallel rewriting driver: Phase 1's per-canonical-database work
+/// units and Phase 2's per-Pre-Rewriting containment checks are fanned
+/// out over a work-stealing thread pool, per-task RewriteStats are merged
+/// in enumeration order, and a prefix-cancellation token aborts all
+/// in-flight work past the first failing database (the paper's "some D_i
+/// has no MCR => no rewriting exists" short-circuit).
+///
+/// Deterministic by construction: the result — outcome, rewriting,
+/// failure reason, trace, and stats — is byte-identical to
+/// EquivalentRewriter's serial run for every thread count and task
+/// interleaving.  See docs/ALGORITHM.md ("Parallel runtime") for the
+/// argument.
+///
+/// `options.jobs` selects the thread count (0 = hardware concurrency)
+/// unless `pool` is supplied, in which case its threads are used and the
+/// pool may be shared with other concurrent work.  `memo`, when non-null,
+/// memoizes Phase-2 containment verdicts (pure by key, so sharing it
+/// across runs or threads never changes answers).  `report`, when
+/// non-null, receives scheduling telemetry.
+RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
+                              const ViewSet& views,
+                              const RewriteOptions& options,
+                              MemoCache* memo = nullptr,
+                              ThreadPool* pool = nullptr,
+                              ParallelRewriteReport* report = nullptr);
+
+}  // namespace cqac
+
+#endif  // CQAC_RUNTIME_PARALLEL_REWRITER_H_

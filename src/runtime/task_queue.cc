@@ -1,0 +1,38 @@
+#include "runtime/task_queue.h"
+
+#include <utility>
+
+namespace cqac {
+
+void TaskQueue::Push(Task task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tasks_.push_back(std::move(task));
+}
+
+bool TaskQueue::TryPop(Task* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) return false;
+  *task = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+bool TaskQueue::TrySteal(Task* task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tasks_.empty()) return false;
+  *task = std::move(tasks_.back());
+  tasks_.pop_back();
+  return true;
+}
+
+size_t TaskQueue::Size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+bool TaskQueue::Empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.empty();
+}
+
+}  // namespace cqac

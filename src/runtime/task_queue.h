@@ -1,0 +1,47 @@
+#ifndef CQAC_RUNTIME_TASK_QUEUE_H_
+#define CQAC_RUNTIME_TASK_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+namespace cqac {
+
+/// One worker's task deque in the work-stealing scheduler.
+///
+/// The owner pushes at the back and pops at the front; thieves steal from
+/// the back.  Owner and thief thus contend on opposite ends, and the
+/// owner consumes its tasks oldest-first — for the rewriting runtime's
+/// bulk fan-outs that means ascending canonical-database index, which is
+/// exactly the order the prefix-cancellation token wants: a failure at
+/// index i cancels the queue tails (high indices), not work the ordered
+/// merge still needs.  A single mutex per queue keeps the implementation
+/// obviously correct and ThreadSanitizer-clean; the per-task critical
+/// section is a deque operation, negligible next to a canonical-database
+/// work unit.
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  /// Owner end: enqueues a task at the back.
+  void Push(Task task);
+
+  /// Owner end: dequeues the oldest task.  Returns false when empty.
+  bool TryPop(Task* task);
+
+  /// Thief end: dequeues the most recently pushed task.  Returns false
+  /// when empty.
+  bool TrySteal(Task* task);
+
+  size_t Size() const;
+  bool Empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_RUNTIME_TASK_QUEUE_H_

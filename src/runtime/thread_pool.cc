@@ -1,0 +1,91 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+namespace cqac {
+
+namespace {
+
+/// Index of the queue owned by the current thread, when it is a pool
+/// worker; -1 on external threads.  Thread-local so recursive Submit from
+/// inside a task lands on the submitter's own queue.
+thread_local int tls_worker_index = -1;
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+int ThreadPool::ResolveJobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveJobs(num_threads);
+  queues_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<TaskQueue>());
+  }
+  threads_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_.store(true);
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  int target;
+  if (tls_worker_pool == this && tls_worker_index >= 0) {
+    target = tls_worker_index;
+  } else {
+    target = static_cast<int>(next_queue_.fetch_add(1) % queues_.size());
+  }
+  pending_.fetch_add(1);
+  queues_[target]->Push(std::move(task));
+  cv_.notify_one();
+}
+
+bool ThreadPool::NextTask(int worker_index, Task* task) {
+  if (queues_[worker_index]->TryPop(task)) return true;
+  const int n = static_cast<int>(queues_.size());
+  for (int i = 1; i < n; ++i) {
+    const int victim = (worker_index + i) % n;
+    if (queues_[victim]->TrySteal(task)) {
+      stolen_.fetch_add(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
+  tls_worker_pool = this;
+  Task task;
+  for (;;) {
+    if (NextTask(worker_index, &task)) {
+      pending_.fetch_sub(1);
+      task();
+      task = nullptr;
+      executed_.fetch_add(1);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return pending_.load() > 0 || stopping_.load();
+    });
+    // On shutdown keep draining until every queue is empty: tasks
+    // submitted before (or during) destruction all run.
+    if (stopping_.load() && pending_.load() == 0) return;
+  }
+}
+
+}  // namespace cqac

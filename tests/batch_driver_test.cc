@@ -1,0 +1,126 @@
+#include "runtime/batch_driver.h"
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+// The paper's running example as a batch job block.
+constexpr char kPaperJob[] =
+    "view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z\n"
+    "query q(A) :- r(A), s(A,A), A <= 8\n";
+
+TEST(BatchDriverTest, EmptyInput) {
+  std::istringstream in("");
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 0);
+  EXPECT_EQ(out.str(), "batch: 0 jobs\n");
+}
+
+TEST(BatchDriverTest, CommentsAndSeparatorsProduceNoJobs) {
+  std::istringstream in("% a comment\n# another\n---\nrun\n\n\n");
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 0);
+}
+
+TEST(BatchDriverTest, SingleJobFindsPaperRewriting) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 1);
+  EXPECT_EQ(summary.found, 1);
+  EXPECT_EQ(summary.errors, 0);
+  EXPECT_NE(out.str().find("job 0: equivalent rewriting"), std::string::npos);
+}
+
+TEST(BatchDriverTest, OutputsAppearInInputOrder) {
+  std::string input;
+  for (int i = 0; i < 6; ++i) {
+    input += kPaperJob;
+    input += "run\n";
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  BatchOptions options;
+  options.jobs = 4;
+  const BatchSummary summary = RunBatch(in, out, options);
+  EXPECT_EQ(summary.jobs_total, 6);
+  EXPECT_EQ(summary.found, 6);
+
+  size_t previous = 0;
+  for (int i = 0; i < 6; ++i) {
+    const size_t at = out.str().find("job " + std::to_string(i) + ":");
+    ASSERT_NE(at, std::string::npos) << "missing job " << i;
+    EXPECT_GE(at, previous) << "job " << i << " printed out of order";
+    previous = at;
+  }
+}
+
+TEST(BatchDriverTest, SharedCacheServesDuplicateJobs) {
+  std::istringstream in(std::string(kPaperJob) + "run\n" + kPaperJob);
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 2);
+  EXPECT_EQ(summary.found, 2);
+  // The second job's containment checks are verdicts the first already
+  // computed; at least one must be a hit whichever order they ran in.
+  EXPECT_GT(summary.cache.hits, 0);
+  EXPECT_NE(out.str().find("cache: "), std::string::npos);
+}
+
+TEST(BatchDriverTest, ParseErrorsAreLocalizedToTheirJob) {
+  std::istringstream in(
+      "query this is not datalog\n"
+      "run\n" +
+      std::string(kPaperJob) +
+      "run\n"
+      "view v(X) :- p(X,Y)\n");
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 3);
+  EXPECT_EQ(summary.errors, 2);
+  EXPECT_EQ(summary.found, 1);
+  EXPECT_NE(out.str().find("job 0: error: bad query"), std::string::npos);
+  EXPECT_NE(out.str().find("job 1: equivalent rewriting"), std::string::npos);
+  EXPECT_NE(out.str().find("job 2: error: job has views but no query"),
+            std::string::npos);
+}
+
+TEST(BatchDriverTest, UnknownDirectiveIsAnError) {
+  std::istringstream in("frobnicate everything\n");
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 1);
+  EXPECT_EQ(summary.errors, 1);
+  EXPECT_NE(out.str().find("unknown directive 'frobnicate'"),
+            std::string::npos);
+}
+
+TEST(BatchDriverTest, NoRewritingJobCountedAsNone) {
+  std::istringstream in(
+      "view v(A) :- z9(A,B)\n"
+      "query q(X) :- p0(X,Y)\n");
+  std::ostringstream out;
+  const BatchSummary summary = RunBatch(in, out);
+  EXPECT_EQ(summary.jobs_total, 1);
+  EXPECT_EQ(summary.none, 1);
+  EXPECT_NE(out.str().find("no equivalent rewriting"), std::string::npos);
+}
+
+TEST(BatchDriverTest, EchoIncludesDefinitions) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  BatchOptions options;
+  options.echo = true;
+  RunBatch(in, out, options);
+  EXPECT_NE(out.str().find("query q(A)"), std::string::npos);
+  EXPECT_NE(out.str().find("view v(Y,Z)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cqac

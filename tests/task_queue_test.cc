@@ -1,0 +1,90 @@
+#include "runtime/task_queue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(TaskQueueTest, OwnerPopsOldestFirst) {
+  TaskQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    queue.Push([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(queue.Size(), 3u);
+  TaskQueue::Task task;
+  while (queue.TryPop(&task)) task();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(TaskQueueTest, ThiefStealsNewestFirst) {
+  TaskQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    queue.Push([&order, i] { order.push_back(i); });
+  }
+  TaskQueue::Task task;
+  while (queue.TrySteal(&task)) task();
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 0}));
+}
+
+TEST(TaskQueueTest, PopAndStealTakeOppositeEnds) {
+  TaskQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    queue.Push([&order, i] { order.push_back(i); });
+  }
+  TaskQueue::Task task;
+  ASSERT_TRUE(queue.TryPop(&task));
+  task();  // oldest: 0
+  ASSERT_TRUE(queue.TrySteal(&task));
+  task();  // newest: 3
+  ASSERT_TRUE(queue.TryPop(&task));
+  task();  // 1
+  ASSERT_TRUE(queue.TrySteal(&task));
+  task();  // 2
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+  EXPECT_FALSE(queue.TryPop(&task));
+  EXPECT_FALSE(queue.TrySteal(&task));
+}
+
+TEST(TaskQueueTest, ConcurrentPushPopStealLosesNothing) {
+  TaskQueue queue;
+  constexpr int kTasks = 2000;
+  std::atomic<int> executed{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      queue.Push([&executed] { executed.fetch_add(1); });
+    }
+  });
+  std::atomic<bool> done{false};
+  auto drain = [&](bool steal) {
+    TaskQueue::Task task;
+    while (!done.load() || !queue.Empty()) {
+      const bool got = steal ? queue.TrySteal(&task) : queue.TryPop(&task);
+      if (got) {
+        task();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+  std::thread owner(drain, false);
+  std::thread thief(drain, true);
+  producer.join();
+  done.store(true);
+  owner.join();
+  thief.join();
+
+  EXPECT_EQ(executed.load(), kTasks);
+  EXPECT_TRUE(queue.Empty());
+}
+
+}  // namespace
+}  // namespace cqac

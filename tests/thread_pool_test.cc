@@ -1,0 +1,104 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(ThreadPoolTest, ResolveJobs) {
+  EXPECT_GE(ThreadPool::ResolveJobs(0), 1);
+  EXPECT_EQ(ThreadPool::ResolveJobs(1), 1);
+  EXPECT_EQ(ThreadPool::ResolveJobs(4), 4);
+  EXPECT_EQ(ThreadPool::ResolveJobs(-3), 1);
+}
+
+TEST(ThreadPoolTest, ExecutesEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (int i = 0; i < 500; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor drains all queues before joining.
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInSubmissionOrder) {
+  // With one worker and round-robin landing everything on its queue, the
+  // owner's oldest-first pop preserves submission order exactly.
+  std::vector<int> order;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&order, i] { order.push_back(i); });
+    }
+  }
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, RecursiveSubmitFromWorkerCompletes) {
+  std::atomic<int> counter{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = 10 + 10 * 5;
+  auto finish = [&] {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) cv.notify_one();
+  };
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&, i] {
+        for (int j = 0; j < 5; ++j) {
+          pool.Submit([&] {
+            counter.fetch_add(1);
+            finish();
+          });
+        }
+        counter.fetch_add(1);
+        finish();
+      });
+    }
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  EXPECT_EQ(counter.load(), 60);
+}
+
+TEST(ThreadPoolTest, CountsExecutionsAndIdleWorkersSteal) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 200;
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = kTasks;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      // A little work so queues stay non-empty long enough to steal from.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      counter.fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(pool.tasks_executed(), kTasks);
+  EXPECT_GE(pool.tasks_stolen(), 0);
+  EXPECT_LE(pool.tasks_stolen(), pool.tasks_executed());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -6,15 +6,95 @@
 //   cqac> rewrite verify coalesce
 //
 // Also scriptable:  ./build/tools/cqacsh < session.cqac
+//
+// Batch service mode: `cqacsh --serve-batch [--jobs N]` reads a stream of
+// jobs (blocks of `view`/`query` lines separated by `run`, `---`, or a
+// blank line) and executes them concurrently over a work-stealing thread
+// pool with a shared containment memo cache, printing results in input
+// order.  See src/runtime/batch_driver.h for the format.
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include <unistd.h>
 
 #include "cli/shell.h"
+#include "runtime/batch_driver.h"
 
-int main() {
+namespace {
+
+/// Parses a non-negative integer; false on trailing garbage ("4x", "abc").
+bool ParseJobs(const char* text, int* jobs) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0 || value > 1 << 20) {
+    return false;
+  }
+  *jobs = static_cast<int>(value);
+  return true;
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "usage: cqacsh [--jobs N] [--serve-batch] [--help]\n"
+         "  --jobs N       worker threads for rewriting (0 = all cores;\n"
+         "                 default: all cores; 1 = serial)\n"
+         "  --serve-batch  read rewriting jobs from stdin and execute them\n"
+         "                 concurrently; otherwise run the interactive shell\n"
+         "  --help         this message\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 0;  // 0 = hardware concurrency.
+  bool serve_batch = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve-batch") {
+      serve_batch = true;
+    } else if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs needs a value\n";
+        return 1;
+      }
+      if (!ParseJobs(argv[++i], &jobs)) {
+        std::cerr << "error: --jobs needs a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!ParseJobs(arg.c_str() + 7, &jobs)) {
+        std::cerr << "error: --jobs needs a non-negative integer, got '"
+                  << arg.substr(7) << "'\n";
+        return 1;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 1;
+    }
+  }
+  if (jobs < 0) {
+    std::cerr << "error: --jobs must be >= 0\n";
+    return 1;
+  }
+
+  if (serve_batch) {
+    cqac::BatchOptions options;
+    options.jobs = jobs;
+    const cqac::BatchSummary summary =
+        cqac::RunBatch(std::cin, std::cout, options);
+    return summary.errors > 0 ? 1 : 0;
+  }
+
   cqac::Shell shell(std::cout);
+  shell.set_default_jobs(jobs);
   shell.ProcessStream(std::cin, /*interactive=*/isatty(STDIN_FILENO) != 0);
   return 0;
 }
