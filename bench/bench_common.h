@@ -25,9 +25,17 @@ inline int g_jobs = 0;
 /// trajectory record there after the run.
 inline std::string g_json_path;
 
-/// Shared containment memo cache: benches run with the same cache
-/// configuration the batch service uses, and its hit/miss counters land
-/// in the --json record.
+/// --memo: share one containment memo cache across every rewrite of the
+/// run (the batch service's configuration).  Off by default: Google
+/// Benchmark repeats each benchmark on identical generated instances, so
+/// a process-wide cache would serve Phase 2 — the dominant cost —
+/// entirely from memory after the first iteration, and steady-state
+/// numbers would measure LRU lookups instead of the algorithm (and stop
+/// being comparable to the pre-memo baselines in results/).
+inline bool g_shared_memo = false;
+
+/// The cache --memo enables; its hit/miss counters land in the --json
+/// record.
 inline cqac::MemoCache& SharedMemo() {
   static cqac::MemoCache memo(1 << 16);
   return memo;
@@ -52,7 +60,7 @@ inline int RunRewriterPoint(benchmark::State& state,
     options.jobs = g_jobs;
     const cqac::RewriteResult result =
         cqac::EquivalentRewriter(instance.query, instance.views, options,
-                                 &SharedMemo())
+                                 g_shared_memo ? &SharedMemo() : nullptr)
             .Run();
     if (result.outcome == cqac::RewriteOutcome::kRewritingFound) ++found;
     canonical += result.stats.canonical_databases;
@@ -100,11 +108,12 @@ inline std::string JsonEscape(const std::string& s) {
 }
 
 /// Shared main of every bench_* binary: strips the repo's own flags
-/// (--jobs N, --json <path>), hands the rest to Google Benchmark, and
-/// writes the trajectory record when asked.  The JSON schema is
-/// {name, wall_ms, jobs, cache_hits, cache_misses, benchmarks[]} — one
-/// file per run, accumulated as BENCH_*.json trajectory files under
-/// results/.
+/// (--jobs N, --json <path>, --memo), hands the rest to Google
+/// Benchmark, and writes the trajectory record when asked.  The JSON
+/// schema is {name, wall_ms, jobs, cache_hits, cache_misses,
+/// benchmarks[]} — one file per run, accumulated as BENCH_*.json
+/// trajectory files under results/; cache_hits/misses are zero unless
+/// --memo is given.
 inline int BenchMain(int argc, char** argv) {
   std::string name = argc > 0 ? argv[0] : "bench";
   if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
@@ -122,6 +131,8 @@ inline int BenchMain(int argc, char** argv) {
       g_json_path = argv[++i];
     } else if (arg.rfind("--json=", 0) == 0) {
       g_json_path = arg.c_str() + 7;
+    } else if (arg == "--memo") {
+      g_shared_memo = true;
     } else {
       args.push_back(argv[i]);
     }

@@ -1,5 +1,6 @@
 #include "cli/shell.h"
 
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -27,6 +28,18 @@ std::pair<std::string, std::string> SplitCommand(const std::string& line) {
   const size_t rest = line.find_first_not_of(" \t", end);
   return {line.substr(start, end - start),
           rest == std::string::npos ? "" : line.substr(rest)};
+}
+
+/// Parses a non-negative integer; false on trailing garbage ("4x",
+/// "abc").  Same strictness as cqacsh's --jobs parser.
+bool ParseJobsValue(const std::string& text, int* jobs) {
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || value < 0 || value > 1 << 20) {
+    return false;
+  }
+  *jobs = static_cast<int>(value);
+  return true;
 }
 
 }  // namespace
@@ -140,14 +153,11 @@ void Shell::CmdRewrite(const std::string& args) {
     } else if (flag == "minimize") {
       options.minimize_output = true;
     } else if (flag.rfind("jobs=", 0) == 0) {
-      try {
-        options.jobs = std::stoi(flag.substr(5));
-      } catch (...) {
+      int jobs = 0;
+      if (ParseJobsValue(flag.substr(5), &jobs)) {
+        options.jobs = jobs;
+      } else {
         out_ << "warning: bad jobs value '" << flag << "' ignored\n";
-      }
-      if (options.jobs < 0) {
-        out_ << "warning: negative jobs value ignored\n";
-        options.jobs = default_jobs_;
       }
     } else {
       out_ << "warning: unknown flag '" << flag << "' ignored\n";

@@ -76,7 +76,9 @@ struct RewriteOptions {
   /// containment checks.  1 (the default) runs the classic serial loop;
   /// 0 means std::thread::hardware_concurrency(); any other value is the
   /// thread count of the runtime/parallel_rewriter driver.  Results are
-  /// byte-identical to the serial path regardless of the value.
+  /// byte-identical to the serial path regardless of the value (with a
+  /// memo cache, the work counter stats.phase2_orders may differ; see
+  /// runtime/parallel_rewriter.h).
   int jobs = 1;
 };
 
@@ -241,7 +243,8 @@ class EquivalentRewriter {
 
   /// Runs the algorithm.  Deterministic for fixed inputs; with
   /// options.jobs != 1 the run is delegated to the parallel driver, whose
-  /// result is byte-identical to the serial one.
+  /// result is byte-identical to the serial one (modulo the memo-cache
+  /// caveat in runtime/parallel_rewriter.h).
   RewriteResult Run();
 
  private:

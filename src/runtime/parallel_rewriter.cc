@@ -1,5 +1,6 @@
 #include "runtime/parallel_rewriter.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <map>
@@ -43,9 +44,13 @@ class Latch {
   int64_t remaining_;
 };
 
-/// One canonical database's slot in the fan-out.
+/// One canonical database's slot in the Phase-1 sliding window.  The
+/// slot for enumeration index i is slots[i % window]; `done` is guarded
+/// by the window mutex, which also publishes the task's `outcome` write
+/// to the merging thread.
 struct DbSlot {
-  bool executed = false;
+  TotalOrder order;
+  bool done = false;
   DatabaseOutcome outcome;
 };
 
@@ -90,64 +95,50 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
 
-  // --- Phase 1 fan-out: one task per canonical database ---
-
-  // Materialize the orders the serial loop would have processed.  The
-  // serial path aborts upon *enumerating* database max+1, after fully
-  // processing the first max; reproduce that by capping the worklist.
-  std::vector<TotalOrder> orders;
-  bool abort_pending = false;
-  {
-    int64_t enumerated = 0;
-    ForEachTotalOrder(query.AllVariables(), work.constants,
-                      [&](const TotalOrder& order) {
-                        ++enumerated;
-                        if (options.max_canonical_databases >= 0 &&
-                            enumerated > options.max_canonical_databases) {
-                          abort_pending = true;
-                          return false;
-                        }
-                        orders.push_back(order);
-                        return true;
-                      });
-  }
-
-  const int64_t num_dbs = static_cast<int64_t>(orders.size());
-  report->db_tasks_total = num_dbs;
-  std::vector<DbSlot> db_slots(static_cast<size_t>(num_dbs));
+  // --- Phase 1 fan-out: one task per canonical database, streamed ---
+  //
+  // The number of total orders is factorial in |variables| + |constants|,
+  // and the serial loop streams them with O(1) memory.  Materializing the
+  // whole worklist before submitting could therefore OOM before any task
+  // runs when no database budget is set, so only a bounded window of
+  // orders is ever in flight: the main thread enumerates lazily, submits
+  // index i into ring slot i % window, and merges completed slots in
+  // enumeration order — the ordered merge replays the serial loop — to
+  // free them for reuse.  The serial path aborts upon *enumerating*
+  // database max+1, after fully processing the first max; the streaming
+  // loop reproduces that by stopping enumeration at the budget.
+  const int64_t window =
+      std::max<int64_t>(static_cast<int64_t>(pool->num_threads()) * 8, 64);
+  std::vector<DbSlot> db_slots(static_cast<size_t>(window));
+  std::mutex win_mu;
+  std::condition_variable win_cv;
   PrefixCancel db_cancel;
   std::atomic<int64_t> db_executed{0};
-  {
-    Latch latch(num_dbs);
-    for (int64_t i = 0; i < num_dbs; ++i) {
-      pool->Submit([&, i] {
-        // First failing D_i cancels everything past it; work at or below
-        // the cutoff must still run so the merge reproduces the serial
-        // prefix (see PrefixCancel).
-        if (db_cancel.ShouldRun(i)) {
-          DbSlot& slot = db_slots[static_cast<size_t>(i)];
-          slot.outcome = ProcessCanonicalDatabase(work, orders[i]);
-          slot.executed = true;
-          db_executed.fetch_add(1, std::memory_order_relaxed);
-          if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
-            db_cancel.FailAt(i);
-          }
-        }
-        latch.Done();
-      });
-    }
-    latch.Wait();
-  }
-  report->db_tasks_executed = db_executed.load();
-  report->db_tasks_cancelled = num_dbs - report->db_tasks_executed;
-
-  // --- Ordered merge: replay the serial loop over the task outcomes ---
 
   std::vector<ConjunctiveQuery> pre_rewritings;
   std::set<std::string> pre_rewriting_keys;
+  int64_t submitted = 0;  // tasks handed to the pool
+  int64_t merged = 0;     // slots replayed into the result, in order
   bool failed = false;
-  for (int64_t i = 0; i < num_dbs; ++i) {
-    DbSlot& slot = db_slots[static_cast<size_t>(i)];
+  bool abort_pending = false;
+
+  // Waits for the task at enumeration index `merged` and frees its slot.
+  // When `replay` is set, first reproduces the serial loop's handling of
+  // the outcome (stats, trace, dedup, first-failure capture); after a
+  // failure the remaining in-flight slots are drained without replaying,
+  // exactly as the serial loop never visits them.
+  const auto consume_next = [&](bool replay) {
+    DbSlot& slot = db_slots[static_cast<size_t>(merged % window)];
+    {
+      std::unique_lock<std::mutex> lock(win_mu);
+      win_cv.wait(lock, [&] { return slot.done; });
+      slot.done = false;
+    }
+    ++merged;
+    if (!replay) {
+      slot.outcome = DatabaseOutcome();
+      return;
+    }
     ++result.stats.canonical_databases;
     result.stats.Merge(slot.outcome.stats);
     if (options.explain) {
@@ -156,14 +147,63 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
     if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
       failed = true;
       result.failure_reason = std::move(slot.outcome.failure_reason);
-      break;
-    }
-    if (slot.outcome.status == DatabaseOutcome::Status::kKept &&
-        pre_rewriting_keys.insert(slot.outcome.pre_rewriting->ToString())
-            .second) {
+    } else if (slot.outcome.status == DatabaseOutcome::Status::kKept &&
+               pre_rewriting_keys.insert(slot.outcome.pre_rewriting->ToString())
+                   .second) {
       pre_rewritings.push_back(*std::move(slot.outcome.pre_rewriting));
     }
+    slot.outcome = DatabaseOutcome();
+  };
+
+  {
+    int64_t enumerated = 0;
+    ForEachTotalOrder(
+        query.AllVariables(), work.constants, [&](const TotalOrder& order) {
+          ++enumerated;
+          if (options.max_canonical_databases >= 0 &&
+              enumerated > options.max_canonical_databases) {
+            abort_pending = true;
+            return false;
+          }
+          // Reusing ring slot i % window requires its previous occupant
+          // (index i - window) to have been merged first.
+          while (submitted - merged >= window) {
+            consume_next(/*replay=*/true);
+            if (failed) return false;
+          }
+          const int64_t i = submitted;
+          db_slots[static_cast<size_t>(i % window)].order = order;
+          pool->Submit([&, i] {
+            DbSlot& slot = db_slots[static_cast<size_t>(i % window)];
+            // First failing D_i cancels everything past it; work at or
+            // below the cutoff must still run so the merge reproduces
+            // the serial prefix (see PrefixCancel).
+            if (db_cancel.ShouldRun(i)) {
+              slot.outcome = ProcessCanonicalDatabase(work, slot.order);
+              db_executed.fetch_add(1, std::memory_order_relaxed);
+              if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
+                db_cancel.FailAt(i);
+              }
+            }
+            // Notify while holding the lock: the merging thread owns
+            // win_cv's stack frame and may destroy it the moment it can
+            // observe `done`, which the lock delays until the notify has
+            // returned.
+            std::lock_guard<std::mutex> lock(win_mu);
+            slot.done = true;
+            win_cv.notify_all();
+          });
+          ++submitted;
+          return true;
+        });
   }
+  // Replay the tail in order; after a failure only drain, never replay —
+  // every submitted task must finish before its captured state dies.
+  while (merged < submitted) consume_next(/*replay=*/!failed);
+
+  report->db_tasks_total = submitted;
+  report->db_tasks_executed = db_executed.load();
+  report->db_tasks_cancelled = submitted - report->db_tasks_executed;
 
   if (failed) {
     result.outcome = RewriteOutcome::kNoRewriting;

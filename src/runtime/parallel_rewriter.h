@@ -11,10 +11,11 @@ class MemoCache;
 class ThreadPool;
 
 /// Scheduling telemetry of one ParallelRewrite call — how the fan-out and
-/// the cooperative cancellation behaved.  Unlike RewriteStats (which is
-/// byte-identical to the serial run by construction), these counters
-/// describe the parallel execution itself and legitimately vary run to
-/// run: a canceled task is work the early-abort saved.
+/// the cooperative cancellation behaved.  Unlike RewriteStats (which,
+/// absent a memo cache, is byte-identical to the serial run by
+/// construction), these counters describe the parallel execution itself
+/// and legitimately vary run to run: a canceled task is work the
+/// early-abort saved.
 struct ParallelRewriteReport {
   int jobs = 0;  // worker threads used
 
@@ -39,18 +40,23 @@ struct ParallelRewriteReport {
 /// in-flight work past the first failing database (the paper's "some D_i
 /// has no MCR => no rewriting exists" short-circuit).
 ///
-/// Deterministic by construction: the result — outcome, rewriting,
-/// failure reason, trace, and stats — is byte-identical to
-/// EquivalentRewriter's serial run for every thread count and task
-/// interleaving.  See docs/ALGORITHM.md ("Parallel runtime") for the
-/// argument.
+/// Deterministic by construction: with `memo == nullptr` the result —
+/// outcome, rewriting, failure reason, trace, and stats — is
+/// byte-identical to EquivalentRewriter's serial run for every thread
+/// count and task interleaving.  See docs/ALGORITHM.md ("Parallel
+/// runtime") for the argument.  With a memo cache the *answer* (outcome,
+/// rewriting, failure reason, trace) is still byte-identical — verdicts
+/// are pure functions of their keys — but the work counter
+/// `stats.phase2_orders` is not: a cached verdict enumerates 0 orders,
+/// and which checks hit depends on the cache's prior contents and, under
+/// a shared cache, on scheduling (two threads can race the same key to
+/// a double miss).  The same applies to `report->cache_hits/misses`.
 ///
 /// `options.jobs` selects the thread count (0 = hardware concurrency)
 /// unless `pool` is supplied, in which case its threads are used and the
 /// pool may be shared with other concurrent work.  `memo`, when non-null,
-/// memoizes Phase-2 containment verdicts (pure by key, so sharing it
-/// across runs or threads never changes answers).  `report`, when
-/// non-null, receives scheduling telemetry.
+/// memoizes Phase-2 containment verdicts.  `report`, when non-null,
+/// receives scheduling telemetry.
 RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
                               const ViewSet& views,
                               const RewriteOptions& options,

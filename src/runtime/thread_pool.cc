@@ -48,8 +48,17 @@ void ThreadPool::Submit(Task task) {
   } else {
     target = static_cast<int>(next_queue_.fetch_add(1) % queues_.size());
   }
-  pending_.fetch_add(1);
   queues_[target]->Push(std::move(task));
+  {
+    // The increment must be serialized with the workers' predicate
+    // evaluation (which runs under mu_): done outside the lock, it can
+    // land between a worker's predicate check and its block in
+    // cv_.wait, and the notify below is lost — with every worker asleep
+    // the task would never run.  Pushing first means a woken worker
+    // always finds the task.
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.fetch_add(1);
+  }
   cv_.notify_one();
 }
 

@@ -64,7 +64,11 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::atomic<int64_t> pending_{0};  // submitted, not yet started
+  // Submitted, not yet started.  Incremented under mu_ (after the push)
+  // so the transition is serialized with the workers' wait predicate;
+  // may be transiently negative when a worker pops a task before its
+  // submitter's increment.
+  std::atomic<int64_t> pending_{0};
   std::atomic<bool> stopping_{false};
 
   std::atomic<uint64_t> next_queue_{0};

@@ -176,9 +176,12 @@ TEST(ParallelRewriterTest, FailingDatabaseCancelsOutstandingTasks) {
       query, views, options, /*memo=*/nullptr, /*pool=*/nullptr, &report);
   ExpectResultsEqual(serial, parallel, "cancellation");
 
-  // 4 variables => 75 canonical databases fanned out; the first failure
-  // cancels (almost) everything behind it.
-  EXPECT_EQ(report.db_tasks_total, 75);
+  // 4 variables => 75 canonical databases, but the driver streams them
+  // through a bounded window and stops enumerating once the first
+  // failure merges, so the fan-out may stop short of 75; the first
+  // failure cancels (almost) everything fanned out behind it.
+  EXPECT_GT(report.db_tasks_total, 0);
+  EXPECT_LE(report.db_tasks_total, 75);
   EXPECT_GT(report.db_tasks_cancelled, 0);
   EXPECT_EQ(report.db_tasks_executed + report.db_tasks_cancelled,
             report.db_tasks_total);
