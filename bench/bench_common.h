@@ -3,11 +3,14 @@
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include <unistd.h>
 
 #include "benchmark/benchmark.h"
 #include "rewriting/equiv_rewriter.h"
@@ -16,6 +19,15 @@
 #include "workload/generator.h"
 
 namespace cqac_bench {
+
+/// True when this translation unit was compiled without NDEBUG, i.e. with
+/// assertions on.  Numbers from such a build are not comparable to the
+/// checked-in results/ baselines, which are all Release.
+#ifdef NDEBUG
+inline constexpr bool kDebugBuild = false;
+#else
+inline constexpr bool kDebugBuild = true;
+#endif
 
 /// Worker threads for rewriter-driven benches, set by --jobs N.
 /// 0 = hardware concurrency (the default), 1 = the serial fallback.
@@ -76,9 +88,15 @@ inline int RunRewriterPoint(benchmark::State& state,
 }
 
 /// Console reporter that additionally records each benchmark's mean real
-/// time, for the --json trajectory record.
+/// time, for the --json trajectory record.  A manually constructed
+/// ConsoleReporter defaults to forced color, which would smear ANSI
+/// escapes into the results/*.txt snapshots — so only color on a tty.
 class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
  public:
+  JsonTrajectoryReporter()
+      : benchmark::ConsoleReporter(isatty(fileno(stdout)) ? OO_ColorTabular
+                                                          : OO_Tabular) {}
+
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
@@ -110,11 +128,22 @@ inline std::string JsonEscape(const std::string& s) {
 /// Shared main of every bench_* binary: strips the repo's own flags
 /// (--jobs N, --json <path>, --memo), hands the rest to Google
 /// Benchmark, and writes the trajectory record when asked.  The JSON
-/// schema is {name, wall_ms, jobs, cache_hits, cache_misses,
+/// schema is {name, debug_build, wall_ms, jobs, cache_hits, cache_misses,
 /// benchmarks[]} — one file per run, accumulated as BENCH_*.json
 /// trajectory files under results/; cache_hits/misses are zero unless
 /// --memo is given.
 inline int BenchMain(int argc, char** argv) {
+  if (kDebugBuild) {
+    std::fprintf(
+        stderr,
+        "========================================================\n"
+        "WARNING: this benchmark was compiled WITHOUT NDEBUG.\n"
+        "Assertions are on; timings are NOT comparable to the\n"
+        "checked-in results/.  Rebuild with\n"
+        "  cmake -DCMAKE_BUILD_TYPE=Release\n"
+        "(tools/run_benches.sh does this) before recording numbers.\n"
+        "========================================================\n");
+  }
   std::string name = argc > 0 ? argv[0] : "bench";
   if (const size_t slash = name.find_last_of('/'); slash != std::string::npos) {
     name = name.substr(slash + 1);
@@ -156,6 +185,7 @@ inline int BenchMain(int argc, char** argv) {
     std::ofstream json(g_json_path);
     json << "{\n"
          << "  \"name\": \"" << JsonEscape(name) << "\",\n"
+         << "  \"debug_build\": " << (kDebugBuild ? "true" : "false") << ",\n"
          << "  \"wall_ms\": " << wall_ms << ",\n"
          << "  \"jobs\": " << cqac::ThreadPool::ResolveJobs(g_jobs) << ",\n"
          << "  \"cache_hits\": " << cache.hits << ",\n"

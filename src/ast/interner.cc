@@ -1,0 +1,18 @@
+#include "ast/interner.h"
+
+namespace cqac {
+
+// Intern/Find/NameOf stay in the header: they sit on the innermost loops of
+// query compilation and must inline.  Out-of-line code lives here.
+
+std::string InternerDebugString(const SymbolInterner& interner) {
+  std::string out = "{";
+  for (uint32_t id = 0; id < interner.size(); ++id) {
+    if (id > 0) out += ", ";
+    out += std::to_string(id) + ": " + interner.NameOf(id);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace cqac

@@ -33,6 +33,13 @@ class Substitution {
     return bindings_.at(var);
   }
 
+  /// The binding of `var`, or nullptr — one map probe instead of the
+  /// IsBound-then-Lookup pair.
+  const Term* Find(const std::string& var) const {
+    auto it = bindings_.find(var);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
   /// Removes the binding of `var`, if any.
   void Unbind(const std::string& var) { bindings_.erase(var); }
 

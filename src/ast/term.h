@@ -68,10 +68,18 @@ class Term {
     return is_variable_ ? name_ : constant_.ToString();
   }
 
-  /// Hash compatible with `operator==`.
+  /// Hash compatible with `operator==`.  The variable/constant tag is
+  /// mixed in with a splitmix-style combine rather than a plain xor, so a
+  /// variable and a constant whose underlying hashes collide still spread
+  /// apart, and low-entropy string hashes get diffused.
   size_t Hash() const {
-    return is_variable_ ? std::hash<std::string>()(name_) ^ 0x517cc1b7
-                        : constant_.Hash();
+    size_t h = is_variable_ ? std::hash<std::string>()(name_)
+                            : constant_.Hash();
+    h += is_variable_ ? 0x9e3779b97f4a7c15ULL : 0x517cc1b726220a95ULL;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return h;
   }
 
  private:

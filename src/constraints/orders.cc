@@ -12,46 +12,54 @@ Term OrderBlock::Representative() const {
   return Term::Variable(variables.front());
 }
 
-std::map<std::string, Rational> TotalOrder::ToAssignment() const {
+void TotalOrder::BlockValues(std::vector<Rational>* out) const {
   const int n = static_cast<int>(blocks.size());
-  std::vector<Rational> values(n);
+  std::vector<Rational>& values = *out;
+  values.resize(n);
 
   // Positions of the blocks that carry constants; their values are fixed.
-  std::vector<int> const_positions;
+  // (Constants appear in ascending order, so the values below are strictly
+  // increasing across blocks.)
+  int first = -1;
+  int last = -1;
   for (int i = 0; i < n; ++i) {
     if (blocks[i].constant.has_value()) {
       values[i] = *blocks[i].constant;
-      const_positions.push_back(i);
+      if (first < 0) first = i;
+      last = i;
     }
   }
 
-  if (const_positions.empty()) {
+  if (first < 0) {
     for (int i = 0; i < n; ++i) values[i] = Rational(i + 1);
-  } else {
-    // Before the first constant: integers descending below it.
-    const int first = const_positions.front();
-    for (int i = 0; i < first; ++i) {
-      values[i] = values[first] - Rational(first - i);
-    }
-    // Between consecutive constants: evenly spaced rationals (density).
-    for (size_t c = 0; c + 1 < const_positions.size(); ++c) {
-      const int lo = const_positions[c];
-      const int hi = const_positions[c + 1];
-      const int gap = hi - lo - 1;
-      const Rational span = values[hi] - values[lo];
-      for (int i = lo + 1; i < hi; ++i) {
-        values[i] = values[lo] + span * Rational(i - lo, gap + 1);
-      }
-    }
-    // After the last constant: integers ascending above it.
-    const int last = const_positions.back();
-    for (int i = last + 1; i < n; ++i) {
-      values[i] = values[last] + Rational(i - last);
-    }
+    return;
   }
+  // Before the first constant: integers descending below it.
+  for (int i = 0; i < first; ++i) {
+    values[i] = values[first] - Rational(first - i);
+  }
+  // Between consecutive constants: evenly spaced rationals (density).
+  int lo = first;
+  for (int hi = first + 1; hi <= last; ++hi) {
+    if (!blocks[hi].constant.has_value()) continue;
+    const int gap = hi - lo - 1;
+    const Rational span = values[hi] - values[lo];
+    for (int i = lo + 1; i < hi; ++i) {
+      values[i] = values[lo] + span * Rational(i - lo, gap + 1);
+    }
+    lo = hi;
+  }
+  // After the last constant: integers ascending above it.
+  for (int i = last + 1; i < n; ++i) {
+    values[i] = values[last] + Rational(i - last);
+  }
+}
 
+std::map<std::string, Rational> TotalOrder::ToAssignment() const {
+  std::vector<Rational> values;
+  BlockValues(&values);
   std::map<std::string, Rational> assignment;
-  for (int i = 0; i < n; ++i) {
+  for (size_t i = 0; i < blocks.size(); ++i) {
     for (const std::string& v : blocks[i].variables) {
       assignment.emplace(v, values[i]);
     }
@@ -184,46 +192,213 @@ std::vector<TotalOrder> EnumerateTotalOrders(
 
 namespace {
 
-/// As InsertRemaining, but prunes any prefix whose order constraints are
-/// already inconsistent with `axioms`.
-bool InsertRemainingSatisfying(
-    const std::vector<std::string>& variables, size_t next, TotalOrder* order,
-    const std::vector<Comparison>& axioms,
-    const std::function<bool(const TotalOrder&)>& fn) {
-  {
-    // Consistency of the partial placement: the axioms conjoined with the
-    // order constraints over the already-placed items must be satisfiable.
-    std::vector<Comparison> combined = axioms;
-    const std::vector<Comparison> placed = order->ToComparisons();
-    combined.insert(combined.end(), placed.begin(), placed.end());
-    if (!AcSolver::IsSatisfiable(combined)) return true;  // Prune subtree.
-  }
-  if (next == variables.size()) {
-    // The order is total over all variables and the axioms' constants, so
-    // consistency of the conjunction implies the witness satisfies the
-    // axioms; check explicitly for safety.
-    if (!AcSolver::SatisfiedBy(axioms, order->ToAssignment())) return true;
-    return fn(*order);
-  }
-  const std::string& var = variables[next];
-  for (size_t b = 0; b < order->blocks.size(); ++b) {
-    order->blocks[b].variables.push_back(var);
-    if (!InsertRemainingSatisfying(variables, next + 1, order, axioms, fn)) {
-      return false;
+/// Satisfying-order enumeration with a compiled axiom filter.
+///
+/// Visits exactly the orders the naive enumerate-then-filter loop would:
+/// pruning only removes subtrees containing no satisfying leaf, and the
+/// leaf test itself is unchanged in outcome, so the sequence of orders
+/// handed to `fn` is identical to the reference behavior (axioms +
+/// order->ToComparisons() into AcSolver at every node).
+///
+/// The compilation: axiom terms resolve to block positions.  Constants
+/// always occupy their sorted base block; variable placements are tracked
+/// incrementally as the recursion inserts/removes them (block indexes
+/// shift when a gap insertion opens a new block).  Once every axiom
+/// variable is placed, the block chain totally orders all axiom terms —
+/// block values are strictly increasing — so each axiom's truth is decided
+/// by comparing block positions, and satisfiability of axioms+order
+/// degenerates to "every axiom holds by position": O(|axioms|) integer
+/// compares per node, no graph construction, no allocation.  While some
+/// axiom variable is unplaced (only near the root, or when an axiom
+/// mentions a variable outside `variables`), the reference AcSolver check
+/// runs instead.
+class SatisfyingOrderEnumerator {
+ public:
+  SatisfyingOrderEnumerator(const std::vector<std::string>& variables,
+                            const std::vector<Rational>& sorted_constants,
+                            const std::vector<Comparison>& axioms)
+      : variables_(variables), axioms_(axioms) {
+    // Compile each axiom to (position-source, op, position-source), where a
+    // source is either a tracked variable slot or a constant's block slot.
+    auto var_slot = [this](const std::string& name) -> int {
+      auto [it, inserted] =
+          var_ids_.emplace(name, static_cast<int>(var_block_.size()));
+      if (inserted) var_block_.push_back(kUnplaced);
+      return it->second;
+    };
+    auto compile_term = [&](const Term& t, bool* is_var, int* slot) {
+      if (t.IsVariable()) {
+        *is_var = true;
+        *slot = var_slot(t.name());
+        return;
+      }
+      *is_var = false;
+      const auto it = std::lower_bound(sorted_constants.begin(),
+                                       sorted_constants.end(), t.value());
+      if (it == sorted_constants.end() || *it != t.value()) {
+        // Contract violation (axiom constant outside `constants`): the
+        // position encoding cannot represent it; stay on the reference
+        // checks throughout.
+        incomplete_ = true;
+        *slot = 0;
+        return;
+      }
+      *slot = static_cast<int>(it - sorted_constants.begin());
+    };
+    compiled_.reserve(axioms.size());
+    for (const Comparison& c : axioms) {
+      CompiledAxiom ca;
+      ca.op = c.op();
+      compile_term(c.lhs(), &ca.lhs_is_var, &ca.lhs);
+      compile_term(c.rhs(), &ca.rhs_is_var, &ca.rhs);
+      compiled_.push_back(ca);
     }
-    order->blocks[b].variables.pop_back();
-  }
-  OrderBlock fresh;
-  fresh.variables.push_back(var);
-  for (size_t gap = 0; gap <= order->blocks.size(); ++gap) {
-    order->blocks.insert(order->blocks.begin() + gap, fresh);
-    if (!InsertRemainingSatisfying(variables, next + 1, order, axioms, fn)) {
-      return false;
+    // Constant blocks start at positions 0..k-1 of the base order and
+    // shift as variable blocks open before them.
+    const_block_.resize(sorted_constants.size());
+    for (size_t i = 0; i < sorted_constants.size(); ++i) {
+      const_block_[i] = static_cast<int>(i);
     }
-    order->blocks.erase(order->blocks.begin() + gap);
+    unplaced_ = static_cast<int>(var_block_.size());
+    // Which tracked variable (if any) each insertion step places.
+    insertion_var_.assign(variables.size(), kNotTracked);
+    for (size_t i = 0; i < variables.size(); ++i) {
+      const auto it = var_ids_.find(variables[i]);
+      if (it != var_ids_.end()) insertion_var_[i] = it->second;
+    }
   }
-  return true;
-}
+
+  void Run(TotalOrder* order, const std::function<bool(const TotalOrder&)>& fn) {
+    Insert(0, order, fn);
+  }
+
+ private:
+  static constexpr int kUnplaced = -1;
+  static constexpr int kNotTracked = -1;
+
+  struct CompiledAxiom {
+    bool lhs_is_var;
+    bool rhs_is_var;
+    int lhs;  // tracked-variable slot or constant slot
+    int rhs;
+    CompOp op;
+  };
+
+  bool FastPath() const { return !incomplete_ && unplaced_ == 0; }
+
+  /// With every axiom term placed, block positions decide each axiom
+  /// (block values are strictly increasing, constants sit at their own
+  /// values): the conjunction is satisfiable iff every axiom holds.
+  bool AxiomsHoldByPosition() const {
+    for (const CompiledAxiom& a : compiled_) {
+      const int i = a.lhs_is_var ? var_block_[a.lhs] : const_block_[a.lhs];
+      const int j = a.rhs_is_var ? var_block_[a.rhs] : const_block_[a.rhs];
+      bool ok = false;
+      switch (a.op) {
+        case CompOp::kLt: ok = i < j; break;
+        case CompOp::kLe: ok = i <= j; break;
+        case CompOp::kEq: ok = i == j; break;
+        case CompOp::kNe: ok = i != j; break;
+        case CompOp::kGe: ok = i >= j; break;
+        case CompOp::kGt: ok = i > j; break;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  /// Satisfiability of axioms + the partial order's constraints (the
+  /// subtree prune).  Reference path reuses the `combined_` buffer.
+  bool Consistent(const TotalOrder& order) {
+    if (FastPath()) return AxiomsHoldByPosition();
+    combined_ = axioms_;
+    const std::vector<Comparison> placed = order.ToComparisons();
+    combined_.insert(combined_.end(), placed.begin(), placed.end());
+    return AcSolver::IsSatisfiable(combined_);
+  }
+
+  bool Insert(size_t next, TotalOrder* order,
+              const std::function<bool(const TotalOrder&)>& fn) {
+    if (!Consistent(*order)) return true;  // Prune subtree.
+    if (next == variables_.size()) {
+      // On the fast path the positional check above already decided the
+      // (now total) order satisfies the axioms; otherwise verify the
+      // witness explicitly, as the reference does.
+      if (!FastPath() &&
+          !AcSolver::SatisfiedBy(axioms_, order->ToAssignment())) {
+        return true;
+      }
+      return fn(*order);
+    }
+    const std::string& var = variables_[next];
+    const int tracked = insertion_var_[next];
+    for (size_t b = 0; b < order->blocks.size(); ++b) {
+      order->blocks[b].variables.push_back(var);
+      if (tracked != kNotTracked) {
+        var_block_[tracked] = static_cast<int>(b);
+        --unplaced_;
+      }
+      const bool keep_going = Insert(next + 1, order, fn);
+      if (tracked != kNotTracked) {
+        var_block_[tracked] = kUnplaced;
+        ++unplaced_;
+      }
+      order->blocks[b].variables.pop_back();
+      if (!keep_going) return false;
+    }
+    OrderBlock fresh;
+    fresh.variables.push_back(var);
+    for (size_t gap = 0; gap <= order->blocks.size(); ++gap) {
+      order->blocks.insert(order->blocks.begin() + gap, fresh);
+      ShiftUp(static_cast<int>(gap));
+      if (tracked != kNotTracked) {
+        var_block_[tracked] = static_cast<int>(gap);
+        --unplaced_;
+      }
+      const bool keep_going = Insert(next + 1, order, fn);
+      if (tracked != kNotTracked) {
+        var_block_[tracked] = kUnplaced;
+        ++unplaced_;
+      }
+      ShiftDown(static_cast<int>(gap));
+      order->blocks.erase(order->blocks.begin() + gap);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  /// A new block opened at `gap`: every tracked placement at or after it
+  /// moves up one position.  (kUnplaced is negative, so it never shifts.)
+  void ShiftUp(int gap) {
+    for (int& b : var_block_) {
+      if (b >= gap) ++b;
+    }
+    for (int& b : const_block_) {
+      if (b >= gap) ++b;
+    }
+  }
+
+  /// Inverse of ShiftUp after the block at `gap` is removed.
+  void ShiftDown(int gap) {
+    for (int& b : var_block_) {
+      if (b > gap) --b;
+    }
+    for (int& b : const_block_) {
+      if (b > gap) --b;
+    }
+  }
+
+  const std::vector<std::string>& variables_;
+  const std::vector<Comparison>& axioms_;
+  std::map<std::string, int> var_ids_;
+  std::vector<CompiledAxiom> compiled_;
+  std::vector<int> var_block_;    // tracked variable -> block, or kUnplaced
+  std::vector<int> const_block_;  // constant slot -> block (always placed)
+  std::vector<int> insertion_var_;
+  int unplaced_ = 0;
+  bool incomplete_ = false;
+  std::vector<Comparison> combined_;
+};
 
 }  // namespace
 
@@ -243,7 +418,8 @@ void ForEachSatisfyingOrder(const std::vector<std::string>& variables,
     block.constant = c;
     base.blocks.push_back(block);
   }
-  InsertRemainingSatisfying(variables, 0, &base, axioms, fn);
+  SatisfyingOrderEnumerator(variables, sorted_constants, axioms)
+      .Run(&base, fn);
 }
 
 int64_t CountTotalOrders(int num_variables) {

@@ -37,6 +37,12 @@ struct TotalOrder {
   /// neighbors' values (density), or beyond the extremes (unboundedness).
   std::map<std::string, Rational> ToAssignment() const;
 
+  /// The per-block values underlying ToAssignment, written into `values`
+  /// (resized to blocks.size()).  Values are strictly increasing across
+  /// blocks.  This is the allocation-light form used by canonical-database
+  /// freezing; ToAssignment is a map-building wrapper around it.
+  void BlockValues(std::vector<Rational>* values) const;
+
   /// The order as a conjunction of comparisons: equalities within each
   /// block and `<` between representatives of adjacent blocks.
   std::vector<Comparison> ToComparisons() const;

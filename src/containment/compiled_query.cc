@@ -1,0 +1,59 @@
+#include "containment/compiled_query.h"
+
+#include <algorithm>
+
+namespace cqac {
+
+uint32_t CompileContext::InternConstant(const Rational& value) {
+  // The pool is tiny (a handful of distinct constants per query pair);
+  // a sorted vector beats a hash map at this size and gives deterministic
+  // slot assignment.
+  auto it = std::lower_bound(
+      constant_slots_.begin(), constant_slots_.end(), value,
+      [](const std::pair<Rational, uint32_t>& entry, const Rational& v) {
+        return entry.first < v;
+      });
+  if (it != constant_slots_.end() && it->first == value) return it->second;
+  const uint32_t slot = static_cast<uint32_t>(constants_.size());
+  constants_.push_back(value);
+  constant_slots_.insert(it, {value, slot});
+  return slot;
+}
+
+void CompileContext::CompileAtom(const Atom& atom, SymbolInterner* vars,
+                                 CompiledQuery* out, CompiledAtom* compiled) {
+  compiled->predicate = predicates_.Intern(atom.predicate());
+  compiled->args_begin = static_cast<uint32_t>(out->args.size());
+  for (const Term& t : atom.args()) {
+    out->args.push_back(t.IsVariable() ? VarCode(vars->Intern(t.name()))
+                                       : ConstCode(InternConstant(t.value())));
+  }
+  compiled->args_end = static_cast<uint32_t>(out->args.size());
+}
+
+void CompileContext::CompileForContainment(const ConjunctiveQuery& from,
+                                           const ConjunctiveQuery& to) {
+  predicates_.Clear();
+  from_vars_.Clear();
+  to_vars_.Clear();
+  constants_.clear();
+  constant_slots_.clear();
+  from_.body.clear();
+  from_.args.clear();
+  to_.body.clear();
+  to_.args.clear();
+
+  CompileAtom(from.head(), &from_vars_, &from_, &from_.head);
+  from_.body.resize(from.body().size());
+  for (size_t i = 0; i < from.body().size(); ++i) {
+    CompileAtom(from.body()[i], &from_vars_, &from_, &from_.body[i]);
+  }
+
+  CompileAtom(to.head(), &to_vars_, &to_, &to_.head);
+  to_.body.resize(to.body().size());
+  for (size_t i = 0; i < to.body().size(); ++i) {
+    CompileAtom(to.body()[i], &to_vars_, &to_, &to_.body[i]);
+  }
+}
+
+}  // namespace cqac

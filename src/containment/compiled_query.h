@@ -1,0 +1,104 @@
+#ifndef CQAC_CONTAINMENT_COMPILED_QUERY_H_
+#define CQAC_CONTAINMENT_COMPILED_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/interner.h"
+#include "ast/query.h"
+#include "ast/value.h"
+
+namespace cqac {
+
+/// Compiled (interned, flattened) query form used by the containment
+/// engine.  A `ConjunctiveQuery` lowers into this once per check; the
+/// backtracking search then runs entirely on dense integer codes.
+///
+/// Term codes pack a tag bit into an int32:
+///   variable id v   ->  (v << 1)
+///   constant slot c ->  (c << 1) | 1
+/// Constants are deduplicated by value into the shared `CompileContext`
+/// pool, so code equality coincides with term equality across the two
+/// queries of a check.
+
+inline int32_t VarCode(uint32_t var_id) {
+  return static_cast<int32_t>(var_id << 1);
+}
+inline int32_t ConstCode(uint32_t const_slot) {
+  return static_cast<int32_t>((const_slot << 1) | 1);
+}
+inline bool IsConstCode(int32_t code) { return (code & 1) != 0; }
+inline uint32_t VarOfCode(int32_t code) {
+  return static_cast<uint32_t>(code) >> 1;
+}
+inline uint32_t ConstOfCode(int32_t code) {
+  return static_cast<uint32_t>(code) >> 1;
+}
+
+/// One relational atom in flat form: predicate id plus a [begin, end) span
+/// into the owning query's `args` vector of term codes.
+struct CompiledAtom {
+  uint32_t predicate;
+  uint32_t args_begin;
+  uint32_t args_end;
+
+  int arity() const { return static_cast<int>(args_end - args_begin); }
+};
+
+/// A query's head and ordinary subgoals in flat form.  Comparisons are not
+/// compiled here: containment-mapping search ignores them (CQAC layers an
+/// implication check on top).
+struct CompiledQuery {
+  CompiledAtom head;
+  std::vector<CompiledAtom> body;
+  std::vector<int32_t> args;  // term codes, spans referenced by the atoms
+
+  const int32_t* ArgsOf(const CompiledAtom& atom) const {
+    return args.data() + atom.args_begin;
+  }
+};
+
+/// Shared compilation state for one containment check: symbol tables for
+/// the two queries' variables and predicates, plus the deduplicated
+/// constant pool.  Reusable across checks via Clear-on-compile; the
+/// containment entry points keep one per call.
+class CompileContext {
+ public:
+  /// Resets the context and compiles `from` and `to` against fresh symbol
+  /// tables.  `from`'s variables get ids 0..n-1 in first-seen order
+  /// (head first), so they index binding stores directly; `to`'s
+  /// variables use an independent id space.
+  void CompileForContainment(const ConjunctiveQuery& from,
+                             const ConjunctiveQuery& to);
+
+  const CompiledQuery& from() const { return from_; }
+  const CompiledQuery& to() const { return to_; }
+
+  uint32_t num_from_vars() const { return from_vars_.size(); }
+  uint32_t num_to_vars() const { return to_vars_.size(); }
+
+  const std::string& FromVarName(uint32_t id) const {
+    return from_vars_.NameOf(id);
+  }
+  const std::string& ToVarName(uint32_t id) const {
+    return to_vars_.NameOf(id);
+  }
+  const Rational& ConstValue(uint32_t slot) const { return constants_[slot]; }
+
+ private:
+  void CompileAtom(const Atom& atom, SymbolInterner* vars, CompiledQuery* out,
+                   CompiledAtom* compiled);
+  uint32_t InternConstant(const Rational& value);
+
+  SymbolInterner predicates_;
+  SymbolInterner from_vars_;
+  SymbolInterner to_vars_;
+  std::vector<Rational> constants_;
+  std::vector<std::pair<Rational, uint32_t>> constant_slots_;  // sorted pool
+  CompiledQuery from_;
+  CompiledQuery to_;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_CONTAINMENT_COMPILED_QUERY_H_

@@ -47,6 +47,13 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
   std::vector<Rational> constants = q1.Constants();
   MergeConstants(q2.Constants(), &constants);
 
+  // Compile both sides once: q1's subgoals freeze into a flat instance per
+  // order, q2 runs as a prepared plan against it.  Head arities match, so
+  // ComputesTuple's arity precheck cannot fire.
+  CanonicalFreezer freezer(q1);
+  const PreparedQuery prepared(q2);
+  PreparedQuery::Scratch scratch;
+
   bool contained = true;
   ForEachSatisfyingOrder(
       q1.AllVariables(), constants, q1.comparisons(),
@@ -55,8 +62,8 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
           ++stats->orders_enumerated;
           ++stats->orders_satisfying;
         }
-        const CanonicalDatabase cdb = FreezeQuery(q1, order);
-        if (!ComputesTuple(q2, cdb.db, cdb.frozen_head)) {
+        const FlatInstance& inst = freezer.Freeze(order);
+        if (!prepared.Run(inst, &freezer.frozen_head(), nullptr, &scratch)) {
           contained = false;
           return false;  // Counterexample found; stop enumerating.
         }
@@ -213,6 +220,14 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
     MergeConstants(disjunct.Constants(), &constants);
   }
 
+  CanonicalFreezer freezer(q);
+  std::vector<PreparedQuery> prepared;
+  prepared.reserve(u.disjuncts().size());
+  for (const ConjunctiveQuery& disjunct : u.disjuncts()) {
+    prepared.emplace_back(disjunct);
+  }
+  PreparedQuery::Scratch scratch;
+
   bool contained = true;
   ForEachSatisfyingOrder(
       q.AllVariables(), constants, q.comparisons(),
@@ -221,8 +236,18 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
           ++stats->orders_enumerated;
           ++stats->orders_satisfying;
         }
-        const CanonicalDatabase cdb = FreezeQuery(q, order);
-        if (!ComputesTuple(u, cdb.db, cdb.frozen_head)) {
+        const FlatInstance& inst = freezer.Freeze(order);
+        bool some_disjunct_computes = false;
+        for (const PreparedQuery& pq : prepared) {
+          if (pq.head_arity() != static_cast<int>(freezer.frozen_head().size())) {
+            continue;  // ComputesTuple skips arity-mismatched disjuncts.
+          }
+          if (pq.Run(inst, &freezer.frozen_head(), nullptr, &scratch)) {
+            some_disjunct_computes = true;
+            break;
+          }
+        }
+        if (!some_disjunct_computes) {
           contained = false;
           return false;
         }

@@ -39,6 +39,18 @@ std::vector<Substitution> AllContainmentMappings(const ConjunctiveQuery& from,
 std::optional<Substitution> UnifyAtomOnto(const Atom& from, const Atom& to,
                                           Substitution base);
 
+namespace internal {
+
+/// Reference implementation of ForEachContainmentMapping that searches over
+/// string substitutions (copied per branch).  Exposed only so tests can
+/// cross-check the compiled trail-based engine against it; production
+/// callers should use ForEachContainmentMapping.
+void ForEachContainmentMappingLegacy(
+    const ConjunctiveQuery& from, const ConjunctiveQuery& to,
+    const std::function<bool(const Substitution&)>& fn);
+
+}  // namespace internal
+
 }  // namespace cqac
 
 #endif  // CQAC_CONTAINMENT_HOMOMORPHISM_H_

@@ -60,6 +60,56 @@ CanonicalDatabase FreezeQuery(const ConjunctiveQuery& q,
   return FreezeWithAssignment(q, std::move(assignment), std::move(unfreeze));
 }
 
+CanonicalFreezer::CanonicalFreezer(const ConjunctiveQuery& q) {
+  auto compile_term = [this](const Term& t) {
+    CompiledTerm ct;
+    ct.is_const = t.IsConstant();
+    if (ct.is_const) {
+      ct.value = t.value();
+      ct.slot = 0;
+    } else {
+      ct.slot = var_slots_
+                    .emplace(t.name(), static_cast<uint32_t>(var_slots_.size()))
+                    .first->second;
+    }
+    return ct;
+  };
+  subgoals_.reserve(q.body().size());
+  for (const Atom& atom : q.body()) {
+    CompiledSubgoal sg;
+    sg.relation = instance_.RelationId(atom.predicate(), atom.arity());
+    sg.terms.reserve(atom.args().size());
+    for (const Term& t : atom.args()) sg.terms.push_back(compile_term(t));
+    subgoals_.push_back(std::move(sg));
+  }
+  head_.reserve(q.head().args().size());
+  for (const Term& t : q.head().args()) head_.push_back(compile_term(t));
+  var_values_.resize(var_slots_.size());
+}
+
+const FlatInstance& CanonicalFreezer::Freeze(const TotalOrder& order) {
+  order.BlockValues(&block_values_);
+  for (size_t b = 0; b < order.blocks.size(); ++b) {
+    for (const std::string& v : order.blocks[b].variables) {
+      const auto it = var_slots_.find(v);
+      if (it != var_slots_.end()) var_values_[it->second] = block_values_[b];
+    }
+  }
+  instance_.Clear();
+  for (const CompiledSubgoal& sg : subgoals_) {
+    row_.clear();
+    for (const CompiledTerm& t : sg.terms) {
+      row_.push_back(t.is_const ? t.value : var_values_[t.slot]);
+    }
+    instance_.AddRow(sg.relation, row_.data());
+  }
+  frozen_head_.clear();
+  for (const CompiledTerm& t : head_) {
+    frozen_head_.push_back(t.is_const ? t.value : var_values_[t.slot]);
+  }
+  return instance_;
+}
+
 CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q) {
   // Fresh integer values strictly above every constant in the query, so no
   // accidental collisions with constants occur.

@@ -1,13 +1,16 @@
 #ifndef CQAC_ENGINE_CANONICAL_H_
 #define CQAC_ENGINE_CANONICAL_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/query.h"
 #include "constraints/orders.h"
 #include "engine/database.h"
+#include "engine/evaluate.h"
 
 namespace cqac {
 
@@ -50,6 +53,49 @@ CanonicalDatabase FreezeQuery(const ConjunctiveQuery& q,
 /// query Q when ignoring the ACs").  Fresh values are integers chosen above
 /// all constants occurring in `q`.
 CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q);
+
+/// Compiled canonical-database freezing for the containment hot loop: the
+/// query's subgoals and head are lowered once to (relation id, value-slot)
+/// form, and each Freeze call fills a FlatInstance from a total order's
+/// block values without rebuilding map/set structures.  After the first
+/// few calls no allocation occurs per order.
+///
+/// Produces exactly the tuples and frozen head FreezeQuery would (same
+/// value scheme via TotalOrder::BlockValues); it skips the assignment and
+/// unfreeze maps, which evaluation does not need.  Not thread-safe; use
+/// one per thread.
+class CanonicalFreezer {
+ public:
+  explicit CanonicalFreezer(const ConjunctiveQuery& q);
+
+  /// Freezes under `order`, which must cover every variable of the query.
+  /// The returned instance and frozen_head() stay valid until the next
+  /// Freeze call.
+  const FlatInstance& Freeze(const TotalOrder& order);
+
+  /// The frozen head tuple of the last Freeze.  Empty for boolean queries.
+  const Tuple& frozen_head() const { return frozen_head_; }
+
+ private:
+  struct CompiledTerm {
+    bool is_const;
+    uint32_t slot;   // variable slot when !is_const
+    Rational value;  // constant value when is_const
+  };
+  struct CompiledSubgoal {
+    uint32_t relation;
+    std::vector<CompiledTerm> terms;
+  };
+
+  std::unordered_map<std::string, uint32_t> var_slots_;
+  std::vector<CompiledSubgoal> subgoals_;
+  std::vector<CompiledTerm> head_;
+  FlatInstance instance_;
+  std::vector<Rational> block_values_;
+  std::vector<Rational> var_values_;  // slot -> value under current order
+  std::vector<Rational> row_;
+  Tuple frozen_head_;
+};
 
 }  // namespace cqac
 

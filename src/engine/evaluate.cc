@@ -1,244 +1,413 @@
 #include "engine/evaluate.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace cqac {
 
+// ---------------------------------------------------------------------------
+// FlatInstance
+
+uint32_t FlatInstance::RelationId(const std::string& predicate, int arity) {
+  const uint32_t name_id = names_.Intern(predicate);
+  if (name_id >= keys_.size()) keys_.resize(name_id + 1);
+  for (const auto& [a, rel] : keys_[name_id]) {
+    if (a == arity) return rel;
+  }
+  const uint32_t rel = static_cast<uint32_t>(relations_.size());
+  relations_.emplace_back();
+  relations_.back().arity = arity;
+  keys_[name_id].push_back({arity, rel});
+  return rel;
+}
+
+uint32_t FlatInstance::FindRelation(const std::string& predicate,
+                                    int arity) const {
+  const uint32_t name_id = names_.Find(predicate);
+  if (name_id == SymbolInterner::kNotFound) return SymbolInterner::kNotFound;
+  for (const auto& [a, rel] : keys_[name_id]) {
+    if (a == arity) return rel;
+  }
+  return SymbolInterner::kNotFound;
+}
+
+// ---------------------------------------------------------------------------
+// PreparedQuery compilation
+
+PreparedQuery::PreparedQuery(const ConjunctiveQuery& q) {
+  SymbolInterner vars;
+  // Intern every variable up front (head, body, comparisons) so ids cover
+  // comparison-only variables too; first-seen order keeps ids deterministic.
+  for (const Term& t : q.head().args()) {
+    if (t.IsVariable()) vars.Intern(t.name());
+  }
+  for (const Atom& atom : q.body()) {
+    for (const Term& t : atom.args()) {
+      if (t.IsVariable()) vars.Intern(t.name());
+    }
+  }
+  for (const Comparison& c : q.comparisons()) {
+    if (c.lhs().IsVariable()) vars.Intern(c.lhs().name());
+    if (c.rhs().IsVariable()) vars.Intern(c.rhs().name());
+  }
+  num_vars_ = vars.size();
+
+  auto intern_constant = [this](const Rational& value) -> uint32_t {
+    for (uint32_t i = 0; i < constants_.size(); ++i) {
+      if (constants_[i] == value) return i;
+    }
+    constants_.push_back(value);
+    return static_cast<uint32_t>(constants_.size() - 1);
+  };
+
+  // Greedy most-constrained-first subgoal order: next is the subgoal with
+  // the most constant-or-already-bound argument positions (ties to the
+  // lowest original index, matching the string evaluator it replaces).
+  const int n = static_cast<int>(q.body().size());
+  std::vector<char> used(n, 0);
+  std::vector<char> bound(num_vars_, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const Term& t : q.body()[i].args()) {
+        if (t.IsConstant() || bound[vars.Find(t.name())]) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = 1;
+    order.push_back(best);
+    for (const Term& t : q.body()[best].args()) {
+      if (t.IsVariable()) bound[vars.Find(t.name())] = 1;
+    }
+  }
+
+  // Compile each subgoal (in search order) to per-position ops, its undo
+  // list, and its entry-bound column signature for hash indexing.
+  std::fill(bound.begin(), bound.end(), 0);
+  subgoals_.reserve(n);
+  for (const int body_index : order) {
+    const Atom& atom = q.body()[body_index];
+    SubgoalPlan plan;
+    plan.predicate = atom.predicate();
+    plan.arity = atom.arity();
+    plan.ops.reserve(atom.arity());
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[i];
+      if (t.IsConstant()) {
+        plan.ops.push_back({Op::kConst, intern_constant(t.value())});
+        plan.entry_cols.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      const uint32_t v = vars.Find(t.name());
+      if (bound[v]) {
+        plan.ops.push_back({Op::kCheck, v});
+        plan.entry_cols.push_back(static_cast<uint32_t>(i));
+      } else if (std::find(plan.bind_vars.begin(), plan.bind_vars.end(), v) !=
+                 plan.bind_vars.end()) {
+        // Repeated variable within the atom: first occurrence binds, the
+        // rest check — but the value is not known before the row is read,
+        // so this is not an entry column.
+        plan.ops.push_back({Op::kCheck, v});
+      } else {
+        plan.ops.push_back({Op::kBind, v});
+        plan.bind_vars.push_back(v);
+      }
+    }
+    for (const uint32_t v : plan.bind_vars) bound[v] = 1;
+    subgoals_.push_back(std::move(plan));
+  }
+
+  // Comparison triggers: triggers_[d] lists the comparisons that become
+  // fully bound after matching subgoals_[0..d-1]; never-bound comparisons
+  // stay pending for equality propagation at the leaves.
+  auto compile_term = [&vars](const Term& t) {
+    CompiledTerm ct;
+    ct.is_const = t.IsConstant();
+    if (ct.is_const) {
+      ct.value = t.value();
+      ct.var = 0;
+    } else {
+      ct.var = vars.Find(t.name());
+    }
+    return ct;
+  };
+  comparisons_.reserve(q.comparisons().size());
+  for (const Comparison& c : q.comparisons()) {
+    comparisons_.push_back(
+        {compile_term(c.lhs()), compile_term(c.rhs()), c.op()});
+  }
+  triggers_.assign(subgoals_.size() + 1, {});
+  std::fill(bound.begin(), bound.end(), 0);
+  std::vector<char> fired(comparisons_.size(), 0);
+  auto term_bound = [&bound](const CompiledTerm& t) {
+    return t.is_const || bound[t.var];
+  };
+  for (size_t depth = 0; depth <= subgoals_.size(); ++depth) {
+    if (depth > 0) {
+      for (const uint32_t v : subgoals_[depth - 1].bind_vars) bound[v] = 1;
+    }
+    for (size_t c = 0; c < comparisons_.size(); ++c) {
+      if (fired[c]) continue;
+      if (term_bound(comparisons_[c].lhs) && term_bound(comparisons_[c].rhs)) {
+        fired[c] = 1;
+        triggers_[depth].push_back(static_cast<int>(c));
+      }
+    }
+  }
+  for (size_t c = 0; c < fired.size(); ++c) {
+    if (!fired[c]) pending_.push_back(static_cast<int>(c));
+  }
+
+  head_.reserve(q.head().args().size());
+  for (const Term& t : q.head().args()) head_.push_back(compile_term(t));
+}
+
+// ---------------------------------------------------------------------------
+// Per-run setup
+
 namespace {
 
-/// Backtracking join evaluator.  The subgoal order is chosen greedily so
-/// that each next subgoal shares as many already-bound variables as
-/// possible; comparisons fire as soon as both sides are bound.
-class Evaluator {
- public:
-  Evaluator(const ConjunctiveQuery& q, const Database& db)
-      : query_(q), db_(db) {
-    PlanSubgoalOrder();
-    PlanComparisonTriggers();
-  }
-
-  /// Runs the evaluation.  When `target` is non-null, stops as soon as the
-  /// target head tuple is produced and reports whether it was found; when
-  /// `out` is non-null, collects all head tuples.
-  bool Run(const Tuple* target, Relation* out) {
-    target_ = target;
-    out_ = out;
-    found_target_ = false;
-    Search(0);
-    return found_target_;
-  }
-
- private:
-  void PlanSubgoalOrder() {
-    const int n = static_cast<int>(query_.body().size());
-    std::vector<bool> used(n, false);
-    std::unordered_set<std::string> bound;
-    for (int step = 0; step < n; ++step) {
-      int best = -1;
-      int best_score = -1;
-      for (int i = 0; i < n; ++i) {
-        if (used[i]) continue;
-        int score = 0;
-        for (const Term& t : query_.body()[i].args()) {
-          if (t.IsVariable() && bound.count(t.name()) > 0) ++score;
-          if (t.IsConstant()) ++score;
-        }
-        if (score > best_score) {
-          best_score = score;
-          best = i;
-        }
-      }
-      used[best] = true;
-      order_.push_back(best);
-      for (const Term& t : query_.body()[best].args()) {
-        if (t.IsVariable()) bound.insert(t.name());
-      }
-    }
-  }
-
-  void PlanComparisonTriggers() {
-    // triggers_[d] = comparisons fully bound after matching order_[0..d-1]
-    // (d = 0 means bound before any subgoal: constant-only comparisons).
-    const int n = static_cast<int>(order_.size());
-    triggers_.assign(n + 1, {});
-    std::unordered_set<std::string> bound;
-    std::vector<bool> fired(query_.comparisons().size(), false);
-    auto is_bound = [&bound](const Term& t) {
-      return t.IsConstant() || bound.count(t.name()) > 0;
-    };
-    for (int depth = 0; depth <= n; ++depth) {
-      if (depth > 0) {
-        for (const Term& t : query_.body()[order_[depth - 1]].args()) {
-          if (t.IsVariable()) bound.insert(t.name());
-        }
-      }
-      for (size_t c = 0; c < query_.comparisons().size(); ++c) {
-        if (fired[c]) continue;
-        const Comparison& comp = query_.comparisons()[c];
-        if (is_bound(comp.lhs()) && is_bound(comp.rhs())) {
-          fired[c] = true;
-          triggers_[depth].push_back(static_cast<int>(c));
-        }
-      }
-    }
-    // Comparisons over variables absent from the body stay pending: at
-    // the leaf, equality propagation may still determine those variables
-    // (e.g. normalized queries bind head variables via `_n0 = X`).
-    for (size_t c = 0; c < fired.size(); ++c) {
-      if (!fired[c]) pending_.push_back(static_cast<int>(c));
-    }
-  }
-
-  bool CheckTriggers(int depth) {
-    for (const int c : triggers_[depth]) {
-      const Comparison& comp = query_.comparisons()[c];
-      const Rational a = ValueOf(comp.lhs());
-      const Rational b = ValueOf(comp.rhs());
-      if (!EvalCompOp(a, comp.op(), b)) return false;
-    }
-    return true;
-  }
-
-  Rational ValueOf(const Term& t) const {
-    return t.IsConstant() ? t.value() : bindings_.at(t.name());
-  }
-
-  /// Returns false to abort the whole search (target found).
-  bool Search(int depth) {
-    if (depth == 0 && !CheckTriggers(0)) return true;
-    if (depth == static_cast<int>(order_.size())) {
-      return EmitHead();
-    }
-    const Atom& atom = query_.body()[order_[depth]];
-    const Relation& rel = db_.Get(atom.predicate());
-    for (const Tuple& tuple : rel.tuples()) {
-      if (static_cast<int>(tuple.size()) != atom.arity()) continue;
-      std::vector<std::string> newly_bound;
-      bool ok = true;
-      for (int i = 0; i < atom.arity() && ok; ++i) {
-        const Term& t = atom.args()[i];
-        if (t.IsConstant()) {
-          ok = t.value() == tuple[i];
-        } else {
-          auto it = bindings_.find(t.name());
-          if (it == bindings_.end()) {
-            bindings_.emplace(t.name(), tuple[i]);
-            newly_bound.push_back(t.name());
-          } else {
-            ok = it->second == tuple[i];
-          }
-        }
-      }
-      bool keep_going = true;
-      if (ok && CheckTriggers(depth + 1)) {
-        keep_going = Search(depth + 1);
-      }
-      for (const std::string& v : newly_bound) bindings_.erase(v);
-      if (!keep_going) return false;
-    }
-    return true;
-  }
-
-  /// Resolves comparisons whose variables no ordinary subgoal bound:
-  /// propagates equalities to fixpoint, then evaluates what remains.
-  /// Returns false when a pending comparison fails or stays undetermined.
-  bool ResolvePending(std::unordered_map<std::string, Rational>* extra) {
-    if (pending_.empty()) return true;
-    std::vector<int> unresolved = pending_;
-    auto lookup = [this, extra](const Term& t, Rational* out) {
-      if (t.IsConstant()) {
-        *out = t.value();
-        return true;
-      }
-      if (auto it = bindings_.find(t.name()); it != bindings_.end()) {
-        *out = it->second;
-        return true;
-      }
-      if (auto it = extra->find(t.name()); it != extra->end()) {
-        *out = it->second;
-        return true;
-      }
-      return false;
-    };
-    bool progress = true;
-    while (progress) {
-      progress = false;
-      for (size_t i = 0; i < unresolved.size();) {
-        const Comparison& comp = query_.comparisons()[unresolved[i]];
-        Rational a, b;
-        const bool has_a = lookup(comp.lhs(), &a);
-        const bool has_b = lookup(comp.rhs(), &b);
-        if (has_a && has_b) {
-          if (!EvalCompOp(a, comp.op(), b)) return false;
-          unresolved.erase(unresolved.begin() + i);
-          progress = true;
-          continue;
-        }
-        if (comp.op() == CompOp::kEq && (has_a || has_b)) {
-          // Bind the undetermined side.
-          const Term& unbound = has_a ? comp.rhs() : comp.lhs();
-          extra->emplace(unbound.name(), has_a ? a : b);
-          unresolved.erase(unresolved.begin() + i);
-          progress = true;
-          continue;
-        }
-        ++i;
-      }
-    }
-    // A comparison with a variable nothing determines: the query is
-    // genuinely unsafe; produce no answers.
-    return unresolved.empty();
-  }
-
-  bool EmitHead() {
-    std::unordered_map<std::string, Rational> extra;
-    if (!ResolvePending(&extra)) return true;
-    Tuple head;
-    head.reserve(query_.head().args().size());
-    for (const Term& t : query_.head().args()) {
-      if (t.IsConstant()) {
-        head.push_back(t.value());
-      } else if (auto it = bindings_.find(t.name()); it != bindings_.end()) {
-        head.push_back(it->second);
-      } else if (auto it = extra.find(t.name()); it != extra.end()) {
-        head.push_back(it->second);
-      } else {
-        return true;  // Unsafe head: emit nothing.
-      }
-    }
-    if (target_ != nullptr && head == *target_) {
-      found_target_ = true;
-      return false;  // Early exit.
-    }
-    if (out_ != nullptr) out_->Insert(head);
-    return true;
-  }
-
-  const ConjunctiveQuery& query_;
-  const Database& db_;
-  std::vector<int> order_;
-  std::vector<std::vector<int>> triggers_;
-  std::vector<int> pending_;
-  std::unordered_map<std::string, Rational> bindings_;
-  const Tuple* target_ = nullptr;
-  Relation* out_ = nullptr;
-  bool found_target_ = false;
-};
+inline uint64_t CombineHash(uint64_t h, const Rational& v) {
+  h ^= static_cast<uint64_t>(v.Hash());
+  return h * 0x100000001b3ULL;  // FNV-1a style mix
+}
 
 }  // namespace
 
+void PreparedQuery::BuildIndex(size_t depth, Scratch* scratch) const {
+  Scratch::DepthState& ds = scratch->depths[depth];
+  const SubgoalPlan& plan = subgoals_[depth];
+  ds.use_index = false;
+  ds.index.clear();
+  if (plan.entry_cols.empty() || ds.rows.size() < kIndexGate) return;
+  for (uint32_t i = 0; i < ds.rows.size(); ++i) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (const uint32_t col : plan.entry_cols) {
+      h = CombineHash(h, ds.rows[i][col]);
+    }
+    ds.index[h].push_back(i);
+  }
+  ds.use_index = true;
+}
+
+uint64_t PreparedQuery::ProbeHash(const SubgoalPlan& plan,
+                                  const Scratch& scratch) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const uint32_t col : plan.entry_cols) {
+    const Op& op = plan.ops[col];
+    h = CombineHash(
+        h, op.kind == Op::kConst ? constants_[op.slot] : scratch.values[op.slot]);
+  }
+  return h;
+}
+
+bool PreparedQuery::Run(const Database& db, const Tuple* target, Relation* out,
+                        Scratch* scratch) const {
+  scratch->depths.resize(subgoals_.size());
+  for (size_t d = 0; d < subgoals_.size(); ++d) {
+    Scratch::DepthState& ds = scratch->depths[d];
+    ds.rows.clear();
+    const Relation& rel = db.Get(subgoals_[d].predicate);
+    for (const Tuple& tuple : rel.tuples()) {
+      if (static_cast<int>(tuple.size()) == subgoals_[d].arity) {
+        ds.rows.push_back(tuple.data());
+      }
+    }
+    BuildIndex(d, scratch);
+  }
+  return RunCommon(target, out, scratch);
+}
+
+bool PreparedQuery::Run(const FlatInstance& inst, const Tuple* target,
+                        Relation* out, Scratch* scratch) const {
+  scratch->depths.resize(subgoals_.size());
+  for (size_t d = 0; d < subgoals_.size(); ++d) {
+    Scratch::DepthState& ds = scratch->depths[d];
+    ds.rows.clear();
+    const uint32_t rel =
+        inst.FindRelation(subgoals_[d].predicate, subgoals_[d].arity);
+    if (rel != SymbolInterner::kNotFound) {
+      const size_t count = inst.RowCount(rel);
+      for (size_t i = 0; i < count; ++i) ds.rows.push_back(inst.Row(rel, i));
+    }
+    BuildIndex(d, scratch);
+  }
+  return RunCommon(target, out, scratch);
+}
+
+// ---------------------------------------------------------------------------
+// Search
+
+bool PreparedQuery::RunCommon(const Tuple* target, Relation* out,
+                              Scratch* scratch) const {
+  scratch->values.resize(num_vars_);
+  scratch->bound.assign(num_vars_, 0);
+  scratch->extra_values.resize(num_vars_);
+  scratch->extra_bound.assign(num_vars_, 0);
+  scratch->extra_touched.clear();
+  scratch->target = target;
+  scratch->out = out;
+  scratch->found = false;
+  if (CheckTriggers(0, *scratch)) Search(0, scratch);
+  return scratch->found;
+}
+
+bool PreparedQuery::CheckTriggers(size_t depth, const Scratch& scratch) const {
+  for (const int c : triggers_[depth]) {
+    const CompiledComparison& comp = comparisons_[c];
+    const Rational& a =
+        comp.lhs.is_const ? comp.lhs.value : scratch.values[comp.lhs.var];
+    const Rational& b =
+        comp.rhs.is_const ? comp.rhs.value : scratch.values[comp.rhs.var];
+    if (!EvalCompOp(a, comp.op, b)) return false;
+  }
+  return true;
+}
+
+bool PreparedQuery::Search(size_t depth, Scratch* scratch) const {
+  if (depth == subgoals_.size()) return EmitHead(scratch);
+  const SubgoalPlan& plan = subgoals_[depth];
+  Scratch::DepthState& ds = scratch->depths[depth];
+
+  auto try_row = [&](const Rational* row) -> bool {
+    bool ok = true;
+    for (int i = 0; i < plan.arity && ok; ++i) {
+      const Op& op = plan.ops[i];
+      const Rational& v = row[i];
+      switch (op.kind) {
+        case Op::kConst:
+          ok = constants_[op.slot] == v;
+          break;
+        case Op::kBind:
+          scratch->values[op.slot] = v;
+          scratch->bound[op.slot] = 1;
+          break;
+        case Op::kCheck:
+          ok = scratch->values[op.slot] == v;
+          break;
+      }
+    }
+    bool keep_going = true;
+    if (ok && CheckTriggers(depth + 1, *scratch)) {
+      keep_going = Search(depth + 1, scratch);
+    }
+    for (const uint32_t v : plan.bind_vars) scratch->bound[v] = 0;
+    return keep_going;
+  };
+
+  if (ds.use_index) {
+    const auto it = ds.index.find(ProbeHash(plan, *scratch));
+    if (it == ds.index.end()) return true;
+    for (const uint32_t i : it->second) {
+      if (!try_row(ds.rows[i])) return false;
+    }
+    return true;
+  }
+  for (const Rational* row : ds.rows) {
+    if (!try_row(row)) return false;
+  }
+  return true;
+}
+
+/// Resolves comparisons whose variables no ordinary subgoal bound:
+/// propagates equalities to fixpoint, then evaluates what remains.
+/// Returns false when a pending comparison fails or stays undetermined
+/// (the latter means the query is genuinely unsafe for this assignment).
+bool PreparedQuery::ResolvePending(Scratch* scratch) const {
+  scratch->unresolved = pending_;
+  auto lookup = [this, scratch](const CompiledTerm& t, Rational* out) {
+    if (t.is_const) {
+      *out = t.value;
+      return true;
+    }
+    if (scratch->bound[t.var]) {
+      *out = scratch->values[t.var];
+      return true;
+    }
+    if (scratch->extra_bound[t.var]) {
+      *out = scratch->extra_values[t.var];
+      return true;
+    }
+    return false;
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < scratch->unresolved.size();) {
+      const CompiledComparison& comp = comparisons_[scratch->unresolved[i]];
+      Rational a, b;
+      const bool has_a = lookup(comp.lhs, &a);
+      const bool has_b = lookup(comp.rhs, &b);
+      if (has_a && has_b) {
+        if (!EvalCompOp(a, comp.op, b)) return false;
+        scratch->unresolved.erase(scratch->unresolved.begin() + i);
+        progress = true;
+        continue;
+      }
+      if (comp.op == CompOp::kEq && (has_a || has_b)) {
+        // Bind the undetermined side (necessarily a variable).
+        const CompiledTerm& unbound = has_a ? comp.rhs : comp.lhs;
+        scratch->extra_bound[unbound.var] = 1;
+        scratch->extra_values[unbound.var] = has_a ? a : b;
+        scratch->extra_touched.push_back(unbound.var);
+        scratch->unresolved.erase(scratch->unresolved.begin() + i);
+        progress = true;
+        continue;
+      }
+      ++i;
+    }
+  }
+  return scratch->unresolved.empty();
+}
+
+bool PreparedQuery::EmitHead(Scratch* scratch) const {
+  // Reset ResolvePending's equality-derived bindings from the previous leaf.
+  for (const uint32_t v : scratch->extra_touched) scratch->extra_bound[v] = 0;
+  scratch->extra_touched.clear();
+  if (!pending_.empty() && !ResolvePending(scratch)) return true;
+  Tuple& head = scratch->head_row;
+  head.clear();
+  for (const CompiledTerm& t : head_) {
+    if (t.is_const) {
+      head.push_back(t.value);
+    } else if (scratch->bound[t.var]) {
+      head.push_back(scratch->values[t.var]);
+    } else if (scratch->extra_bound[t.var]) {
+      head.push_back(scratch->extra_values[t.var]);
+    } else {
+      return true;  // Unsafe head: emit nothing.
+    }
+  }
+  if (scratch->target != nullptr && head == *scratch->target) {
+    scratch->found = true;
+    return false;  // Early exit.
+  }
+  if (scratch->out != nullptr) scratch->out->Insert(head);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points
+
 Relation Evaluate(const ConjunctiveQuery& q, const Database& db) {
   Relation out;
-  Evaluator(q, db).Run(nullptr, &out);
+  PreparedQuery::Scratch scratch;
+  PreparedQuery(q).Run(db, nullptr, &out, &scratch);
   return out;
 }
 
 Relation Evaluate(const UnionQuery& q, const Database& db) {
   Relation out;
+  PreparedQuery::Scratch scratch;
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    Evaluator(disjunct, db).Run(nullptr, &out);
+    PreparedQuery(disjunct).Run(db, nullptr, &out, &scratch);
   }
   return out;
 }
@@ -246,13 +415,16 @@ Relation Evaluate(const UnionQuery& q, const Database& db) {
 bool ComputesTuple(const ConjunctiveQuery& q, const Database& db,
                    const Tuple& head) {
   if (static_cast<int>(head.size()) != q.head().arity()) return false;
-  return Evaluator(q, db).Run(&head, nullptr);
+  PreparedQuery::Scratch scratch;
+  return PreparedQuery(q).Run(db, &head, nullptr, &scratch);
 }
 
 bool ComputesTuple(const UnionQuery& q, const Database& db,
                    const Tuple& head) {
+  PreparedQuery::Scratch scratch;
   for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
-    if (ComputesTuple(disjunct, db, head)) return true;
+    if (static_cast<int>(head.size()) != disjunct.head().arity()) continue;
+    if (PreparedQuery(disjunct).Run(db, &head, nullptr, &scratch)) return true;
   }
   return false;
 }

@@ -1,8 +1,13 @@
 #ifndef CQAC_ENGINE_EVALUATE_H_
 #define CQAC_ENGINE_EVALUATE_H_
 
+#include <cstdint>
 #include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "ast/interner.h"
 #include "ast/query.h"
 #include "engine/database.h"
 
@@ -29,6 +34,147 @@ bool ComputesTuple(const ConjunctiveQuery& q, const Database& db,
 
 /// Union version of ComputesTuple.
 bool ComputesTuple(const UnionQuery& q, const Database& db, const Tuple& head);
+
+/// A database instance in flat form: per (predicate, arity), a row-major
+/// value vector.  Canonical-database evaluation refills one of these per
+/// total order without rebuilding `std::map`/`std::set` structures; Clear
+/// keeps every relation's capacity, so steady-state refills don't allocate.
+class FlatInstance {
+ public:
+  /// Drops all rows (and remembers relations, so ids stay stable).
+  void Clear() {
+    for (RelationData& r : relations_) r.values.clear();
+  }
+
+  /// The id of relation (`predicate`, `arity`), creating it when new.
+  uint32_t RelationId(const std::string& predicate, int arity);
+
+  /// The id of relation (`predicate`, `arity`), or SymbolInterner::kNotFound.
+  uint32_t FindRelation(const std::string& predicate, int arity) const;
+
+  /// Appends a row of `arity` values to relation `rel`.  Zero-arity
+  /// relations store a placeholder per row so emptiness stays observable.
+  void AddRow(uint32_t rel, const Rational* row) {
+    RelationData& r = relations_[rel];
+    if (r.arity == 0) {
+      r.values.push_back(Rational(1));
+    } else {
+      r.values.insert(r.values.end(), row, row + r.arity);
+    }
+  }
+
+  size_t RowCount(uint32_t rel) const {
+    const RelationData& r = relations_[rel];
+    return r.arity == 0 ? r.values.size() : r.values.size() / r.arity;
+  }
+  int Arity(uint32_t rel) const { return relations_[rel].arity; }
+  const Rational* Row(uint32_t rel, size_t i) const {
+    return relations_[rel].values.data() + i * relations_[rel].arity;
+  }
+
+ private:
+  struct RelationData {
+    int arity = 0;
+    std::vector<Rational> values;  // row-major, size = arity * row count
+  };
+
+  SymbolInterner names_;
+  // keys_[name_id] = list of (arity, relation id) for that predicate name.
+  std::vector<std::vector<std::pair<int, uint32_t>>> keys_;
+  std::vector<RelationData> relations_;
+};
+
+/// A conjunctive query compiled once for repeated evaluation: interned
+/// variables, greedy most-constrained-first subgoal order, per-position
+/// match ops (constant check / bind / consistency check), comparison
+/// triggers by depth, and bound-column signatures for hash indexing.
+///
+/// PreparedQuery is immutable after construction and safe to share across
+/// threads; all per-run state lives in a caller-owned Scratch.  Hash
+/// indexes on each subgoal's bound columns are built once per (query, db)
+/// run and only for relations large enough to repay the build
+/// (canonical databases stay on linear scans).
+class PreparedQuery {
+ public:
+  explicit PreparedQuery(const ConjunctiveQuery& q);
+
+  /// Relations smaller than this are scanned; larger ones get a hash index
+  /// on the subgoal's bound columns (when it has any).
+  static constexpr size_t kIndexGate = 32;
+
+  struct Scratch {
+    std::vector<Rational> values;        // var id -> value
+    std::vector<char> bound;             // var id -> bound?
+    std::vector<Rational> extra_values;  // bindings from ResolvePending
+    std::vector<char> extra_bound;
+    std::vector<uint32_t> extra_touched;
+    std::vector<int> unresolved;
+    Tuple head_row;
+    struct DepthState {
+      std::vector<const Rational*> rows;
+      std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+      bool use_index = false;
+    };
+    std::vector<DepthState> depths;
+    // Per-run parameters, set by Run.
+    const Tuple* target = nullptr;
+    Relation* out = nullptr;
+    bool found = false;
+  };
+
+  /// Evaluates over `db`.  When `target` is non-null, stops as soon as the
+  /// target head tuple is produced and returns whether it was found; when
+  /// `out` is non-null, collects all head tuples.
+  bool Run(const Database& db, const Tuple* target, Relation* out,
+           Scratch* scratch) const;
+
+  /// Same, over a flat instance.
+  bool Run(const FlatInstance& inst, const Tuple* target, Relation* out,
+           Scratch* scratch) const;
+
+  int head_arity() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Op {
+    enum Kind : uint8_t { kConst, kBind, kCheck };
+    Kind kind;
+    uint32_t slot;  // constant slot for kConst, var id otherwise
+  };
+  struct SubgoalPlan {
+    std::string predicate;
+    int arity;
+    std::vector<Op> ops;              // one per argument position
+    std::vector<uint32_t> bind_vars;  // vars this subgoal binds (undo list)
+    // Argument positions whose value is known before scanning candidates
+    // (constants and variables bound at entry): the index key signature.
+    std::vector<uint32_t> entry_cols;
+  };
+  struct CompiledTerm {
+    bool is_const;
+    uint32_t var;    // valid when !is_const
+    Rational value;  // valid when is_const
+  };
+  struct CompiledComparison {
+    CompiledTerm lhs, rhs;
+    CompOp op;
+  };
+
+  bool RunCommon(const Tuple* target, Relation* out, Scratch* scratch) const;
+  void BuildIndex(size_t depth, Scratch* scratch) const;
+  bool Search(size_t depth, Scratch* scratch) const;
+  bool EmitHead(Scratch* scratch) const;
+  bool ResolvePending(Scratch* scratch) const;
+  bool CheckTriggers(size_t depth, const Scratch& scratch) const;
+  uint64_t ProbeHash(const SubgoalPlan& plan, const Scratch& scratch) const;
+
+  uint32_t num_vars_ = 0;
+  std::vector<Rational> constants_;          // slot pool for kConst ops
+  std::vector<SubgoalPlan> subgoals_;        // in search order
+  std::vector<std::vector<int>> triggers_;   // by depth, comparison ids
+  std::vector<int> pending_;                 // comparison ids never triggered
+  std::vector<CompiledComparison> comparisons_;
+  std::vector<CompiledTerm> head_;
+};
 
 }  // namespace cqac
 

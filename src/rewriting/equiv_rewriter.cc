@@ -1,7 +1,9 @@
 #include "rewriting/equiv_rewriter.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <optional>
 #include <set>
 
 #include "constraints/ac_solver.h"
@@ -101,6 +103,9 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
     }
   }
 
+  static std::atomic<uint64_t> next_work_id{1};
+  work.work_id = next_work_id.fetch_add(1, std::memory_order_relaxed);
+
   work.num_subgoals = static_cast<int>(query.body().size());
   return work;
 }
@@ -111,15 +116,31 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   DatabaseOutcome out;
   if (options.explain) out.trace.order = order.ToString();
 
-  const CanonicalDatabase cdb = FreezeQuery(work.query, order);
   // Keep only databases on which the query computes its frozen head
   // (general evaluation: the identity freezing need not be the witnessing
-  // embedding).
-  if (!ComputesTuple(work.query, cdb.db, cdb.frozen_head)) {
+  // embedding).  The keep-test runs on a flat freeze with the shared
+  // prepared plan — most orders are skipped, and those never pay for the
+  // map-based CanonicalDatabase below.  The freezer and scratch are
+  // per-thread (ProcessCanonicalDatabase runs on worker threads) and are
+  // recompiled when a different run's work arrives.
+  struct Phase1Cache {
+    uint64_t work_id = 0;
+    std::optional<CanonicalFreezer> freezer;
+    PreparedQuery::Scratch scratch;
+  };
+  static thread_local Phase1Cache cache;
+  if (cache.work_id != work.work_id) {
+    cache.freezer.emplace(work.query);
+    cache.work_id = work.work_id;
+  }
+  const FlatInstance& inst = cache.freezer->Freeze(order);
+  if (!work.prepared_query.Run(inst, &cache.freezer->frozen_head(), nullptr,
+                               &cache.scratch)) {
     out.status = DatabaseOutcome::Status::kSkipped;
     if (options.explain) out.trace.status = "skipped";
     return out;
   }
+  const CanonicalDatabase cdb = FreezeQuery(work.query, order);
   out.trace.computes_head = true;
   ++out.stats.kept_canonical_databases;
 

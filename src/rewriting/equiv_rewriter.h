@@ -9,6 +9,7 @@
 
 #include "ast/query.h"
 #include "constraints/orders.h"
+#include "engine/evaluate.h"
 #include "rewriting/explain.h"
 #include "rewriting/minicon.h"
 #include "rewriting/view_set.h"
@@ -144,11 +145,21 @@ struct RewriteResult {
 struct RewriteWork {
   RewriteWork(const ConjunctiveQuery& q, const ViewSet& v,
               const RewriteOptions& o)
-      : query(q), views(v), options(o) {}
+      : query(q), views(v), options(o), prepared_query(q) {}
 
   const ConjunctiveQuery& query;
   const ViewSet& views;
   const RewriteOptions& options;
+
+  /// The query compiled for repeated evaluation (the per-canonical-database
+  /// keep-test).  Immutable, so sharing across worker threads is safe;
+  /// each thread owns its PreparedQuery::Scratch.
+  PreparedQuery prepared_query;
+
+  /// Unique per prepared work instance; lets per-thread caches keyed on a
+  /// RewriteWork (e.g. the canonical freezer in ProcessCanonicalDatabase)
+  /// detect reuse of a stack address by a different run.
+  uint64_t work_id = 0;
 
   ConjunctiveQuery q0;                        // query without comparisons
   std::vector<ConjunctiveQuery> v0_variants;  // exported view variants

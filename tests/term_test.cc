@@ -1,6 +1,8 @@
 #include "ast/term.h"
 
+#include <string>
 #include <unordered_set>
+#include <vector>
 
 #include "gtest/gtest.h"
 
@@ -61,6 +63,39 @@ TEST(TermTest, HashDistinguishesVariableFromConstant) {
   set.insert(Term::Constant(1));
   set.insert(Term::Variable("X"));
   EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TermTest, HashIsConsistentWithEquality) {
+  // Equal terms must hash equal — across copies, not just identical
+  // objects — for every kind of term.
+  const std::vector<Term> terms = {
+      Term::Variable("X"),    Term::Variable("Y"),
+      Term::Variable("_f0"),  Term::Variable(""),
+      Term::Constant(0),      Term::Constant(3),
+      Term::Constant(-3),     Term::Constant(Rational(7, 2)),
+      Term::Constant(Rational(-7, 2)),
+  };
+  for (const Term& a : terms) {
+    const Term copy = a;
+    EXPECT_EQ(a.Hash(), copy.Hash()) << a.ToString();
+    for (const Term& b : terms) {
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash())
+            << a.ToString() << " == " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(TermTest, HashSpreadsSimilarVariables) {
+  // Workload variable names are short and highly regular (X0, X1, ...);
+  // the hash must not collapse them onto a handful of buckets.
+  std::unordered_set<size_t> hashes;
+  for (int i = 0; i < 64; ++i) {
+    hashes.insert(Term::Variable("X" + std::to_string(i)).Hash());
+    hashes.insert(Term::Constant(i).Hash());
+  }
+  EXPECT_GE(hashes.size(), 120u);  // allow a couple of benign collisions
 }
 
 }  // namespace

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in benchmark results under results/.
+#
+# Always measures a Release build in its own build tree
+# (build-release/), so numbers never silently come from a debug or
+# sanitizer configuration — bench_common.h additionally hard-warns and
+# stamps "debug_build" in the JSON record if that ever regresses.
+#
+# Usage:
+#   tools/run_benches.sh [bench ...]
+#
+# With no arguments, re-runs the benches whose .txt snapshots are
+# checked in.  Each bench writes results/<name>.txt (console output)
+# and results/<name>.json (trajectory record, cold caches: no --memo).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo="$PWD"
+build="$repo/build-release"
+
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+benches=("$@")
+if [ ${#benches[@]} -eq 0 ]; then
+  benches=(bench_containment bench_canonical bench_homomorphism)
+fi
+
+cmake --build "$build" --target "${benches[@]}" -j"$(nproc)"
+
+mkdir -p "$repo/results"
+for bench in "${benches[@]}"; do
+  echo "=== $bench ==="
+  "$build/bench/$bench" --json "$repo/results/$bench.json" \
+    --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
+done
