@@ -143,11 +143,17 @@ void Shell::CmdRewrite(const std::string& args) {
   std::istringstream flags(args);
   std::string flag;
   bool explain = false;
+  bool print_stats = print_stats_;
+  bool json_stats = json_stats_;
   while (flags >> flag) {
     if (flag == "verify") {
       options.verify = true;
     } else if (flag == "explain") {
       options.explain = explain = true;
+    } else if (flag == "stats") {
+      print_stats = true;
+    } else if (flag == "json") {
+      json_stats = true;
     } else if (flag == "coalesce") {
       options.coalesce_output = true;
     } else if (flag == "minimize") {
@@ -193,6 +199,32 @@ void Shell::CmdRewrite(const std::string& args) {
        << " canonical databases, " << result.stats.kept_canonical_databases
        << " kept, " << result.stats.mcds_formed << " MCDs, "
        << result.stats.phase2_checks << " phase-2 checks\n";
+  if (print_stats) {
+    out_ << "phase-1: " << result.stats.canonical_databases
+         << " databases visited, "
+         << result.stats.canonical_databases -
+                result.stats.kept_canonical_databases
+         << " pruned, " << result.stats.phase1_memo_hits
+         << " deduped (memo hits), " << result.stats.phase1_memo_misses
+         << " computed in full\n";
+  }
+  if (json_stats) {
+    const char* outcome = result.outcome == RewriteOutcome::kRewritingFound
+                              ? "found"
+                          : result.outcome == RewriteOutcome::kNoRewriting
+                              ? "none"
+                              : "aborted";
+    out_ << "{\"outcome\": \"" << outcome << "\", \"disjuncts\": "
+         << result.rewriting.size()
+         << ", \"canonical_databases\": " << result.stats.canonical_databases
+         << ", \"kept_canonical_databases\": "
+         << result.stats.kept_canonical_databases
+         << ", \"mcds_formed\": " << result.stats.mcds_formed
+         << ", \"phase2_checks\": " << result.stats.phase2_checks
+         << ", \"phase1_memo_hits\": " << result.stats.phase1_memo_hits
+         << ", \"phase1_memo_misses\": " << result.stats.phase1_memo_misses
+         << "}\n";
+  }
   if (explain) out_ << TableauToString(result.trace);
 }
 
@@ -332,6 +364,7 @@ void Shell::CmdHelp() {
           "  query <rule>          set the current query\n"
           "  rewrite [flags]       find an equivalent rewriting\n"
           "                        flags: verify explain coalesce minimize\n"
+          "                               stats json\n"
           "                               jobs=N (0 = all cores, 1 = serial)\n"
           "  contained-rewrite     union of contained rewritings\n"
           "  let <name> <rule>     bind a rule to a name\n"

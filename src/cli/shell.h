@@ -44,6 +44,16 @@ class Shell {
   /// identical either way — only wall-clock changes.
   void set_default_jobs(int jobs) { default_jobs_ = jobs; }
 
+  /// When set, every `rewrite` additionally prints the Phase-1 breakdown
+  /// (databases visited / pruned / deduped); same as passing the per-command
+  /// `stats` flag each time.  Behind `cqacsh --stats`.
+  void set_print_stats(bool v) { print_stats_ = v; }
+
+  /// When set, every `rewrite` additionally emits a one-line JSON record of
+  /// the outcome and all counters (including the Phase-1 memo hit/miss
+  /// split); same as the per-command `json` flag.  Behind `cqacsh --json`.
+  void set_json_stats(bool v) { json_stats_ = v; }
+
   /// Processes one input line; returns false when the session should end.
   bool ProcessLine(const std::string& line);
 
@@ -72,6 +82,8 @@ class Shell {
 
   std::ostream& out_;
   int default_jobs_ = 1;
+  bool print_stats_ = false;
+  bool json_stats_ = false;
   ViewSet views_;
   std::optional<ConjunctiveQuery> query_;
   std::map<std::string, ConjunctiveQuery> named_;

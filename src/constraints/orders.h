@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "ast/comparison.h"
+#include "ast/query.h"
 #include "ast/term.h"
 #include "ast/value.h"
 
@@ -93,9 +94,92 @@ void ForEachSatisfyingOrder(const std::vector<std::string>& variables,
                             const std::vector<Comparison>& axioms,
                             const std::function<bool(const TotalOrder&)>& fn);
 
+/// Counters for one satisfying-order enumeration.  A "node" is a state of
+/// the enumeration tree: the root (constants only) plus every accepted
+/// placement of a variable into a partial order.  A candidate placement
+/// rejected by an axiom check before recursion counts as pruned; one
+/// skipped by the canonical-prefix symmetry restriction counts as
+/// symmetry-skipped (its whole subtree is represented by a sibling).
+struct OrderEnumerationStats {
+  int64_t nodes_visited = 0;
+  int64_t nodes_pruned = 0;
+  int64_t nodes_symmetry_skipped = 0;
+  /// Orders handed to the callback (one canonical representative per
+  /// symmetry orbit).
+  int64_t orders_emitted = 0;
+  /// Sum of the emitted orders' multiplicities: the number of satisfying
+  /// orders the naive enumerate-then-filter reference would visit.
+  int64_t orders_weighted = 0;
+};
+
+/// Disjoint groups of pairwise interchangeable variables: the caller
+/// asserts that renaming any group member to any other (a transposition,
+/// and hence any permutation within a group) does not change whatever
+/// verdict it derives from an order.  Members that also occur in the
+/// axioms or outside `variables` are ignored for safety.
+struct OrderSymmetry {
+  std::vector<std::vector<std::string>> groups;
+};
+
+/// The prefix-pruned, symmetry-reduced enumeration tree behind
+/// ForEachSatisfyingOrder.
+///
+/// Each axiom is checked against the *partial* block sequence the moment
+/// its second endpoint is placed (a block chain totally orders everything
+/// already placed, and later insertions never change the relative order of
+/// two placed terms), so a violating subtree is cut at its root instead of
+/// being walked and filtered at the leaves.  Axioms are first closed under
+/// transitivity (through constants too), which lets the tree also cut
+/// placements that only *implied* constraints forbid.
+///
+/// Orders differing only by a permutation of variables within one
+/// `symmetry` group are collapsed to a single canonical representative
+/// (group members appear in nondecreasing block position, in group order);
+/// `fn` receives the orbit size as `multiplicity`.  With empty `symmetry`,
+/// every multiplicity is 1 and the emitted sequence is exactly the
+/// ForEachSatisfyingOrder sequence.
+///
+/// When an axiom mentions a constant outside `constants` or a variable
+/// outside `variables`, positional checks cannot decide it; the
+/// enumeration falls back to the reference solver-based filter and ignores
+/// `symmetry` (every multiplicity is 1).
+void ForEachSatisfyingOrderPruned(
+    const std::vector<std::string>& variables,
+    const std::vector<Rational>& constants,
+    const std::vector<Comparison>& axioms, const OrderSymmetry& symmetry,
+    const std::function<bool(const TotalOrder&, int64_t multiplicity)>& fn,
+    OrderEnumerationStats* stats = nullptr);
+
+/// Groups of `query` variables that are interchangeable for any
+/// order-based verdict: non-head variables that occur in no comparison and
+/// whose pairwise swap leaves the body atom multiset unchanged (a
+/// structural automorphism).  Swapping two such variables maps every
+/// canonical database of `query` to an identical one, so any per-order
+/// predicate — head computation by an arbitrary second query included —
+/// is constant on each orbit.  Suitable as OrderSymmetry::groups for
+/// enumerations over this query's variables.
+std::vector<std::vector<std::string>> InterchangeableVariableGroups(
+    const ConjunctiveQuery& query);
+
 /// The number of total orders of `num_variables` variables with no
 /// constants (ordered Bell / Fubini number).  Saturates at INT64_MAX.
 int64_t CountTotalOrders(int num_variables);
+
+namespace internal {
+
+/// The naive enumerate-then-filter reference: walks the full
+/// ForEachTotalOrder insertion tree and tests the axioms with the
+/// constraint solver at every leaf.  Retained as the differential-testing
+/// oracle for ForEachSatisfyingOrderPruned and as the "unpruned" side of
+/// bench_phase1's node counts.
+void ForEachSatisfyingOrderLegacy(
+    const std::vector<std::string>& variables,
+    const std::vector<Rational>& constants,
+    const std::vector<Comparison>& axioms,
+    const std::function<bool(const TotalOrder&)>& fn,
+    OrderEnumerationStats* stats = nullptr);
+
+}  // namespace internal
 
 }  // namespace cqac
 

@@ -54,13 +54,21 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
   const PreparedQuery prepared(q2);
   PreparedQuery::Scratch scratch;
 
+  // Prefix-pruned, symmetry-reduced enumeration: swapping two
+  // interchangeable q1 variables maps each canonical database to an
+  // identical one, so the per-order verdict is constant on every orbit
+  // and one representative decides it.
+  OrderSymmetry symmetry;
+  symmetry.groups = InterchangeableVariableGroups(q1);
+
   bool contained = true;
-  ForEachSatisfyingOrder(
-      q1.AllVariables(), constants, q1.comparisons(),
-      [&](const TotalOrder& order) {
+  OrderEnumerationStats enum_stats;
+  ForEachSatisfyingOrderPruned(
+      q1.AllVariables(), constants, q1.comparisons(), symmetry,
+      [&](const TotalOrder& order, int64_t multiplicity) {
         if (stats != nullptr) {
           ++stats->orders_enumerated;
-          ++stats->orders_satisfying;
+          stats->orders_satisfying += multiplicity;
         }
         const FlatInstance& inst = freezer.Freeze(order);
         if (!prepared.Run(inst, &freezer.frozen_head(), nullptr, &scratch)) {
@@ -68,7 +76,12 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
           return false;  // Counterexample found; stop enumerating.
         }
         return true;
-      });
+      },
+      stats != nullptr ? &enum_stats : nullptr);
+  if (stats != nullptr) {
+    stats->nodes_visited += enum_stats.nodes_visited;
+    stats->nodes_pruned += enum_stats.nodes_pruned;
+  }
   return contained;
 }
 
@@ -228,13 +241,20 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
   }
   PreparedQuery::Scratch scratch;
 
+  // Same orbit argument as CqacContainedCanonical: "some disjunct
+  // computes the frozen head" is a per-order verdict derived from the
+  // canonical database alone.
+  OrderSymmetry symmetry;
+  symmetry.groups = InterchangeableVariableGroups(q);
+
   bool contained = true;
-  ForEachSatisfyingOrder(
-      q.AllVariables(), constants, q.comparisons(),
-      [&](const TotalOrder& order) {
+  OrderEnumerationStats enum_stats;
+  ForEachSatisfyingOrderPruned(
+      q.AllVariables(), constants, q.comparisons(), symmetry,
+      [&](const TotalOrder& order, int64_t multiplicity) {
         if (stats != nullptr) {
           ++stats->orders_enumerated;
-          ++stats->orders_satisfying;
+          stats->orders_satisfying += multiplicity;
         }
         const FlatInstance& inst = freezer.Freeze(order);
         bool some_disjunct_computes = false;
@@ -252,7 +272,12 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
           return false;
         }
         return true;
-      });
+      },
+      stats != nullptr ? &enum_stats : nullptr);
+  if (stats != nullptr) {
+    stats->nodes_visited += enum_stats.nodes_visited;
+    stats->nodes_pruned += enum_stats.nodes_pruned;
+  }
   return contained;
 }
 

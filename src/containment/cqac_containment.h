@@ -31,9 +31,23 @@ namespace cqac {
 /// independently and cross-checked in the property-test suite.
 
 /// Counters describing the work a containment test performed.
+///
+/// The canonical-database tests (CqacContainedCanonical /
+/// CqacContainedInUnion) enumerate with the prefix-pruned,
+/// symmetry-reduced tree of ForEachSatisfyingOrderPruned:
+/// `orders_enumerated` counts physical callbacks (one canonical
+/// representative per symmetry orbit), while `orders_satisfying`
+/// accumulates orbit multiplicities — i.e. the number of satisfying
+/// orders the naive enumerate-then-filter reference would visit.  The
+/// implication/normalized tests use the plain enumeration, where the two
+/// counters coincide.
 struct ContainmentStats {
   int64_t orders_enumerated = 0;
   int64_t orders_satisfying = 0;
+  /// Enumeration-tree nodes accepted / cut by a partial-order axiom check
+  /// (see OrderEnumerationStats); zero for the non-pruned tests.
+  int64_t nodes_visited = 0;
+  int64_t nodes_pruned = 0;
 };
 
 /// q1 ⊑ q2 via the canonical-database test.

@@ -1,5 +1,7 @@
 #include "engine/canonical.h"
 
+#include <algorithm>
+
 namespace cqac {
 
 Term CanonicalDatabase::Unfreeze(const Rational& value) const {
@@ -68,16 +70,22 @@ CanonicalFreezer::CanonicalFreezer(const ConjunctiveQuery& q) {
       ct.value = t.value();
       ct.slot = 0;
     } else {
-      ct.slot = var_slots_
-                    .emplace(t.name(), static_cast<uint32_t>(var_slots_.size()))
-                    .first->second;
+      const auto [it, inserted] = var_slots_.emplace(
+          t.name(), static_cast<uint32_t>(var_slots_.size()));
+      if (inserted) slot_names_.push_back(t.name());
+      ct.slot = it->second;
     }
     return ct;
   };
+  std::vector<uint32_t> rows_per_relation;
   subgoals_.reserve(q.body().size());
   for (const Atom& atom : q.body()) {
     CompiledSubgoal sg;
     sg.relation = instance_.RelationId(atom.predicate(), atom.arity());
+    if (rows_per_relation.size() <= sg.relation) {
+      rows_per_relation.resize(sg.relation + 1, 0);
+    }
+    sg.row = rows_per_relation[sg.relation]++;
     sg.terms.reserve(atom.args().size());
     for (const Term& t : atom.args()) sg.terms.push_back(compile_term(t));
     subgoals_.push_back(std::move(sg));
@@ -85,16 +93,68 @@ CanonicalFreezer::CanonicalFreezer(const ConjunctiveQuery& q) {
   head_.reserve(q.head().args().size());
   for (const Term& t : q.head().args()) head_.push_back(compile_term(t));
   var_values_.resize(var_slots_.size());
+  var_blocks_.resize(var_slots_.size());
+  rel_epochs_.resize(instance_.NumRelations(), 0);
+}
+
+void CanonicalFreezer::LoadOrder(const TotalOrder& order, bool track) {
+  order.BlockValues(&block_values_);
+  block_reps_.clear();
+  block_reps_.reserve(order.blocks.size());
+  if (track) changed_.assign(var_values_.size(), 0);
+  for (size_t b = 0; b < order.blocks.size(); ++b) {
+    block_reps_.push_back(order.blocks[b].Representative());
+    for (const std::string& v : order.blocks[b].variables) {
+      const auto it = var_slots_.find(v);
+      if (it == var_slots_.end()) continue;
+      var_blocks_[it->second] = static_cast<uint32_t>(b);
+      const Rational& value = block_values_[b];
+      if (track) {
+        if (var_values_[it->second] != value) {
+          var_values_[it->second] = value;
+          changed_[it->second] = 1;
+        }
+      } else {
+        var_values_[it->second] = value;
+      }
+    }
+  }
+}
+
+void CanonicalFreezer::RebuildHead() {
+  frozen_head_.clear();
+  for (const CompiledTerm& t : head_) {
+    frozen_head_.push_back(t.is_const ? t.value : var_values_[t.slot]);
+  }
 }
 
 const FlatInstance& CanonicalFreezer::Freeze(const TotalOrder& order) {
-  order.BlockValues(&block_values_);
-  for (size_t b = 0; b < order.blocks.size(); ++b) {
-    for (const std::string& v : order.blocks[b].variables) {
-      const auto it = var_slots_.find(v);
-      if (it != var_slots_.end()) var_values_[it->second] = block_values_[b];
+  if (epoch_ == 0) return FreezeFull(order);
+  LoadOrder(order, /*track=*/true);
+  ++epoch_;
+  for (const CompiledSubgoal& sg : subgoals_) {
+    bool touched = false;
+    for (const CompiledTerm& t : sg.terms) {
+      if (!t.is_const && changed_[t.slot]) {
+        touched = true;
+        break;
+      }
     }
+    if (!touched) continue;
+    Rational* row = instance_.MutableRow(sg.relation, sg.row);
+    for (size_t k = 0; k < sg.terms.size(); ++k) {
+      const CompiledTerm& t = sg.terms[k];
+      row[k] = t.is_const ? t.value : var_values_[t.slot];
+    }
+    rel_epochs_[sg.relation] = epoch_;
   }
+  RebuildHead();
+  return instance_;
+}
+
+const FlatInstance& CanonicalFreezer::FreezeFull(const TotalOrder& order) {
+  LoadOrder(order, /*track=*/false);
+  ++epoch_;
   instance_.Clear();
   for (const CompiledSubgoal& sg : subgoals_) {
     row_.clear();
@@ -103,11 +163,18 @@ const FlatInstance& CanonicalFreezer::Freeze(const TotalOrder& order) {
     }
     instance_.AddRow(sg.relation, row_.data());
   }
-  frozen_head_.clear();
-  for (const CompiledTerm& t : head_) {
-    frozen_head_.push_back(t.is_const ? t.value : var_values_[t.slot]);
-  }
+  for (uint64_t& e : rel_epochs_) e = epoch_;
+  RebuildHead();
   return instance_;
+}
+
+Term CanonicalFreezer::UnfreezeValue(const Rational& value) const {
+  const auto it =
+      std::lower_bound(block_values_.begin(), block_values_.end(), value);
+  if (it != block_values_.end() && *it == value) {
+    return block_reps_[it - block_values_.begin()];
+  }
+  return Term::Constant(value);
 }
 
 CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q) {

@@ -60,21 +60,69 @@ CanonicalDatabase FreezeQueryDistinct(const ConjunctiveQuery& q);
 /// block values without rebuilding map/set structures.  After the first
 /// few calls no allocation occurs per order.
 ///
+/// Freezing is *incremental*: the row layout (which subgoal owns which row
+/// of which relation) is fixed at construction, so consecutive Freeze
+/// calls diff the new variable values against the previous order's and
+/// rewrite, in place, only the rows whose variables moved.  Per-relation
+/// change epochs let callers cache work derived from relations an order
+/// change did not touch (see rewriting/view_tuples.h).  The produced
+/// instance is a pure function of the current order — identical to what a
+/// from-scratch FreezeFull yields — regardless of the call history.
+///
 /// Produces exactly the tuples and frozen head FreezeQuery would (same
-/// value scheme via TotalOrder::BlockValues); it skips the assignment and
-/// unfreeze maps, which evaluation does not need.  Not thread-safe; use
-/// one per thread.
+/// value scheme via TotalOrder::BlockValues); the assignment and unfreeze
+/// maps are replaced by slot/block accessors.  Not thread-safe; use one
+/// per thread.
 class CanonicalFreezer {
  public:
   explicit CanonicalFreezer(const ConjunctiveQuery& q);
 
   /// Freezes under `order`, which must cover every variable of the query.
   /// The returned instance and frozen_head() stay valid until the next
-  /// Freeze call.
+  /// Freeze call.  Delta form: only rows touching changed variables are
+  /// rewritten.
   const FlatInstance& Freeze(const TotalOrder& order);
+
+  /// Freezes from scratch (clear + refill), marking every relation
+  /// changed.  Same result as Freeze; retained as the reference path and
+  /// as the "full" side of bench_phase1's delta-vs-full comparison.
+  const FlatInstance& FreezeFull(const TotalOrder& order);
 
   /// The frozen head tuple of the last Freeze.  Empty for boolean queries.
   const Tuple& frozen_head() const { return frozen_head_; }
+
+  /// The instance last produced by Freeze/FreezeFull.
+  const FlatInstance& instance() const { return instance_; }
+
+  /// Monotone counter: the number of Freeze/FreezeFull calls so far.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The epoch at which relation `rel`'s rows last changed (0 = never).
+  /// `rel` must be a relation id of instance().
+  uint64_t RelationEpoch(uint32_t rel) const { return rel_epochs_[rel]; }
+
+  /// Slot map of the compiled query's variables (body and head variables;
+  /// variables occurring only in comparisons have no slot).
+  const std::unordered_map<std::string, uint32_t>& var_slots() const {
+    return var_slots_;
+  }
+  /// Slot index -> variable name (deterministic iteration order).
+  const std::vector<std::string>& slot_names() const { return slot_names_; }
+  /// Slot index -> frozen value under the last order.
+  const std::vector<Rational>& var_values() const { return var_values_; }
+  /// Slot index -> index of the last order's block holding the variable.
+  const std::vector<uint32_t>& var_blocks() const { return var_blocks_; }
+
+  /// The last order's per-block values (strictly increasing) and
+  /// representative terms (the block's constant, else its first variable).
+  const std::vector<Rational>& block_values() const { return block_values_; }
+  const std::vector<Term>& block_reps() const { return block_reps_; }
+
+  /// Maps a value of the last frozen instance back to its order block's
+  /// representative term; values outside every block (e.g. constants
+  /// introduced by a view head) unfreeze to themselves.  Same semantics as
+  /// CanonicalDatabase::Unfreeze.
+  Term UnfreezeValue(const Rational& value) const;
 
  private:
   struct CompiledTerm {
@@ -84,17 +132,29 @@ class CanonicalFreezer {
   };
   struct CompiledSubgoal {
     uint32_t relation;
+    uint32_t row;  // this subgoal's fixed row index within its relation
     std::vector<CompiledTerm> terms;
   };
 
+  /// Refreshes block_values_/block_reps_/var_blocks_/var_values_ from
+  /// `order`; when `track` is set, changed_ records which slots moved.
+  void LoadOrder(const TotalOrder& order, bool track);
+  void RebuildHead();
+
   std::unordered_map<std::string, uint32_t> var_slots_;
+  std::vector<std::string> slot_names_;
   std::vector<CompiledSubgoal> subgoals_;
   std::vector<CompiledTerm> head_;
   FlatInstance instance_;
   std::vector<Rational> block_values_;
+  std::vector<Term> block_reps_;
   std::vector<Rational> var_values_;  // slot -> value under current order
+  std::vector<uint32_t> var_blocks_;  // slot -> block index
+  std::vector<char> changed_;         // slot -> moved in the last delta?
   std::vector<Rational> row_;
   Tuple frozen_head_;
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> rel_epochs_;  // relation id -> last-changed epoch
 };
 
 }  // namespace cqac

@@ -72,6 +72,17 @@ class FlatInstance {
     return relations_[rel].values.data() + i * relations_[rel].arity;
   }
 
+  /// Mutable access to row `i` of relation `rel`, for patching values in
+  /// place (delta freezing rewrites only the rows whose variables moved).
+  /// Meaningless for zero-arity relations (rows hold no values).
+  Rational* MutableRow(uint32_t rel, size_t i) {
+    return relations_[rel].values.data() + i * relations_[rel].arity;
+  }
+
+  /// Number of relations created so far; valid relation ids are
+  /// [0, NumRelations()).
+  size_t NumRelations() const { return relations_.size(); }
+
  private:
   struct RelationData {
     int arity = 0;

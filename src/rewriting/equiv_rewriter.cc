@@ -65,6 +65,41 @@ bool FoldsOntoTuple(const Atom& tuple, const Atom& other) {
   return true;
 }
 
+/// The structural key of the current canonical database for Phase-1
+/// deduplication: every view's ground tuples rendered unfrozen (block
+/// representatives), plus the variable -> block-representative map.  The
+/// kept MCD set under every pruning mode, the combination verdict, and the
+/// Pre-Rewriting body are pure functions of this key — only the projected
+/// order comparisons are not, and those are rebuilt per database.
+std::string BuildPhase1Key(const CanonicalFreezer& freezer,
+                           const ViewTupleEvaluator& ev) {
+  std::string key;
+  key.reserve(256);
+  for (int v = 0; v < ev.view_count(); ++v) {
+    key += '#';
+    key += std::to_string(v);
+    for (const Tuple& ground : ev.ground(v).tuples()) {
+      key += '(';
+      for (const Rational& value : ground) {
+        key += freezer.UnfreezeValue(value).ToString();
+        key += ',';
+      }
+      key += ')';
+    }
+  }
+  key += '|';
+  const std::vector<std::string>& names = freezer.slot_names();
+  const std::vector<uint32_t>& blocks = freezer.var_blocks();
+  const std::vector<Term>& reps = freezer.block_reps();
+  for (size_t s = 0; s < names.size(); ++s) {
+    key += names[s];
+    key += '=';
+    key += reps[blocks[s]].ToString();
+    key += ';';
+  }
+  return key;
+}
+
 }  // namespace
 
 void RewriteStats::Merge(const RewriteStats& other) {
@@ -76,6 +111,8 @@ void RewriteStats::Merge(const RewriteStats& other) {
   view_tuples_total += other.view_tuples_total;
   phase2_checks += other.phase2_checks;
   phase2_orders += other.phase2_orders;
+  phase1_memo_hits += other.phase1_memo_hits;
+  phase1_memo_misses += other.phase1_memo_misses;
 }
 
 RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
@@ -107,30 +144,71 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
   work.work_id = next_work_id.fetch_add(1, std::memory_order_relaxed);
 
   work.num_subgoals = static_cast<int>(query.body().size());
+
+  // Precompute the atom relations the per-database assembly needs.
+  const size_t m = work.mcds.size();
+  work.mcd_dup_of.resize(m);
+  work.mcd_rank.resize(m);
+  work.mcd_folds.assign(m * m, 0);
+  std::vector<int> distinct;
+  for (size_t i = 0; i < m; ++i) {
+    work.mcd_dup_of[i] = static_cast<int>(i);
+    for (size_t j = 0; j < i; ++j) {
+      if (work.mcds[j].view_tuple == work.mcds[i].view_tuple) {
+        work.mcd_dup_of[i] = work.mcd_dup_of[j];
+        break;
+      }
+    }
+    if (work.mcd_dup_of[i] == static_cast<int>(i)) {
+      distinct.push_back(static_cast<int>(i));
+    }
+    for (size_t j = 0; j < m; ++j) {
+      work.mcd_folds[i * m + j] =
+          FoldsOntoTuple(work.mcds[i].view_tuple, work.mcds[j].view_tuple);
+    }
+  }
+  std::sort(distinct.begin(), distinct.end(), [&work](int a, int b) {
+    return work.mcds[a].view_tuple < work.mcds[b].view_tuple;
+  });
+  for (size_t r = 0; r < distinct.size(); ++r) {
+    work.mcd_rank[distinct[r]] = static_cast<int>(r);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    work.mcd_rank[i] = work.mcd_rank[work.mcd_dup_of[i]];
+  }
   return work;
 }
 
 DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
-                                         const TotalOrder& order) {
+                                         const TotalOrder& order,
+                                         Phase1Memo* memo) {
   const RewriteOptions& options = work.options;
   DatabaseOutcome out;
   if (options.explain) out.trace.order = order.ToString();
 
   // Keep only databases on which the query computes its frozen head
   // (general evaluation: the identity freezing need not be the witnessing
-  // embedding).  The keep-test runs on a flat freeze with the shared
-  // prepared plan — most orders are skipped, and those never pay for the
-  // map-based CanonicalDatabase below.  The freezer and scratch are
-  // per-thread (ProcessCanonicalDatabase runs on worker threads) and are
-  // recompiled when a different run's work arrives.
+  // embedding).  The keep-test runs on a delta freeze with the shared
+  // prepared plan — consecutive orders differ in few blocks, so the
+  // freezer patches only the moved rows, and the view evaluator re-derives
+  // only views whose relations changed.  The caches are per-thread
+  // (ProcessCanonicalDatabase runs on worker threads) and are recompiled
+  // when a different run's work arrives.
   struct Phase1Cache {
     uint64_t work_id = 0;
     std::optional<CanonicalFreezer> freezer;
+    std::optional<ViewTupleEvaluator> evaluator;
+    std::optional<FrozenTupleMatcher> matcher;
     PreparedQuery::Scratch scratch;
   };
   static thread_local Phase1Cache cache;
   if (cache.work_id != work.work_id) {
     cache.freezer.emplace(work.query);
+    cache.evaluator.emplace(work.views);
+    std::vector<Atom> mcd_tuples;
+    mcd_tuples.reserve(work.mcds.size());
+    for (const Mcd& mcd : work.mcds) mcd_tuples.push_back(mcd.view_tuple);
+    cache.matcher.emplace(std::move(mcd_tuples), *cache.freezer);
     cache.work_id = work.work_id;
   }
   const FlatInstance& inst = cache.freezer->Freeze(order);
@@ -140,15 +218,14 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
     if (options.explain) out.trace.status = "skipped";
     return out;
   }
-  const CanonicalDatabase cdb = FreezeQuery(work.query, order);
   out.trace.computes_head = true;
   ++out.stats.kept_canonical_databases;
 
-  // Step 3.1-3.2: view tuples T_i(V).
-  const ViewTuples tuples = ComputeViewTuples(work.views, cdb);
-  out.stats.view_tuples_total += tuples.total;
-  if (options.explain) out.trace.view_tuples = tuples.total;
-  if (tuples.empty()) {
+  // Step 3.1-3.2: view tuples T_i(V), from the epoch-gated evaluator.
+  cache.evaluator->Refresh(*cache.freezer);
+  out.stats.view_tuples_total += cache.evaluator->total();
+  if (options.explain) out.trace.view_tuples = cache.evaluator->total();
+  if (cache.evaluator->total() == 0) {
     out.status = DatabaseOutcome::Status::kFailed;
     out.failure_reason =
         "no view produces any tuple on canonical database [" +
@@ -157,31 +234,88 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
     return out;
   }
 
-  // Step 3.4: prune bucket entries against the database's tuples.
-  std::vector<Mcd> kept;
-  for (const Mcd& mcd : work.mcds) {
-    bool keep = true;
-    switch (options.pruning) {
-      case RewriteOptions::Pruning::kNone:
-        break;
-      case RewriteOptions::Pruning::kRelaxedForm: {
-        keep = false;
-        auto it = tuples.unfrozen.find(mcd.view_tuple.predicate());
-        if (it != tuples.unfrozen.end()) {
-          for (const Atom& t : it->second) {
-            if (IsMoreRelaxedForm(mcd.view_tuple, t)) {
-              keep = true;
-              break;
-            }
+  // Databases with equal structural keys share one Phase-1 conclusion:
+  // on a (verified) fingerprint hit the kept count, combination verdict,
+  // and Pre-Rewriting body are replayed, and only the order-dependent
+  // projected comparisons are rebuilt.  Explain runs bypass the memo so
+  // every database's trace stays complete.
+  if (options.explain) memo = nullptr;
+  std::string memo_key;
+  Phase1Fingerprint memo_fp;
+  if (memo != nullptr) {
+    memo_key = BuildPhase1Key(*cache.freezer, *cache.evaluator);
+    memo_fp = FingerprintPhase1Key(memo_key);
+    Phase1Entry entry;
+    if (memo->Get(memo_fp, memo_key, &entry)) {
+      ++out.stats.phase1_memo_hits;
+      out.stats.mcds_kept_total += entry.mcds_kept;
+      if (!entry.combination_exists) {
+        out.status = DatabaseOutcome::Status::kFailed;
+        out.failure_reason =
+            "no MiniCon combination covers the query on canonical "
+            "database [" +
+            order.ToString() + "]";
+        return out;
+      }
+      std::vector<Atom> body;
+      body.reserve(entry.body_mcds.size());
+      for (const int i : entry.body_mcds) {
+        body.push_back(work.mcds[i].view_tuple);
+      }
+      out.pre_rewriting =
+          ConjunctiveQuery(work.query.head(), std::move(body),
+                           order.ProjectedComparisons(entry.body_vars));
+      out.status = DatabaseOutcome::Status::kKept;
+      return out;
+    }
+    ++out.stats.phase1_memo_misses;
+  }
+
+  // Step 3.4: prune bucket entries against the database's tuples.  Kept
+  // MCDs are tracked by index into work.mcds; nothing is copied until the
+  // surviving tuples enter the Pre-Rewriting body.
+  const size_t num_mcds = work.mcds.size();
+  std::vector<int> kept;
+  switch (options.pruning) {
+    case RewriteOptions::Pruning::kNone:
+      kept.resize(num_mcds);
+      for (size_t m = 0; m < num_mcds; ++m) kept[m] = static_cast<int>(m);
+      break;
+    case RewriteOptions::Pruning::kRelaxedForm: {
+      // Definition 2 works on unfrozen tuples; build them for this
+      // database (the frozen-match default never needs them).
+      std::map<std::string, std::vector<Atom>> unfrozen;
+      for (int v = 0; v < cache.evaluator->view_count(); ++v) {
+        std::vector<Atom>& atoms = unfrozen[cache.evaluator->view_name(v)];
+        for (const Tuple& ground : cache.evaluator->ground(v).tuples()) {
+          std::vector<Term> args;
+          args.reserve(ground.size());
+          for (const Rational& value : ground) {
+            args.push_back(cache.freezer->UnfreezeValue(value));
+          }
+          atoms.push_back(Atom(cache.evaluator->view_name(v),
+                               std::move(args)));
+        }
+      }
+      for (size_t m = 0; m < num_mcds; ++m) {
+        const auto it = unfrozen.find(work.mcds[m].view_tuple.predicate());
+        if (it == unfrozen.end()) continue;
+        for (const Atom& t : it->second) {
+          if (IsMoreRelaxedForm(work.mcds[m].view_tuple, t)) {
+            kept.push_back(static_cast<int>(m));
+            break;
           }
         }
-        break;
       }
-      case RewriteOptions::Pruning::kFrozenMatch:
-        keep = MatchesFrozenViewTuple(mcd.view_tuple, tuples, cdb);
-        break;
+      break;
     }
-    if (keep) kept.push_back(mcd);
+    case RewriteOptions::Pruning::kFrozenMatch: {
+      cache.matcher->BindDatabase(*cache.evaluator);
+      for (size_t m = 0; m < num_mcds; ++m) {
+        if (cache.matcher->Matches(m)) kept.push_back(static_cast<int>(m));
+      }
+      break;
+    }
   }
   out.stats.mcds_kept_total += static_cast<int64_t>(kept.size());
   if (options.explain) {
@@ -189,7 +323,14 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   }
 
   // Step 3.5: MiniCon phase 2 as an existence check.
-  if (!McdCombinationExists(kept, work.num_subgoals)) {
+  if (!McdCombinationExists(work.mcds, kept, work.num_subgoals)) {
+    if (memo != nullptr) {
+      memo->Put(memo_fp,
+                Phase1Entry{std::move(memo_key), false,
+                            static_cast<int64_t>(kept.size()),
+                            {},
+                            {}});
+    }
     out.status = DatabaseOutcome::Status::kFailed;
     out.failure_reason =
         "no MiniCon combination covers the query on canonical "
@@ -202,32 +343,45 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
 
   // Steps 3.6-3.7 and Phase 2 task (a): the Pre-Rewriting holds all
   // surviving view tuples plus the database's order constraints projected
-  // onto the variables it uses.
-  std::vector<Atom> body;
-  for (const Mcd& mcd : kept) {
-    if (std::find(body.begin(), body.end(), mcd.view_tuple) == body.end()) {
-      body.push_back(mcd.view_tuple);
+  // onto the variables it uses.  Dedup, fold-drop, and sort run on the
+  // precomputed per-run relations (work.mcd_dup_of / mcd_folds /
+  // mcd_rank); the result is identical to deduplicating with std::find,
+  // dropping with FoldsOntoTuple, and sorting atoms directly.
+  std::vector<int> body_idx;
+  {
+    std::vector<char> seen_rep(num_mcds, 0);
+    for (const int k : kept) {
+      const int rep = work.mcd_dup_of[k];
+      if (!seen_rep[rep]) {
+        seen_rep[rep] = 1;
+        body_idx.push_back(rep);
+      }
     }
   }
   // Drop tuples whose fresh variables fold onto another kept tuple.
   {
-    std::vector<bool> dropped(body.size(), false);
-    for (size_t i = 0; i < body.size(); ++i) {
-      for (size_t j = 0; j < body.size(); ++j) {
+    std::vector<char> dropped(body_idx.size(), 0);
+    for (size_t i = 0; i < body_idx.size(); ++i) {
+      for (size_t j = 0; j < body_idx.size(); ++j) {
         if (i == j || dropped[j]) continue;
-        if (FoldsOntoTuple(body[i], body[j])) {
-          dropped[i] = true;
+        if (work.mcd_folds[body_idx[i] * num_mcds + body_idx[j]]) {
+          dropped[i] = 1;
           break;
         }
       }
     }
-    std::vector<Atom> reduced;
-    for (size_t i = 0; i < body.size(); ++i) {
-      if (!dropped[i]) reduced.push_back(body[i]);
+    std::vector<int> reduced;
+    for (size_t i = 0; i < body_idx.size(); ++i) {
+      if (!dropped[i]) reduced.push_back(body_idx[i]);
     }
-    body = std::move(reduced);
+    body_idx = std::move(reduced);
   }
-  std::sort(body.begin(), body.end());
+  std::sort(body_idx.begin(), body_idx.end(), [&work](int a, int b) {
+    return work.mcd_rank[a] < work.mcd_rank[b];
+  });
+  std::vector<Atom> body;
+  body.reserve(body_idx.size());
+  for (const int i : body_idx) body.push_back(work.mcds[i].view_tuple);
   std::vector<std::string> body_vars;
   {
     std::set<std::string> seen;
@@ -238,6 +392,12 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
         }
       }
     }
+  }
+  if (memo != nullptr) {
+    memo->Put(memo_fp,
+              Phase1Entry{std::move(memo_key), true,
+                          static_cast<int64_t>(kept.size()), body_idx,
+                          body_vars});
   }
   ConjunctiveQuery pre(work.query.head(), std::move(body),
                        order.ProjectedComparisons(body_vars));
@@ -364,6 +524,11 @@ RewriteResult EquivalentRewriter::RunSerial() {
   bool failed = false;
   bool aborted = false;
 
+  // The Phase-1 memo lives and dies with this run (its entries index into
+  // `work`).
+  std::optional<Phase1Memo> phase1_memo;
+  if (options_.phase1_dedup && !options_.explain) phase1_memo.emplace();
+
   ForEachTotalOrder(
       query_.AllVariables(), work.constants, [&](const TotalOrder& order) {
         ++result.stats.canonical_databases;
@@ -373,7 +538,8 @@ RewriteResult EquivalentRewriter::RunSerial() {
           aborted = true;
           return false;
         }
-        DatabaseOutcome out = ProcessCanonicalDatabase(work, order);
+        DatabaseOutcome out = ProcessCanonicalDatabase(
+            work, order, phase1_memo ? &*phase1_memo : nullptr);
         result.stats.Merge(out.stats);
         if (options_.explain) {
           result.trace.databases.push_back(std::move(out.trace));

@@ -16,7 +16,8 @@
 
 namespace cqac {
 
-class MemoCache;  // runtime/memo_cache.h
+class MemoCache;   // runtime/memo_cache.h
+class Phase1Memo;  // runtime/memo_cache.h
 
 /// Options controlling the equivalent-rewriting algorithm.
 struct RewriteOptions {
@@ -64,6 +65,16 @@ struct RewriteOptions {
   /// disjunct.
   bool minimize_output = false;
 
+  /// Share Phase-1 conclusions between canonical databases with equal
+  /// structural fingerprints (same unfrozen view-tuple multiset and
+  /// variable-to-block map): the pruning, combination check, and
+  /// Pre-Rewriting body are computed once and replayed, with only the
+  /// order-dependent comparisons rebuilt per database.  Results are
+  /// byte-identical either way; only the phase1_memo_* counters and wall
+  /// time change.  Treated as false when `explain` is set, so traces stay
+  /// complete.
+  bool phase1_dedup = true;
+
   /// Collect a per-canonical-database trace (RewriteResult::trace),
   /// including the paper's two-column tableau.  Costs memory and a little
   /// time; off by default.
@@ -93,6 +104,8 @@ struct RewriteStats {
   int64_t view_tuples_total = 0;         // sum of |T_i(V)|
   int64_t phase2_checks = 0;             // expansion containment checks
   int64_t phase2_orders = 0;             // orders visited by those checks
+  int64_t phase1_memo_hits = 0;          // databases served from the memo
+  int64_t phase1_memo_misses = 0;        // databases computed in full
 
   /// Element-wise accumulation.  Both the serial loop and the parallel
   /// driver build their totals exclusively through Merge, so equal work
@@ -166,6 +179,13 @@ struct RewriteWork {
   std::vector<Mcd> mcds;                      // buckets, formed once
   std::vector<Rational> constants;            // of query and views
   int num_subgoals = 0;
+
+  // Relations over the MCD view tuples, derived once so the per-database
+  // Pre-Rewriting assembly (dedup, fold-drop, sort) works on integers
+  // instead of re-comparing atoms on every kept canonical database.
+  std::vector<int> mcd_dup_of;  // i -> least j with an equal view tuple
+  std::vector<int> mcd_rank;    // i -> rank of its tuple among distinct ones
+  std::vector<char> mcd_folds;  // i * |mcds| + j -> tuple i folds onto j
 };
 
 /// Builds the shared setup.  Deterministic for fixed inputs.
@@ -201,8 +221,15 @@ struct DatabaseOutcome {
 /// Phase 1 steps 2-3.7 for a single canonical database: freeze, keep-test,
 /// view tuples, bucket pruning, MiniCon existence check, Pre-Rewriting
 /// assembly.  Pure function of (work, order); no shared mutable state.
+///
+/// `memo`, when non-null, deduplicates the pruning / combination /
+/// body-assembly work across canonical databases with equal structural
+/// keys (see Phase1Entry in runtime/memo_cache.h).  The memo must belong
+/// to this run — its entries index into work.mcds — and sharing it across
+/// worker threads is safe.  Results are byte-identical with or without it.
 DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
-                                         const TotalOrder& order);
+                                         const TotalOrder& order,
+                                         Phase1Memo* memo = nullptr);
 
 /// What the Phase-2 containment check concluded about one Pre-Rewriting.
 struct Phase2Outcome {

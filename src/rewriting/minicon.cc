@@ -351,6 +351,47 @@ bool McdCombinationExists(const std::vector<Mcd>& mcds, int num_subgoals) {
   return exists;
 }
 
+namespace {
+
+/// Existence-only search over a subset of the MCDs, first-fit on the
+/// lowest uncovered subgoal.  `remaining` is a bitmask-free set of still
+/// uncovered subgoal indices, kept sorted.
+bool SubsetCombinationSearch(const std::vector<Mcd>& mcds,
+                             const std::vector<int>& subset,
+                             std::set<int>& remaining) {
+  if (remaining.empty()) return true;
+  const int target = *remaining.begin();
+  for (const int idx : subset) {
+    const Mcd& mcd = mcds[idx];
+    if (std::find(mcd.covered.begin(), mcd.covered.end(), target) ==
+        mcd.covered.end()) {
+      continue;
+    }
+    bool disjoint = true;
+    for (int g : mcd.covered) {
+      if (remaining.count(g) == 0) {
+        disjoint = false;
+        break;
+      }
+    }
+    if (!disjoint) continue;
+    for (int g : mcd.covered) remaining.erase(g);
+    const bool found = SubsetCombinationSearch(mcds, subset, remaining);
+    for (int g : mcd.covered) remaining.insert(g);
+    if (found) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool McdCombinationExists(const std::vector<Mcd>& mcds,
+                          const std::vector<int>& subset, int num_subgoals) {
+  std::set<int> remaining;
+  for (int g = 0; g < num_subgoals; ++g) remaining.insert(g);
+  return SubsetCombinationSearch(mcds, subset, remaining);
+}
+
 UnionQuery MiniConRewritings(const ConjunctiveQuery& query,
                              const std::vector<ConjunctiveQuery>& views) {
   const std::vector<Mcd> mcds = FormMcds(query, views);

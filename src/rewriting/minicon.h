@@ -49,6 +49,13 @@ std::vector<Mcd> FormMcds(const ConjunctiveQuery& query,
 /// pairwise-disjoint coverage covers all `num_subgoals` query subgoals.
 bool McdCombinationExists(const std::vector<Mcd>& mcds, int num_subgoals);
 
+/// Same existence check restricted to `mcds[i]` for `i` in `subset`
+/// (ascending or not; order does not affect the verdict).  Lets the
+/// per-canonical-database pruning loop pass its kept indices without
+/// copying Mcd values.
+bool McdCombinationExists(const std::vector<Mcd>& mcds,
+                          const std::vector<int>& subset, int num_subgoals);
+
 /// MiniCon phase 2, enumeration form: invokes `fn` with every combination
 /// of MCDs (pairwise-disjoint coverage, covering all subgoals); stops when
 /// `fn` returns false.  Used to generate plain-CQ rewritings (the MCR of

@@ -158,6 +158,7 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   std::vector<RewriteOutcome> outcomes(jobs.size(),
                                        RewriteOutcome::kNoRewriting);
   std::vector<bool> job_errors(jobs.size(), false);
+  std::vector<RewriteStats> job_stats(jobs.size());
 
   std::mutex mu;
   std::condition_variable cv;
@@ -169,6 +170,7 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
       std::string rendered;
       bool is_error = false;
       RewriteOutcome outcome = RewriteOutcome::kNoRewriting;
+      RewriteStats stats;
       if (!job.error.empty()) {
         rendered = "job " + std::to_string(i) + ": error: " + job.error + "\n";
         is_error = true;
@@ -176,12 +178,14 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
         const RewriteResult result =
             EquivalentRewriter(*job.query, job.views, per_job, &memo).Run();
         outcome = result.outcome;
+        stats = result.stats;
         rendered = RenderResult(i, job, result, options.echo);
       }
       std::lock_guard<std::mutex> lock(mu);
       outputs[i] = std::move(rendered);
       outcomes[i] = outcome;
       job_errors[i] = is_error;
+      job_stats[i] = stats;
       ++done;
       cv.notify_all();
     });
@@ -212,11 +216,35 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   }
 
   summary.cache = memo.Stats();
+  for (const RewriteStats& s : job_stats) summary.rewrite.Merge(s);
   out << "batch: " << summary.jobs_total << " jobs, " << summary.found
       << " found, " << summary.none << " none, " << summary.aborted
       << " aborted, " << summary.errors << " errors\n";
   out << "cache: " << summary.cache.hits << " hits, " << summary.cache.misses
       << " misses, " << summary.cache.evictions << " evictions\n";
+  if (options.print_stats) {
+    out << "phase-1: " << summary.rewrite.canonical_databases
+        << " databases visited, "
+        << summary.rewrite.canonical_databases -
+               summary.rewrite.kept_canonical_databases
+        << " pruned, " << summary.rewrite.phase1_memo_hits
+        << " deduped (memo hits), " << summary.rewrite.phase1_memo_misses
+        << " computed in full\n";
+  }
+  if (options.json_summary) {
+    out << "{\"jobs\": " << summary.jobs_total << ", \"found\": "
+        << summary.found << ", \"none\": " << summary.none
+        << ", \"aborted\": " << summary.aborted << ", \"errors\": "
+        << summary.errors << ", \"cache_hits\": " << summary.cache.hits
+        << ", \"cache_misses\": " << summary.cache.misses
+        << ", \"canonical_databases\": "
+        << summary.rewrite.canonical_databases
+        << ", \"kept_canonical_databases\": "
+        << summary.rewrite.kept_canonical_databases
+        << ", \"phase1_memo_hits\": " << summary.rewrite.phase1_memo_hits
+        << ", \"phase1_memo_misses\": " << summary.rewrite.phase1_memo_misses
+        << "}\n";
+  }
   return summary;
 }
 

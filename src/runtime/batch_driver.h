@@ -24,6 +24,17 @@ struct BatchOptions {
 
   /// Echo each job's query/view definitions before its result.
   bool echo = false;
+
+  /// Append a batch-wide Phase-1 footer (databases visited / pruned /
+  /// deduped, aggregated over all jobs) after the standard summary lines.
+  /// Behind `cqacsh --stats`; off by default so existing consumers of the
+  /// batch output format are unaffected.
+  bool print_stats = false;
+
+  /// Append a one-line JSON record of the batch summary — job outcomes,
+  /// containment-cache counters, and the aggregated rewrite stats
+  /// including the Phase-1 memo hit/miss split.  Behind `cqacsh --json`.
+  bool json_summary = false;
 };
 
 /// Counters of one RunBatch call.
@@ -34,6 +45,7 @@ struct BatchSummary {
   int64_t aborted = 0;    // jobs that hit the canonical-database budget
   int64_t errors = 0;     // jobs that failed to parse
   MemoCacheStats cache;   // shared memo cache, summed over all jobs
+  RewriteStats rewrite;   // per-job RewriteStats, merged over all jobs
 };
 
 /// The batch service driver behind `cqacsh --serve-batch`: reads a stream

@@ -124,6 +124,110 @@ int64_t DedupTable::size() const {
 }
 
 // ---------------------------------------------------------------------------
+// Phase1Memo
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over `key` with a seed, finalized through Mix64.
+uint64_t HashKey(const std::string& key, uint64_t seed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace
+
+Phase1Fingerprint FingerprintPhase1Key(const std::string& key) {
+  Phase1Fingerprint fp;
+  fp.hi = HashKey(key, 0x5851f42d4c957f2dULL);
+  fp.lo = HashKey(key, 0x14057b7ef767814fULL);
+  return fp;
+}
+
+Phase1Memo::Phase1Memo(size_t capacity, int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  per_shard_capacity_ = capacity / static_cast<size_t>(num_shards);
+  if (per_shard_capacity_ == 0) per_shard_capacity_ = 1;
+  shards_.reserve(num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Phase1Memo::Shard& Phase1Memo::ShardFor(const Phase1Fingerprint& fp) {
+  return *shards_[fp.lo % shards_.size()];
+}
+
+bool Phase1Memo::Get(const Phase1Fingerprint& fp, const std::string& key,
+                     Phase1Entry* out) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.buckets.find(fp.lo);
+  if (it != shard.buckets.end()) {
+    for (const auto& [hi, entry] : it->second) {
+      // Verify-on-hit: a 128-bit collision of distinct keys must stay a
+      // miss, never a wrong answer.
+      if (hi == fp.hi && entry.key == key) {
+        ++shard.stats.hits;
+        *out = entry;
+        return true;
+      }
+    }
+  }
+  ++shard.stats.misses;
+  return false;
+}
+
+void Phase1Memo::Put(const Phase1Fingerprint& fp, Phase1Entry entry) {
+  Shard& shard = ShardFor(fp);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& bucket = shard.buckets[fp.lo];
+  for (const auto& [hi, existing] : bucket) {
+    if (hi == fp.hi && existing.key == entry.key) return;  // First wins.
+  }
+  if (shard.entries >= per_shard_capacity_) {
+    ++shard.stats.evictions;  // Dropped insert; the memo stays bounded.
+    return;
+  }
+  bucket.emplace_back(fp.hi, std::move(entry));
+  ++shard.entries;
+  ++shard.stats.insertions;
+}
+
+MemoCacheStats Phase1Memo::Stats() const {
+  MemoCacheStats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->stats.hits;
+    total.misses += shard->stats.misses;
+    total.insertions += shard->stats.insertions;
+    total.evictions += shard->stats.evictions;
+  }
+  return total;
+}
+
+size_t Phase1Memo::size() const {
+  size_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->entries;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
 // Key normalization
 // ---------------------------------------------------------------------------
 

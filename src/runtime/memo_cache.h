@@ -108,6 +108,84 @@ class DedupTable {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// A 128-bit structural fingerprint (two independently seeded 64-bit
+/// mixes) of a Phase-1 memo key.  Fingerprints index the Phase1Memo
+/// shards; entries always carry the full key and a hit is only declared
+/// after the keys compare equal — never trust the hash alone.
+struct Phase1Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Phase1Fingerprint& a,
+                         const Phase1Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+};
+
+/// Fingerprints a Phase-1 memo key (deterministic across runs/platforms).
+Phase1Fingerprint FingerprintPhase1Key(const std::string& key);
+
+/// What Phase 1 concluded about one canonical database, keyed by the
+/// database's structural key: the unfrozen view-tuple multiset plus the
+/// variable -> block-representative map.  Canonical databases with equal
+/// keys provably keep the same MCD set, pass or fail the combination
+/// check together, and assemble the same Pre-Rewriting body — so the
+/// conclusion is shared and only the order-dependent comparisons are
+/// rebuilt per database.
+struct Phase1Entry {
+  std::string key;  // full key, compared on every hit
+  bool combination_exists = false;
+  int64_t mcds_kept = 0;
+  /// Surviving MCD indices (deduplicated, fold-dropped, sorted by tuple
+  /// rank) and the body's variables in first-occurrence order; valid only
+  /// within the run (RewriteWork) that produced them, which is why a
+  /// Phase1Memo must never outlive or be shared across runs.
+  std::vector<int> body_mcds;
+  std::vector<std::string> body_vars;
+};
+
+/// A sharded, insert-only memo from canonical-database fingerprints to
+/// Phase-1 conclusions, shared by the worker threads of one rewriting
+/// run.  Entries are verified on hit (full key comparison) and the first
+/// writer wins; inserts beyond the capacity are dropped — the memo is an
+/// accelerator, never a source of truth.  Unlike MemoCache, entries are
+/// meaningful only within a single run: keys do not identify the query or
+/// views, so a Phase1Memo is created per run and discarded with it.
+class Phase1Memo {
+ public:
+  explicit Phase1Memo(size_t capacity = 1 << 16, int num_shards = 16);
+
+  Phase1Memo(const Phase1Memo&) = delete;
+  Phase1Memo& operator=(const Phase1Memo&) = delete;
+
+  /// Copies the entry for (`fp`, `key`) into `*out`; false on miss.
+  bool Get(const Phase1Fingerprint& fp, const std::string& key,
+           Phase1Entry* out);
+
+  /// Inserts `entry` (whose key must fingerprint to `fp`) unless an equal
+  /// entry exists or the shard is full.
+  void Put(const Phase1Fingerprint& fp, Phase1Entry entry);
+
+  /// Counters summed over all shards (evictions counts dropped inserts).
+  MemoCacheStats Stats() const;
+
+  size_t size() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<std::pair<uint64_t, Phase1Entry>>>
+        buckets;  // fp.lo -> [(fp.hi, entry)]
+    size_t entries = 0;
+    MemoCacheStats stats;
+  };
+
+  Shard& ShardFor(const Phase1Fingerprint& fp);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
 /// A canonical key for a query: atoms and comparisons rendered with every
 /// variable renamed to its first-occurrence index (`?0`, `?1`, ...), so
 /// alpha-equivalent queries — equal up to a consistent renaming of

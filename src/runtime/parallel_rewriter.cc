@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -95,6 +96,16 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
 
+  // One Phase-1 memo per run, shared by every worker (sharded; first
+  // writer wins).  Which worker takes the miss for a given structural key
+  // races, so the per-database hit/miss *split* can differ from the serial
+  // run's — but every replayed conclusion is verified against the full
+  // key, so outcomes, Pre-Rewritings, and the hit+miss total are
+  // byte-identical to serial.
+  std::optional<Phase1Memo> phase1_memo;
+  if (options.phase1_dedup && !options.explain) phase1_memo.emplace();
+  Phase1Memo* const p1_memo = phase1_memo ? &*phase1_memo : nullptr;
+
   // --- Phase 1 fan-out: one task per canonical database, streamed ---
   //
   // The number of total orders is factorial in |variables| + |constants|,
@@ -179,7 +190,8 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
             // below the cutoff must still run so the merge reproduces
             // the serial prefix (see PrefixCancel).
             if (db_cancel.ShouldRun(i)) {
-              slot.outcome = ProcessCanonicalDatabase(work, slot.order);
+              slot.outcome =
+                  ProcessCanonicalDatabase(work, slot.order, p1_memo);
               db_executed.fetch_add(1, std::memory_order_relaxed);
               if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
                 db_cancel.FailAt(i);

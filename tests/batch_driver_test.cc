@@ -122,5 +122,40 @@ TEST(BatchDriverTest, EchoIncludesDefinitions) {
   EXPECT_NE(out.str().find("view v(Y,Z)"), std::string::npos);
 }
 
+TEST(BatchDriverTest, StatsFooterAggregatesPhase1AcrossJobs) {
+  std::istringstream in(std::string(kPaperJob) + "\nrun\n" + kPaperJob);
+  std::ostringstream out;
+  BatchOptions options;
+  options.print_stats = true;
+  const BatchSummary summary = RunBatch(in, out, options);
+  EXPECT_EQ(summary.jobs_total, 2);
+  EXPECT_NE(out.str().find("phase-1: "), std::string::npos);
+  EXPECT_GT(summary.rewrite.canonical_databases, 0);
+  // Each job's canonical databases land in the merged total, and the memo
+  // split accounts for every kept database.
+  EXPECT_EQ(summary.rewrite.phase1_memo_hits +
+                summary.rewrite.phase1_memo_misses,
+            summary.rewrite.kept_canonical_databases);
+}
+
+TEST(BatchDriverTest, JsonSummaryIncludesMemoCounters) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  BatchOptions options;
+  options.json_summary = true;
+  RunBatch(in, out, options);
+  EXPECT_NE(out.str().find("{\"jobs\": 1"), std::string::npos);
+  EXPECT_NE(out.str().find("\"phase1_memo_hits\": "), std::string::npos);
+  EXPECT_NE(out.str().find("\"phase1_memo_misses\": "), std::string::npos);
+}
+
+TEST(BatchDriverTest, FootersAbsentByDefault) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  RunBatch(in, out);
+  EXPECT_EQ(out.str().find("phase-1: "), std::string::npos);
+  EXPECT_EQ(out.str().find("{\"jobs\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cqac

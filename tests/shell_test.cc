@@ -166,6 +166,32 @@ TEST(ShellTest, EvalRewritingRunsOverMaterializedViews) {
   EXPECT_NE(out.find("{(5)}", rewriting_answer + 1), std::string::npos);
 }
 
+TEST(ShellTest, RewriteStatsFlagPrintsPhase1Breakdown) {
+  const std::string out = RunSession(
+      "view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.\n"
+      "query q(A) :- r(A), s(A,A), A <= 8.\n"
+      "rewrite stats\n");
+  EXPECT_NE(out.find("phase-1: "), std::string::npos);
+  EXPECT_NE(out.find("databases visited"), std::string::npos);
+  EXPECT_NE(out.find("deduped (memo hits)"), std::string::npos);
+  // Without the flag, the breakdown is absent.
+  const std::string quiet = RunSession(
+      "view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.\n"
+      "query q(A) :- r(A), s(A,A), A <= 8.\n"
+      "rewrite\n");
+  EXPECT_EQ(quiet.find("phase-1: "), std::string::npos);
+}
+
+TEST(ShellTest, RewriteJsonFlagEmitsCounterRecord) {
+  const std::string out = RunSession(
+      "view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.\n"
+      "query q(A) :- r(A), s(A,A), A <= 8.\n"
+      "rewrite json\n");
+  EXPECT_NE(out.find("{\"outcome\": \"found\""), std::string::npos);
+  EXPECT_NE(out.find("\"phase1_memo_hits\": "), std::string::npos);
+  EXPECT_NE(out.find("\"phase1_memo_misses\": "), std::string::npos);
+}
+
 TEST(ShellTest, ClearResetsState) {
   const std::string out = RunSession(
       "view v(T) :- a(T).\n"

@@ -37,11 +37,18 @@ bool ParseJobs(const char* text, int* jobs) {
 }
 
 void PrintUsage(std::ostream& out) {
-  out << "usage: cqacsh [--jobs N] [--serve-batch] [--help]\n"
+  out << "usage: cqacsh [--jobs N] [--serve-batch] [--stats] [--json] "
+         "[--help]\n"
          "  --jobs N       worker threads for rewriting (0 = all cores;\n"
          "                 default: all cores; 1 = serial)\n"
          "  --serve-batch  read rewriting jobs from stdin and execute them\n"
          "                 concurrently; otherwise run the interactive shell\n"
+         "  --stats        print the Phase-1 breakdown (databases visited /\n"
+         "                 pruned / deduped) after each rewrite; with\n"
+         "                 --serve-batch, aggregated once per batch\n"
+         "  --json         emit a one-line JSON record of outcome and all\n"
+         "                 counters (including the Phase-1 memo hit/miss\n"
+         "                 split) after each rewrite or batch\n"
          "  --help         this message\n";
 }
 
@@ -50,11 +57,17 @@ void PrintUsage(std::ostream& out) {
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = hardware concurrency.
   bool serve_batch = false;
+  bool print_stats = false;
+  bool json_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve-batch") {
       serve_batch = true;
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else if (arg == "--json") {
+      json_stats = true;
     } else if (arg == "--jobs") {
       if (i + 1 >= argc) {
         std::cerr << "error: --jobs needs a value\n";
@@ -88,6 +101,8 @@ int main(int argc, char** argv) {
   if (serve_batch) {
     cqac::BatchOptions options;
     options.jobs = jobs;
+    options.print_stats = print_stats;
+    options.json_summary = json_stats;
     const cqac::BatchSummary summary =
         cqac::RunBatch(std::cin, std::cout, options);
     return summary.errors > 0 ? 1 : 0;
@@ -95,6 +110,8 @@ int main(int argc, char** argv) {
 
   cqac::Shell shell(std::cout);
   shell.set_default_jobs(jobs);
+  shell.set_print_stats(print_stats);
+  shell.set_json_stats(json_stats);
   shell.ProcessStream(std::cin, /*interactive=*/isatty(STDIN_FILENO) != 0);
   return 0;
 }

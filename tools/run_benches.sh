@@ -22,7 +22,7 @@ cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(bench_containment bench_canonical bench_homomorphism)
+  benches=(bench_containment bench_canonical bench_homomorphism bench_phase1)
 fi
 
 cmake --build "$build" --target "${benches[@]}" -j"$(nproc)"
