@@ -1,6 +1,7 @@
 #include "constraints/orders.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <set>
@@ -667,6 +668,12 @@ void ForEachSatisfyingOrderPruned(
     OrderEnumerationStats* stats) {
   OrderEnumerationStats local;
   if (stats == nullptr) stats = &local;
+  if (internal::SatisfyingOrderFallbackForcedForTest()) {
+    internal::ForEachSatisfyingOrderLegacy(
+        variables, constants, axioms,
+        [&fn](const TotalOrder& order) { return fn(order, 1); }, stats);
+    return;
+  }
   const std::vector<Rational> sorted_constants =
       SortedUniqueConstants(constants);
   TotalOrder base = BaseOrder(sorted_constants);
@@ -757,6 +764,18 @@ std::vector<std::vector<std::string>> InterchangeableVariableGroups(
 }
 
 namespace internal {
+
+namespace {
+std::atomic<bool> g_force_order_fallback{false};
+}  // namespace
+
+void ForceSatisfyingOrderFallbackForTest(bool forced) {
+  g_force_order_fallback.store(forced, std::memory_order_relaxed);
+}
+
+bool SatisfyingOrderFallbackForcedForTest() {
+  return g_force_order_fallback.load(std::memory_order_relaxed);
+}
 
 void ForEachSatisfyingOrderLegacy(
     const std::vector<std::string>& variables,

@@ -179,6 +179,16 @@ void ForEachSatisfyingOrderLegacy(
     const std::function<bool(const TotalOrder&)>& fn,
     OrderEnumerationStats* stats = nullptr);
 
+/// Test-only switch: while forced, ForEachSatisfyingOrderPruned routes
+/// every enumeration through ForEachSatisfyingOrderLegacy (symmetry
+/// ignored, every multiplicity 1).  By the enumerator's contract the
+/// emitted satisfying orders are identical either way — only node/orbit
+/// counters change — and the differential fuzzer flips this switch to
+/// prove it on whole-algorithm outputs.  The flag is a relaxed atomic:
+/// flip it only while no enumeration is in flight.
+void ForceSatisfyingOrderFallbackForTest(bool forced);
+bool SatisfyingOrderFallbackForcedForTest();
+
 }  // namespace internal
 
 }  // namespace cqac

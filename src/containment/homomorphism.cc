@@ -1,6 +1,7 @@
 #include "containment/homomorphism.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "containment/binding_trail.h"
 #include "containment/compiled_query.h"
@@ -220,6 +221,18 @@ bool LegacySearchMappings(const ConjunctiveQuery& from,
 
 namespace internal {
 
+namespace {
+std::atomic<bool> g_force_legacy_mapping{false};
+}  // namespace
+
+void ForceLegacyContainmentMappingForTest(bool forced) {
+  g_force_legacy_mapping.store(forced, std::memory_order_relaxed);
+}
+
+bool LegacyContainmentMappingForcedForTest() {
+  return g_force_legacy_mapping.load(std::memory_order_relaxed);
+}
+
 void ForEachContainmentMappingLegacy(
     const ConjunctiveQuery& from, const ConjunctiveQuery& to,
     const std::function<bool(const Substitution&)>& fn) {
@@ -234,6 +247,10 @@ void ForEachContainmentMappingLegacy(
 void ForEachContainmentMapping(
     const ConjunctiveQuery& from, const ConjunctiveQuery& to,
     const std::function<bool(const Substitution&)>& fn) {
+  if (internal::LegacyContainmentMappingForcedForTest()) {
+    internal::ForEachContainmentMappingLegacy(from, to, fn);
+    return;
+  }
   MappingSearch().Run(from, to, fn);
 }
 

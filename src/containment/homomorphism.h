@@ -49,6 +49,16 @@ void ForEachContainmentMappingLegacy(
     const ConjunctiveQuery& from, const ConjunctiveQuery& to,
     const std::function<bool(const Substitution&)>& fn);
 
+/// Test-only switch: while forced, ForEachContainmentMapping delegates to
+/// ForEachContainmentMappingLegacy.  The two engines emit the same mapping
+/// *set* (possibly in a different order — the compiled engine reorders
+/// subgoals most-constrained-first), so every exists-a-mapping verdict is
+/// identical; the differential fuzzer flips this switch to prove it on
+/// whole-algorithm outputs.  Relaxed atomic: flip only while no search is
+/// in flight.
+void ForceLegacyContainmentMappingForTest(bool forced);
+bool LegacyContainmentMappingForcedForTest();
+
 }  // namespace internal
 
 }  // namespace cqac

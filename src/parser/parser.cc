@@ -195,6 +195,20 @@ class Lexer {
     }
     Rational value =
         Rational(integral) + Rational(frac_num, frac_den);
+    // `num/den` rational literals, the form Rational::ToString emits, so
+    // serialized comparisons round-trip through the parser.
+    if (frac_den == 1 && pos_ < text_.size() && text_[pos_] == '/' &&
+        pos_ + 1 < text_.size() &&
+        std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+      Advance();  // consume '/'
+      int64_t denominator = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        denominator = denominator * 10 + (text_[pos_] - '0');
+        Advance();
+      }
+      if (denominator != 0) value = Rational(integral, denominator);
+    }
     if (negative) value = -value;
     tok.kind = TokKind::kNumber;
     tok.number = value;

@@ -508,6 +508,10 @@ RewriteResult EquivalentRewriter::RunSerial() {
   // union is an equivalent rewriting.
   if (!AcSolver::IsSatisfiable(query_.comparisons())) {
     result.outcome = RewriteOutcome::kRewritingFound;
+    if (options_.verify) {
+      result.verified =
+          RewritingIsEquivalent(query_, result.rewriting, views_);
+    }
     return result;
   }
 

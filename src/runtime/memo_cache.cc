@@ -1,5 +1,6 @@
 #include "runtime/memo_cache.h"
 
+#include <atomic>
 #include <functional>
 #include <utility>
 
@@ -149,10 +150,43 @@ uint64_t HashKey(const std::string& key, uint64_t seed) {
 
 }  // namespace
 
+namespace internal {
+
+namespace {
+std::atomic<int> g_fingerprint_bits{0};
+std::atomic<bool> g_verify_on_hit{true};
+}  // namespace
+
+void SetPhase1FingerprintBitsForTest(int bits) {
+  if (bits < 0) bits = 0;
+  if (bits > 64) bits = 64;
+  g_fingerprint_bits.store(bits, std::memory_order_relaxed);
+}
+
+int Phase1FingerprintBitsForTest() {
+  return g_fingerprint_bits.load(std::memory_order_relaxed);
+}
+
+void SetPhase1MemoVerifyOnHitForTest(bool enabled) {
+  g_verify_on_hit.store(enabled, std::memory_order_relaxed);
+}
+
+bool Phase1MemoVerifyOnHitForTest() {
+  return g_verify_on_hit.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
+
 Phase1Fingerprint FingerprintPhase1Key(const std::string& key) {
   Phase1Fingerprint fp;
   fp.hi = HashKey(key, 0x5851f42d4c957f2dULL);
   fp.lo = HashKey(key, 0x14057b7ef767814fULL);
+  const int bits = internal::Phase1FingerprintBitsForTest();
+  if (bits > 0 && bits < 64) {
+    const uint64_t mask = (uint64_t{1} << bits) - 1;
+    fp.hi &= mask;
+    fp.lo &= mask;
+  }
   return fp;
 }
 
@@ -176,10 +210,14 @@ bool Phase1Memo::Get(const Phase1Fingerprint& fp, const std::string& key,
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.buckets.find(fp.lo);
   if (it != shard.buckets.end()) {
+    // The verify-on-hit key compare can only be skipped by the test-only
+    // fault-injection hook; cqacfuzz --inject-fault memo proves the
+    // harness catches the wrong reuse that skipping it permits.
+    const bool verify = internal::Phase1MemoVerifyOnHitForTest();
     for (const auto& [hi, entry] : it->second) {
       // Verify-on-hit: a 128-bit collision of distinct keys must stay a
       // miss, never a wrong answer.
-      if (hi == fp.hi && entry.key == key) {
+      if (hi == fp.hi && (!verify || entry.key == key)) {
         ++shard.stats.hits;
         *out = entry;
         return true;

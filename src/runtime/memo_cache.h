@@ -199,6 +199,28 @@ std::string NormalizedQueryKey(const ConjunctiveQuery& q);
 std::string ContainmentMemoKey(const ConjunctiveQuery& q1,
                                const ConjunctiveQuery& q2);
 
+namespace internal {
+
+/// Test-only fingerprint narrowing: with `bits` in [1, 64], every
+/// Phase-1 fingerprint keeps only the low `bits` bits of each 64-bit
+/// half, so distinct keys collide constantly; 0 (the default) restores
+/// the full 128 bits.  Natural 128-bit collisions are unobservable in a
+/// test's lifetime — this hook is how the verify-on-hit path gets real
+/// coverage.  Relaxed atomic: flip only between runs.
+void SetPhase1FingerprintBitsForTest(int bits);
+int Phase1FingerprintBitsForTest();
+
+/// Test-only fault injection: while disabled, Phase1Memo::Get trusts the
+/// fingerprint alone and skips the full-key compare — exactly the wrong-
+/// reuse bug verify-on-hit exists to prevent.  Combined with fingerprint
+/// narrowing (cqacfuzz --inject-fault memo), the differential harness
+/// must detect the resulting disagreement and shrink it; that detection
+/// is the acceptance test for the whole fuzzing subsystem.
+void SetPhase1MemoVerifyOnHitForTest(bool enabled);
+bool Phase1MemoVerifyOnHitForTest();
+
+}  // namespace internal
+
 }  // namespace cqac
 
 #endif  // CQAC_RUNTIME_MEMO_CACHE_H_

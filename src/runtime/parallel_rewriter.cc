@@ -77,6 +77,9 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   // path, before any threads spin up.)
   if (!AcSolver::IsSatisfiable(query.comparisons())) {
     result.outcome = RewriteOutcome::kRewritingFound;
+    if (options.verify) {
+      result.verified = RewritingIsEquivalent(query, result.rewriting, views);
+    }
     return result;
   }
 

@@ -1,0 +1,118 @@
+#include "testing/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "parser/parser.h"
+
+namespace cqac {
+namespace testing {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string SerializeCase(const FuzzCase& c, const std::string& comment) {
+  std::ostringstream out;
+  if (!comment.empty()) {
+    std::istringstream lines(comment);
+    std::string line;
+    while (std::getline(lines, line)) out << "% " << line << "\n";
+  }
+  for (const ConjunctiveQuery& v : c.views.views()) {
+    out << "view " << v.ToString() << ".\n";
+  }
+  out << "query " << c.query.ToString() << ".\n";
+  return out.str();
+}
+
+std::optional<FuzzCase> ParseCase(const std::string& text,
+                                  std::string* error) {
+  FuzzCase c;
+  bool have_query = false;
+  std::istringstream lines(text);
+  std::string raw;
+  int line_no = 0;
+  auto fail = [&](const std::string& message) -> std::optional<FuzzCase> {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + message;
+    }
+    return std::nullopt;
+  };
+  while (std::getline(lines, raw)) {
+    ++line_no;
+    std::string line = Trim(raw);
+    const size_t comment = line.find_first_of("%#");
+    if (comment != std::string::npos) line = Trim(line.substr(0, comment));
+    if (line.empty() || line == "run" || line == "---") continue;
+    std::string parse_error;
+    if (line.rfind("view ", 0) == 0) {
+      std::optional<ConjunctiveQuery> view =
+          Parser::ParseRule(line.substr(5), &parse_error);
+      if (!view.has_value()) return fail("bad view: " + parse_error);
+      if (c.views.Find(view->name()) != nullptr) {
+        return fail("duplicate view name '" + view->name() + "'");
+      }
+      c.views.Add(std::move(*view));
+    } else if (line.rfind("query ", 0) == 0) {
+      if (have_query) return fail("second query line");
+      std::optional<ConjunctiveQuery> query =
+          Parser::ParseRule(line.substr(6), &parse_error);
+      if (!query.has_value()) return fail("bad query: " + parse_error);
+      c.query = std::move(*query);
+      have_query = true;
+    } else {
+      return fail("expected 'view <rule>.' or 'query <rule>.'");
+    }
+  }
+  if (!have_query) return fail("no query line");
+  return c;
+}
+
+std::optional<std::vector<CorpusEntry>> LoadCorpusDir(const std::string& dir,
+                                                      std::string* error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    if (error != nullptr) *error = "not a directory: " + dir;
+    return std::nullopt;
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".cqac") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<CorpusEntry> corpus;
+  for (const std::string& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      if (error != nullptr) *error = "cannot read " + path;
+      return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string parse_error;
+    std::optional<FuzzCase> c = ParseCase(text.str(), &parse_error);
+    if (!c.has_value()) {
+      if (error != nullptr) *error = path + ": " + parse_error;
+      return std::nullopt;
+    }
+    corpus.push_back(
+        CorpusEntry{fs::path(path).filename().string(), std::move(*c)});
+  }
+  return corpus;
+}
+
+}  // namespace testing
+}  // namespace cqac

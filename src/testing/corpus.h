@@ -1,0 +1,54 @@
+#ifndef CQAC_TESTING_CORPUS_H_
+#define CQAC_TESTING_CORPUS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/query.h"
+#include "rewriting/view_set.h"
+
+namespace cqac {
+namespace testing {
+
+/// One fuzzing subject: a query plus a view set.  Everything in the
+/// correctness-tooling subsystem — the semantic oracle, the configuration-
+/// lattice differ, the metamorphic mutators, and the shrinker — consumes
+/// and produces these.
+struct FuzzCase {
+  ConjunctiveQuery query;
+  ViewSet views;
+};
+
+/// Serializes a case in the persistent-corpus `.cqac` format: optional
+/// `%` comment lines, then one `view <rule>.` line per view and a single
+/// `query <rule>.` line.  The format is deliberately the job-block format
+/// of the batch driver (src/runtime/batch_driver.h) and the `view`/`query`
+/// commands of cqacsh, so any corpus file can be replayed through either
+/// by hand.
+std::string SerializeCase(const FuzzCase& c, const std::string& comment = "");
+
+/// Parses the SerializeCase format.  Exactly one `query` line is
+/// required; `view` lines are optional; `%`/`#` start comments; blank
+/// lines and `run`/`---` batch separators are ignored (so single-job
+/// batch files load too).  Returns nullopt and fills `*error` on failure.
+std::optional<FuzzCase> ParseCase(const std::string& text,
+                                  std::string* error = nullptr);
+
+/// A corpus file: its basename and the parsed case.
+struct CorpusEntry {
+  std::string name;  // file name, e.g. "paper_example5.cqac"
+  FuzzCase c;
+};
+
+/// Loads every `*.cqac` file under `dir` (sorted by name, so replay order
+/// is deterministic).  Returns nullopt and fills `*error` when the
+/// directory is unreadable or any file fails to parse — a corrupt corpus
+/// entry is a test failure, not something to skip over silently.
+std::optional<std::vector<CorpusEntry>> LoadCorpusDir(
+    const std::string& dir, std::string* error = nullptr);
+
+}  // namespace testing
+}  // namespace cqac
+
+#endif  // CQAC_TESTING_CORPUS_H_

@@ -1,0 +1,264 @@
+#include "testing/mutators.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "workload/prand.h"
+
+namespace cqac {
+namespace testing {
+
+namespace {
+
+template <typename T>
+void PortableShuffle(std::vector<T>* v, std::mt19937_64& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(PortableBoundedDraw(rng, i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+/// The comparison as `lhs op rhs` with op in {<, <=}, when it has such a
+/// form.
+std::optional<Comparison> AsUpperBound(const Comparison& c) {
+  switch (c.op()) {
+    case CompOp::kLt:
+    case CompOp::kLe:
+      return c;
+    case CompOp::kGt:
+    case CompOp::kGe:
+      return c.Flipped();
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+const char* MutationEffectName(MutationEffect effect) {
+  switch (effect) {
+    case MutationEffect::kPreservesEverything:
+      return "preserves-everything";
+    case MutationEffect::kPreservesOutcome:
+      return "preserves-outcome";
+    case MutationEffect::kMayChange:
+      return "may-change";
+  }
+  return "?";
+}
+
+bool MutationEffectHolds(MutationEffect effect, const RunSignature& original,
+                         const RunSignature& mutant, std::string* why) {
+  if (effect == MutationEffect::kMayChange) return true;
+  if (original.outcome != mutant.outcome) {
+    if (why != nullptr) {
+      *why = "outcome changed:\n--- original\n" + original.ToString() +
+             "\n--- mutant\n" + mutant.ToString();
+    }
+    return false;
+  }
+  if (effect == MutationEffect::kPreservesOutcome) return true;
+  // kPreservesEverything: every invariant counter too.  The rewriting
+  // text and failure wording are allowed to differ (renamed variables
+  // appear in both).
+  const bool counters_equal =
+      original.canonical_databases == mutant.canonical_databases &&
+      original.kept_canonical_databases == mutant.kept_canonical_databases &&
+      original.v0_variants == mutant.v0_variants &&
+      original.mcds_formed == mutant.mcds_formed &&
+      original.mcds_kept_total == mutant.mcds_kept_total &&
+      original.view_tuples_total == mutant.view_tuples_total &&
+      original.phase2_checks == mutant.phase2_checks;
+  if (!counters_equal && why != nullptr) {
+    *why = "work counters changed:\n--- original\n" + original.ToString() +
+           "\n--- mutant\n" + mutant.ToString();
+  }
+  return counters_equal;
+}
+
+std::optional<Mutation> RenameVariablesMutation(const FuzzCase& c,
+                                                std::mt19937_64& rng) {
+  static const char* kPrefixes[] = {"mq", "ren", "zz", "qv"};
+  const char* prefix = kPrefixes[PortableBoundedDraw(rng, 4)];
+  Mutation m;
+  m.name = "rename-variables";
+  m.effect = MutationEffect::kPreservesEverything;
+  m.c.query = c.query.RenameVariables(prefix);
+  for (const ConjunctiveQuery& v : c.views.views()) {
+    m.c.views.Add(v.RenameVariables(prefix));
+  }
+  return m;
+}
+
+std::optional<Mutation> AddImpliedComparisonMutation(const FuzzCase& c,
+                                                     std::mt19937_64& rng) {
+  if (c.query.comparisons().empty()) return std::nullopt;
+  // Transitive chains `a R b, b S c  ==>  a T c` through a shared middle
+  // term, with T strict iff either link is.
+  std::vector<Comparison> bounds;
+  for (const Comparison& cmp : c.query.comparisons()) {
+    std::optional<Comparison> upper = AsUpperBound(cmp);
+    if (upper.has_value()) bounds.push_back(*upper);
+  }
+  std::vector<Comparison> candidates;
+  for (const Comparison& ab : bounds) {
+    for (const Comparison& bc : bounds) {
+      if (!(ab.rhs() == bc.lhs())) continue;
+      if (ab.lhs() == bc.rhs()) continue;  // would relate a term to itself
+      const bool strict =
+          ab.op() == CompOp::kLt || bc.op() == CompOp::kLt;
+      candidates.emplace_back(ab.lhs(), strict ? CompOp::kLt : CompOp::kLe,
+                              bc.rhs());
+    }
+  }
+  Mutation m;
+  m.name = "add-implied-comparison";
+  m.effect = MutationEffect::kPreservesEverything;
+  m.c = c;
+  if (!candidates.empty()) {
+    m.c.query.mutable_comparisons().push_back(candidates[PortableBoundedDraw(
+        rng, static_cast<uint64_t>(candidates.size()))]);
+  } else {
+    // No chain available: a duplicate of an existing comparison is still
+    // implied (trivially).
+    const std::vector<Comparison>& comps = c.query.comparisons();
+    m.c.query.mutable_comparisons().push_back(
+        comps[PortableBoundedDraw(rng, static_cast<uint64_t>(comps.size()))]);
+  }
+  return m;
+}
+
+std::optional<Mutation> PermuteSubgoalsMutation(const FuzzCase& c,
+                                                std::mt19937_64& rng) {
+  if (c.query.body().size() < 2) return std::nullopt;
+  Mutation m;
+  m.name = "permute-subgoals";
+  m.effect = MutationEffect::kPreservesOutcome;
+  m.c = c;
+  PortableShuffle(&m.c.query.mutable_body(), rng);
+  return m;
+}
+
+std::optional<Mutation> PermuteViewsMutation(const FuzzCase& c,
+                                             std::mt19937_64& rng) {
+  if (c.views.size() < 2) return std::nullopt;
+  Mutation m;
+  m.name = "permute-views";
+  m.effect = MutationEffect::kPreservesOutcome;
+  std::vector<ConjunctiveQuery> views = c.views.views();
+  PortableShuffle(&views, rng);
+  m.c.query = c.query;
+  m.c.views = ViewSet(std::move(views));
+  return m;
+}
+
+std::optional<Mutation> DuplicateViewMutation(const FuzzCase& c,
+                                              std::mt19937_64& rng) {
+  if (c.views.empty()) return std::nullopt;
+  const ConjunctiveQuery& victim = c.views.views()[PortableBoundedDraw(
+      rng, static_cast<uint64_t>(c.views.size()))];
+  // A fresh predicate name: must not collide with another view, the query
+  // head, or any base relation (which would silently change semantics).
+  auto name_taken = [&c](const std::string& name) {
+    if (c.views.Find(name) != nullptr) return true;
+    if (c.query.name() == name) return true;
+    auto in_body = [&name](const ConjunctiveQuery& q) {
+      for (const Atom& a : q.body()) {
+        if (a.predicate() == name) return true;
+      }
+      return false;
+    };
+    if (in_body(c.query)) return true;
+    for (const ConjunctiveQuery& v : c.views.views()) {
+      if (in_body(v)) return true;
+    }
+    return false;
+  };
+  std::string name;
+  for (int i = 2; name.empty(); ++i) {
+    std::string candidate = victim.name() + "_dup" + std::to_string(i);
+    if (!name_taken(candidate)) name = std::move(candidate);
+  }
+  ConjunctiveQuery dup = victim.RenameVariables("dv");
+  Atom head(name, dup.head().args());
+  dup = ConjunctiveQuery(std::move(head), dup.body(), dup.comparisons());
+  Mutation m;
+  m.name = "duplicate-view";
+  m.effect = MutationEffect::kPreservesOutcome;
+  m.c = c;
+  m.c.views.Add(std::move(dup));
+  return m;
+}
+
+namespace {
+
+/// Flips one view comparison whose operator is in `from` to the paired
+/// operator in `to` (same index).  Shared skeleton of Tighten/Relax.
+std::optional<Mutation> FlipViewComparison(const FuzzCase& c,
+                                           std::mt19937_64& rng,
+                                           const std::vector<CompOp>& from,
+                                           const std::vector<CompOp>& to,
+                                           const std::string& name) {
+  std::vector<std::pair<int, int>> sites;  // (view index, comparison index)
+  for (int v = 0; v < c.views.size(); ++v) {
+    const std::vector<Comparison>& comps = c.views.views()[v].comparisons();
+    for (int i = 0; i < static_cast<int>(comps.size()); ++i) {
+      if (std::find(from.begin(), from.end(), comps[i].op()) != from.end()) {
+        sites.emplace_back(v, i);
+      }
+    }
+  }
+  if (sites.empty()) return std::nullopt;
+  const auto [view_index, comp_index] =
+      sites[PortableBoundedDraw(rng, static_cast<uint64_t>(sites.size()))];
+  Mutation m;
+  m.name = name;
+  m.effect = MutationEffect::kMayChange;
+  m.c.query = c.query;
+  std::vector<ConjunctiveQuery> views = c.views.views();
+  Comparison& target = views[view_index].mutable_comparisons()[comp_index];
+  const size_t op_index = static_cast<size_t>(
+      std::find(from.begin(), from.end(), target.op()) - from.begin());
+  target = Comparison(target.lhs(), to[op_index], target.rhs());
+  m.c.views = ViewSet(std::move(views));
+  return m;
+}
+
+}  // namespace
+
+std::optional<Mutation> TightenViewComparisonMutation(const FuzzCase& c,
+                                                      std::mt19937_64& rng) {
+  return FlipViewComparison(c, rng, {CompOp::kLe, CompOp::kGe},
+                            {CompOp::kLt, CompOp::kGt},
+                            "tighten-view-comparison");
+}
+
+std::optional<Mutation> RelaxViewComparisonMutation(const FuzzCase& c,
+                                                    std::mt19937_64& rng) {
+  return FlipViewComparison(c, rng, {CompOp::kLt, CompOp::kGt},
+                            {CompOp::kLe, CompOp::kGe},
+                            "relax-view-comparison");
+}
+
+std::optional<Mutation> ApplyRandomMutation(const FuzzCase& c,
+                                            std::mt19937_64& rng) {
+  using Mutator = std::optional<Mutation> (*)(const FuzzCase&,
+                                              std::mt19937_64&);
+  std::vector<Mutator> mutators = {
+      &RenameVariablesMutation,       &AddImpliedComparisonMutation,
+      &PermuteSubgoalsMutation,       &PermuteViewsMutation,
+      &DuplicateViewMutation,         &TightenViewComparisonMutation,
+      &RelaxViewComparisonMutation,
+  };
+  PortableShuffle(&mutators, rng);
+  for (const Mutator mutator : mutators) {
+    std::optional<Mutation> m = mutator(c, rng);
+    if (m.has_value()) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace testing
+}  // namespace cqac

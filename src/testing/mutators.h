@@ -1,0 +1,105 @@
+#ifndef CQAC_TESTING_MUTATORS_H_
+#define CQAC_TESTING_MUTATORS_H_
+
+#include <optional>
+#include <random>
+#include <string>
+
+#include "testing/corpus.h"
+#include "testing/differential.h"
+
+namespace cqac {
+namespace testing {
+
+/// What a mutation is allowed to change about the rewriter's answer.
+/// Each mutator declares its effect up front; the fuzzer runs the mutant
+/// and asserts the declared relation against the original's result.  A
+/// violated relation is a bug in the rewriter (or in the declared
+/// metamorphic theory — either way, a finding).
+enum class MutationEffect {
+  /// The outcome and every invariant work counter must be unchanged
+  /// (rewriting text and failure wording may differ — e.g. renamed
+  /// variables appear in both).  Holds for mutations that preserve the
+  /// input up to details the algorithm is insensitive to: consistent
+  /// variable renaming, adding a comparison already implied by the query.
+  kPreservesEverything,
+
+  /// The outcome must be unchanged; counters may shift.  Holds for
+  /// mutations that preserve the *semantics* of the problem but not its
+  /// syntactic presentation: permuting subgoals or views (enumeration
+  /// order changes, and with it where a failing Phase-2 check
+  /// short-circuits), duplicating a view under a fresh name (a rewriting
+  /// exists with the duplicate iff one exists without it).
+  kPreservesOutcome,
+
+  /// Anything can happen; the mutant is just a new input.  Its value is
+  /// diversification — the full lattice + oracle still run on it.  Holds
+  /// for mutations that genuinely change the problem, e.g. tightening or
+  /// relaxing a view comparison between strict and non-strict.
+  kMayChange,
+};
+
+const char* MutationEffectName(MutationEffect effect);
+
+/// A mutated case plus its declared effect.
+struct Mutation {
+  std::string name;  // e.g. "rename-variables"
+  MutationEffect effect = MutationEffect::kMayChange;
+  FuzzCase c;
+};
+
+/// Checks the declared effect against the original's and the mutant's
+/// invariant signatures.  On violation returns false and describes the
+/// difference in `*why`.
+bool MutationEffectHolds(MutationEffect effect, const RunSignature& original,
+                         const RunSignature& mutant, std::string* why);
+
+/// The individual mutators.  Each returns nullopt when the case lacks the
+/// material it needs (e.g. no comparisons to chain).  All randomness goes
+/// through workload/prand.h draws on `rng`, so mutant streams are
+/// reproducible across platforms like everything else in the fuzzer.
+
+/// Renames every variable of the query and of each view to a fresh
+/// consistent scheme.  kPreservesEverything.
+std::optional<Mutation> RenameVariablesMutation(const FuzzCase& c,
+                                                std::mt19937_64& rng);
+
+/// Adds a comparison already implied by the query's: a transitive chain
+/// through a shared term when one exists, otherwise a duplicate of an
+/// existing comparison.  kPreservesEverything.
+std::optional<Mutation> AddImpliedComparisonMutation(const FuzzCase& c,
+                                                     std::mt19937_64& rng);
+
+/// Randomly permutes the query's ordinary subgoals.  kPreservesOutcome.
+std::optional<Mutation> PermuteSubgoalsMutation(const FuzzCase& c,
+                                                std::mt19937_64& rng);
+
+/// Randomly permutes the view definitions.  kPreservesOutcome.
+std::optional<Mutation> PermuteViewsMutation(const FuzzCase& c,
+                                             std::mt19937_64& rng);
+
+/// Duplicates one view under a fresh predicate name (variables renamed
+/// apart).  kPreservesOutcome.
+std::optional<Mutation> DuplicateViewMutation(const FuzzCase& c,
+                                              std::mt19937_64& rng);
+
+/// Makes one non-strict view comparison strict (`<=` to `<`, `>=` to
+/// `>`).  kMayChange.
+std::optional<Mutation> TightenViewComparisonMutation(const FuzzCase& c,
+                                                      std::mt19937_64& rng);
+
+/// Makes one strict view comparison non-strict (`<` to `<=`, `>` to
+/// `>=`).  kMayChange.
+std::optional<Mutation> RelaxViewComparisonMutation(const FuzzCase& c,
+                                                    std::mt19937_64& rng);
+
+/// Picks a random applicable mutator.  Returns nullopt only when no
+/// mutator applies (e.g. a single-subgoal, comparison-free, view-free
+/// case).
+std::optional<Mutation> ApplyRandomMutation(const FuzzCase& c,
+                                            std::mt19937_64& rng);
+
+}  // namespace testing
+}  // namespace cqac
+
+#endif  // CQAC_TESTING_MUTATORS_H_

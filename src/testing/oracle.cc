@@ -1,0 +1,448 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <sstream>
+
+#include "ast/comparison.h"
+#include "constraints/orders.h"
+#include "engine/canonical.h"
+#include "engine/evaluate.h"
+#include "rewriting/expansion.h"
+#include "workload/prand.h"
+
+namespace cqac {
+namespace testing {
+
+namespace {
+
+std::string TupleToString(const Tuple& t) {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out << ",";
+    out << t[i];
+  }
+  out << ")";
+  return out.str();
+}
+
+/// The naive evaluator: recursive backtracking over the body with a
+/// map-based binding, comparisons checked once all subgoals are matched.
+/// `target == nullptr` collects every head tuple into `out`; otherwise
+/// the search stops as soon as the target tuple is produced.
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const ConjunctiveQuery& q, const Database& db)
+      : q_(q), db_(db) {}
+
+  bool ComputesTuple(const Tuple& target) {
+    target_ = &target;
+    out_ = nullptr;
+    found_ = false;
+    Search(0);
+    return found_;
+  }
+
+  void EvaluateAll(Relation* out) {
+    target_ = nullptr;
+    out_ = out;
+    Search(0);
+  }
+
+ private:
+  Rational ValueOf(const Term& t) const {
+    return t.IsConstant() ? t.value() : binding_.at(t.name());
+  }
+
+  /// Binds `t` to `v` (recording new bindings in `undo`); false on clash.
+  bool Bind(const Term& t, const Rational& v, std::vector<std::string>* undo) {
+    if (t.IsConstant()) return t.value() == v;
+    const auto it = binding_.find(t.name());
+    if (it != binding_.end()) return it->second == v;
+    binding_.emplace(t.name(), v);
+    undo->push_back(t.name());
+    return true;
+  }
+
+  /// Returns false to abort the whole search (target found).
+  bool Search(size_t depth) {
+    if (depth == q_.body().size()) {
+      for (const Comparison& c : q_.comparisons()) {
+        if (!EvalCompOp(ValueOf(c.lhs()), c.op(), ValueOf(c.rhs()))) {
+          return true;
+        }
+      }
+      Tuple head;
+      head.reserve(q_.head().args().size());
+      for (const Term& t : q_.head().args()) head.push_back(ValueOf(t));
+      if (target_ != nullptr) {
+        if (head == *target_) {
+          found_ = true;
+          return false;
+        }
+        return true;
+      }
+      out_->Insert(head);
+      return true;
+    }
+    const Atom& subgoal = q_.body()[depth];
+    for (const Tuple& row : db_.Get(subgoal.predicate()).tuples()) {
+      if (static_cast<int>(row.size()) != subgoal.arity()) continue;
+      std::vector<std::string> undo;
+      bool matched = true;
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (!Bind(subgoal.args()[i], row[i], &undo)) {
+          matched = false;
+          break;
+        }
+      }
+      const bool keep_going = !matched || Search(depth + 1);
+      for (const std::string& name : undo) binding_.erase(name);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const ConjunctiveQuery& q_;
+  const Database& db_;
+  const Tuple* target_ = nullptr;
+  Relation* out_ = nullptr;
+  bool found_ = false;
+  std::map<std::string, Rational> binding_;
+};
+
+bool NaiveComputesTuple(const ConjunctiveQuery& q, const Database& db,
+                        const Tuple& target) {
+  if (static_cast<int>(target.size()) != q.head().arity()) return false;
+  return NaiveEvaluator(q, db).ComputesTuple(target);
+}
+
+bool ComparisonsHold(const std::vector<Comparison>& comparisons,
+                     const std::map<std::string, Rational>& assignment) {
+  auto value = [&assignment](const Term& t) {
+    return t.IsConstant() ? t.value() : assignment.at(t.name());
+  };
+  for (const Comparison& c : comparisons) {
+    if (!EvalCompOp(value(c.lhs()), c.op(), value(c.rhs()))) return false;
+  }
+  return true;
+}
+
+void AddConstants(const std::vector<Rational>& extra,
+                  std::vector<Rational>* into) {
+  for (const Rational& c : extra) {
+    if (std::find(into->begin(), into->end(), c) == into->end()) {
+      into->push_back(c);
+    }
+  }
+}
+
+/// Constants of query, views, and (optionally) the rewriting and its
+/// expansions — the order-enumeration constant set of the canonical test.
+std::vector<Rational> ContainmentConstants(const FuzzCase& c,
+                                           const UnionQuery* rewriting) {
+  std::vector<Rational> constants = c.query.Constants();
+  for (const ConjunctiveQuery& v : c.views.views()) {
+    AddConstants(v.Constants(), &constants);
+  }
+  if (rewriting != nullptr) {
+    for (const ConjunctiveQuery& d : rewriting->disjuncts()) {
+      AddConstants(d.Constants(), &constants);
+    }
+  }
+  std::sort(constants.begin(), constants.end());
+  return constants;
+}
+
+/// All (predicate, arity) pairs of the base schema: the bodies of the
+/// query and of every view.
+std::vector<std::pair<std::string, int>> BaseSchema(const FuzzCase& c) {
+  std::vector<std::pair<std::string, int>> schema;
+  auto add = [&schema](const ConjunctiveQuery& q) {
+    for (const Atom& a : q.body()) {
+      const std::pair<std::string, int> key(a.predicate(), a.arity());
+      if (std::find(schema.begin(), schema.end(), key) == schema.end()) {
+        schema.push_back(key);
+      }
+    }
+  };
+  add(c.query);
+  for (const ConjunctiveQuery& v : c.views.views()) add(v);
+  std::sort(schema.begin(), schema.end());
+  return schema;
+}
+
+/// One containment direction `lhs ⊑ rhs-union` by canonical databases:
+/// for every total order of lhs's variables and `constants` whose witness
+/// satisfies lhs's comparisons, some disjunct of `rhs` must compute lhs's
+/// frozen head on the frozen database.
+void CheckContainmentDirection(const ConjunctiveQuery& lhs,
+                               const std::vector<const ConjunctiveQuery*>& rhs,
+                               const std::vector<Rational>& constants,
+                               const std::string& direction,
+                               const OracleOptions& options,
+                               OracleVerdict* verdict) {
+  const std::vector<std::string> variables = lhs.AllVariables();
+  if (static_cast<int>(variables.size() + constants.size()) >
+      options.max_order_terms) {
+    verdict->checked = false;
+    return;
+  }
+  bool budget_hit = false;
+  ForEachTotalOrder(variables, constants, [&](const TotalOrder& order) {
+    if (verdict->orders_checked >= options.max_orders) {
+      budget_hit = true;
+      return false;
+    }
+    ++verdict->orders_checked;
+    const std::map<std::string, Rational> assignment = order.ToAssignment();
+    if (!ComparisonsHold(lhs.comparisons(), assignment)) return true;
+    const CanonicalDatabase frozen = FreezeQuery(lhs, order);
+    for (const ConjunctiveQuery* q : rhs) {
+      if (NaiveComputesTuple(*q, frozen.db, frozen.frozen_head)) return true;
+    }
+    verdict->ok = false;
+    verdict->failure = direction + " fails on canonical database [" +
+                       order.ToString() + "]: head " +
+                       TupleToString(frozen.frozen_head) +
+                       " is not computed on\n" + frozen.db.ToString();
+    return false;
+  });
+  if (budget_hit) verdict->checked = false;
+}
+
+/// Diffs the two sides (and both evaluators) on one concrete database.
+bool DiffOnDatabase(const FuzzCase& c, const UnionQuery& expansions,
+                    const Database& db, OracleVerdict* verdict) {
+  ++verdict->databases_checked;
+  Relation naive_query;
+  NaiveEvaluator(c.query, db).EvaluateAll(&naive_query);
+  Relation naive_union;
+  for (const ConjunctiveQuery& d : expansions.disjuncts()) {
+    NaiveEvaluator(d, db).EvaluateAll(&naive_union);
+  }
+  if (naive_query != naive_union) {
+    verdict->ok = false;
+    verdict->failure = "query and expansion union disagree on database\n" +
+                       db.ToString() + "query: " + naive_query.ToString() +
+                       "\nexpansions: " + naive_union.ToString();
+    return false;
+  }
+  // Cross-check the production evaluator against the naive one, per side.
+  const Relation fast_query = Evaluate(c.query, db);
+  if (fast_query != naive_query) {
+    verdict->ok = false;
+    verdict->failure =
+        "production and naive evaluators disagree on the query over\n" +
+        db.ToString() + "production: " + fast_query.ToString() +
+        "\nnaive: " + naive_query.ToString();
+    return false;
+  }
+  const Relation fast_union = Evaluate(expansions, db);
+  if (fast_union != naive_union) {
+    verdict->ok = false;
+    verdict->failure =
+        "production and naive evaluators disagree on the expansions over\n" +
+        db.ToString() + "production: " + fast_union.ToString() +
+        "\nnaive: " + naive_union.ToString();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void OracleVerdict::Merge(const OracleVerdict& other) {
+  checked = checked && other.checked;
+  orders_checked += other.orders_checked;
+  databases_checked += other.databases_checked;
+  if (ok && !other.ok) {
+    ok = false;
+    failure = other.failure;
+  }
+}
+
+std::vector<Rational> OracleValuePool(const FuzzCase& c,
+                                      const UnionQuery* rewriting) {
+  std::vector<Rational> constants = ContainmentConstants(c, rewriting);
+  if (constants.empty()) {
+    return {Rational(0), Rational(1), Rational(2)};
+  }
+  // Density witnesses: one value strictly between each adjacent pair and
+  // one beyond each extreme, so comparisons can be satisfied strictly or
+  // violated on either side of every constant.
+  std::vector<Rational> pool;
+  const Rational half(1, 2);
+  pool.push_back(constants.front() - Rational(1));
+  for (size_t i = 0; i < constants.size(); ++i) {
+    pool.push_back(constants[i]);
+    if (i + 1 < constants.size()) {
+      pool.push_back((constants[i] + constants[i + 1]) * half);
+    }
+  }
+  pool.push_back(constants.back() + Rational(1));
+  return pool;
+}
+
+Relation NaiveEvaluate(const ConjunctiveQuery& q, const Database& db) {
+  Relation out;
+  NaiveEvaluator(q, db).EvaluateAll(&out);
+  return out;
+}
+
+Relation NaiveEvaluate(const UnionQuery& q, const Database& db) {
+  Relation out;
+  for (const ConjunctiveQuery& d : q.disjuncts()) {
+    NaiveEvaluator(d, db).EvaluateAll(&out);
+  }
+  return out;
+}
+
+OracleVerdict CheckEquivalenceByCanonicalDatabases(
+    const FuzzCase& c, const UnionQuery& rewriting,
+    const OracleOptions& options) {
+  OracleVerdict verdict;
+  const UnionQuery expansions = Expand(rewriting, c.views);
+  for (const ConjunctiveQuery& d : expansions.disjuncts()) {
+    if (d.head().arity() != c.query.head().arity()) {
+      verdict.ok = false;
+      verdict.failure = "expansion head arity mismatch: " + d.ToString();
+      return verdict;
+    }
+  }
+  const std::vector<Rational> constants =
+      ContainmentConstants(c, &rewriting);
+
+  // Q ⊑ ∪ expansions: some disjunct covers each canonical database of Q.
+  std::vector<const ConjunctiveQuery*> rhs;
+  for (const ConjunctiveQuery& d : expansions.disjuncts()) rhs.push_back(&d);
+  CheckContainmentDirection(c.query, rhs, constants,
+                            "Q ⊑ ∪expansions", options, &verdict);
+  if (!verdict.ok) return verdict;
+
+  // Each expansion ⊑ Q.  Disjuncts are simplified first when the options
+  // say so (fewer variables to order); an unsatisfiable disjunct computes
+  // nothing and is vacuously contained.
+  const std::vector<const ConjunctiveQuery*> query_only = {&c.query};
+  for (const ConjunctiveQuery& d : expansions.disjuncts()) {
+    ConjunctiveQuery lhs = d;
+    if (options.simplify_expansions) {
+      std::optional<ConjunctiveQuery> simplified = SimplifyQuery(d);
+      if (!simplified.has_value()) continue;
+      lhs = std::move(*simplified);
+    }
+    CheckContainmentDirection(lhs, query_only, constants,
+                              "expansion ⊑ Q", options, &verdict);
+    if (!verdict.ok) {
+      verdict.failure += "\nexpansion: " + lhs.ToString();
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+OracleVerdict CheckEquivalenceByRandomDatabases(
+    const FuzzCase& c, const UnionQuery& rewriting,
+    const OracleOptions& options) {
+  OracleVerdict verdict;
+  const UnionQuery expansions = Expand(rewriting, c.views);
+  const std::vector<Rational> pool = OracleValuePool(c, &rewriting);
+  const std::vector<std::pair<std::string, int>> schema = BaseSchema(c);
+  std::mt19937_64 rng(options.seed);
+  for (int i = 0; i < options.random_databases; ++i) {
+    Database db;
+    for (const auto& [predicate, arity] : schema) {
+      const int rows = PortableUniformInt(rng, 0, options.random_max_rows);
+      for (int r = 0; r < rows; ++r) {
+        Tuple row;
+        row.reserve(arity);
+        for (int a = 0; a < arity; ++a) {
+          row.push_back(pool[PortableUniformInt(
+              rng, 0, static_cast<int>(pool.size()) - 1)]);
+        }
+        db.Insert(predicate, std::move(row));
+      }
+    }
+    if (!DiffOnDatabase(c, expansions, db, &verdict)) return verdict;
+  }
+  return verdict;
+}
+
+OracleVerdict CheckEquivalenceByExhaustiveDatabases(
+    const FuzzCase& c, const UnionQuery& rewriting,
+    const OracleOptions& options) {
+  OracleVerdict verdict;
+  if (options.exhaustive_max_facts <= 0) return verdict;
+  const UnionQuery expansions = Expand(rewriting, c.views);
+  const std::vector<Rational> pool = OracleValuePool(c, &rewriting);
+  const std::vector<std::pair<std::string, int>> schema = BaseSchema(c);
+
+  // The universe of facts: every predicate applied to every tuple of pool
+  // values.
+  struct Fact {
+    const std::string* predicate;
+    Tuple row;
+  };
+  std::vector<Fact> universe;
+  for (const auto& [predicate, arity] : schema) {
+    std::vector<int> digits(arity, 0);
+    for (;;) {
+      Tuple row;
+      row.reserve(arity);
+      for (const int d : digits) row.push_back(pool[d]);
+      universe.push_back(Fact{&predicate, std::move(row)});
+      int pos = arity - 1;
+      while (pos >= 0 &&
+             ++digits[pos] == static_cast<int>(pool.size())) {
+        digits[pos--] = 0;
+      }
+      if (pos < 0) break;
+    }
+  }
+
+  // Every subset of the universe with at most `exhaustive_max_facts`
+  // members, by choosing strictly increasing fact indices.
+  Database db;
+  std::vector<int> chosen;
+  bool budget_hit = false;
+  auto enumerate = [&](auto&& self, size_t first) -> bool {
+    if (verdict.databases_checked >= options.max_exhaustive_databases) {
+      budget_hit = true;
+      return false;
+    }
+    if (!DiffOnDatabase(c, expansions, db, &verdict)) return false;
+    if (static_cast<int>(chosen.size()) >= options.exhaustive_max_facts) {
+      return true;
+    }
+    for (size_t i = first; i < universe.size(); ++i) {
+      Database saved = db;
+      db.Insert(*universe[i].predicate, universe[i].row);
+      chosen.push_back(static_cast<int>(i));
+      const bool keep_going = self(self, i + 1);
+      chosen.pop_back();
+      db = std::move(saved);
+      if (!keep_going) return false;
+    }
+    return true;
+  };
+  enumerate(enumerate, 0);
+  if (budget_hit) verdict.checked = false;
+  return verdict;
+}
+
+OracleVerdict CheckRewritingWithOracle(const FuzzCase& c,
+                                       const UnionQuery& rewriting,
+                                       const OracleOptions& options) {
+  OracleVerdict verdict = CheckEquivalenceByCanonicalDatabases(
+      c, rewriting, options);
+  if (!verdict.ok) return verdict;
+  verdict.Merge(CheckEquivalenceByRandomDatabases(c, rewriting, options));
+  if (!verdict.ok) return verdict;
+  verdict.Merge(CheckEquivalenceByExhaustiveDatabases(c, rewriting, options));
+  return verdict;
+}
+
+}  // namespace testing
+}  // namespace cqac

@@ -1,0 +1,160 @@
+#include "testing/shrinker.h"
+
+#include <utility>
+#include <vector>
+
+namespace cqac {
+namespace testing {
+
+namespace {
+
+/// Well-formedness every candidate must keep: the rewriter's own input
+/// contract (safe rules, nonempty bodies).  Dropping below it would
+/// "minimize" into a case the rewriter rejects for unrelated reasons.
+bool IsWellFormed(const FuzzCase& c) {
+  if (c.query.body().empty() || !c.query.IsSafe()) return false;
+  for (const ConjunctiveQuery& v : c.views.views()) {
+    if (v.body().empty() || !v.IsSafe()) return false;
+  }
+  return true;
+}
+
+class Shrinker {
+ public:
+  Shrinker(FuzzCase c, const FailurePredicate& fails,
+           const ShrinkOptions& options)
+      : best_(std::move(c)), fails_(fails), options_(options) {}
+
+  ShrinkResult Run() {
+    bool progress = true;
+    while (progress && !out_of_budget_) {
+      progress = false;
+      progress |= DropViews();
+      progress |= DropQueryComparisons();
+      progress |= DropViewComparisons();
+      progress |= DropQuerySubgoals();
+      progress |= DropViewSubgoals();
+    }
+    ShrinkResult result;
+    result.c = std::move(best_);
+    result.evaluations = evaluations_;
+    result.budget_exhausted = out_of_budget_;
+    return result;
+  }
+
+ private:
+  /// True when `candidate` is a keeper; if so it replaces best_.
+  bool Try(FuzzCase candidate) {
+    if (!IsWellFormed(candidate)) return false;
+    if (evaluations_ >= options_.max_evaluations) {
+      out_of_budget_ = true;
+      return false;
+    }
+    ++evaluations_;
+    if (!fails_(candidate)) return false;
+    best_ = std::move(candidate);
+    return true;
+  }
+
+  bool DropViews() {
+    bool progress = false;
+    // Index loop from the back so surviving indices stay valid after a
+    // successful drop.
+    for (int i = best_.views.size() - 1; i >= 0; --i) {
+      FuzzCase candidate = best_;
+      std::vector<ConjunctiveQuery> views = candidate.views.views();
+      views.erase(views.begin() + i);
+      candidate.views = ViewSet(std::move(views));
+      progress |= Try(std::move(candidate));
+      if (out_of_budget_) break;
+    }
+    return progress;
+  }
+
+  bool DropQueryComparisons() {
+    bool progress = false;
+    for (int i = static_cast<int>(best_.query.comparisons().size()) - 1;
+         i >= 0; --i) {
+      FuzzCase candidate = best_;
+      std::vector<Comparison>& comps = candidate.query.mutable_comparisons();
+      comps.erase(comps.begin() + i);
+      progress |= Try(std::move(candidate));
+      if (out_of_budget_) break;
+    }
+    return progress;
+  }
+
+  bool DropViewComparisons() {
+    bool progress = false;
+    for (int v = best_.views.size() - 1; v >= 0 && !out_of_budget_; --v) {
+      for (int i = static_cast<int>(
+               best_.views.views()[v].comparisons().size()) -
+               1;
+           i >= 0; --i) {
+        if (v >= best_.views.size()) break;  // a later drop removed views
+        FuzzCase candidate = best_;
+        std::vector<ConjunctiveQuery> views = candidate.views.views();
+        std::vector<Comparison>& comps = views[v].mutable_comparisons();
+        if (i >= static_cast<int>(comps.size())) continue;
+        comps.erase(comps.begin() + i);
+        candidate.views = ViewSet(std::move(views));
+        progress |= Try(std::move(candidate));
+        if (out_of_budget_) break;
+      }
+    }
+    return progress;
+  }
+
+  bool DropQuerySubgoals() {
+    bool progress = false;
+    for (int i = static_cast<int>(best_.query.body().size()) - 1; i >= 0;
+         --i) {
+      FuzzCase candidate = best_;
+      std::vector<Atom>& body = candidate.query.mutable_body();
+      body.erase(body.begin() + i);
+      progress |= Try(std::move(candidate));
+      if (out_of_budget_) break;
+    }
+    return progress;
+  }
+
+  bool DropViewSubgoals() {
+    bool progress = false;
+    for (int v = best_.views.size() - 1; v >= 0 && !out_of_budget_; --v) {
+      for (int i =
+               static_cast<int>(best_.views.views()[v].body().size()) - 1;
+           i >= 0; --i) {
+        if (v >= best_.views.size()) break;
+        FuzzCase candidate = best_;
+        std::vector<ConjunctiveQuery> views = candidate.views.views();
+        std::vector<Atom>& body = views[v].mutable_body();
+        if (i >= static_cast<int>(body.size())) continue;
+        body.erase(body.begin() + i);
+        candidate.views = ViewSet(std::move(views));
+        progress |= Try(std::move(candidate));
+        if (out_of_budget_) break;
+      }
+    }
+    return progress;
+  }
+
+  FuzzCase best_;
+  const FailurePredicate& fails_;
+  const ShrinkOptions& options_;
+  int evaluations_ = 0;
+  bool out_of_budget_ = false;
+};
+
+}  // namespace
+
+ShrinkResult ShrinkFailingCase(const FuzzCase& c, const FailurePredicate& fails,
+                               const ShrinkOptions& options) {
+  return Shrinker(c, fails, options).Run();
+}
+
+std::string RegressionText(const FuzzCase& c, const std::string& comment) {
+  return SerializeCase(c, comment);
+}
+
+}  // namespace testing
+}  // namespace cqac

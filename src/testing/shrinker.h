@@ -1,0 +1,50 @@
+#ifndef CQAC_TESTING_SHRINKER_H_
+#define CQAC_TESTING_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+#include "testing/corpus.h"
+
+namespace cqac {
+namespace testing {
+
+/// True when the case still exhibits the failure being minimized (lattice
+/// divergence, oracle disagreement, metamorphic violation — the fuzzer
+/// closes over whichever check fired).  The predicate must be
+/// deterministic; the shrinker calls it repeatedly.
+using FailurePredicate = std::function<bool(const FuzzCase&)>;
+
+struct ShrinkOptions {
+  /// Predicate-call budget.  Each candidate costs one call; the greedy
+  /// passes stop (keeping the best case so far) when it runs out.
+  int max_evaluations = 400;
+};
+
+struct ShrinkResult {
+  /// The smallest failing case found.  At worst the input itself.
+  FuzzCase c;
+  int evaluations = 0;
+  bool budget_exhausted = false;
+};
+
+/// Greedy delta debugging: repeatedly tries to drop one view, one query
+/// comparison, one view comparison, one query subgoal, or one view
+/// subgoal, keeping any drop after which the case (a) is still
+/// well-formed — safe query, safe views, nonempty bodies — and (b) still
+/// fails.  Passes cycle until a full round removes nothing.  `c` must
+/// fail `fails` on entry.
+ShrinkResult ShrinkFailingCase(const FuzzCase& c, const FailurePredicate& fails,
+                               const ShrinkOptions& options = {});
+
+/// The shrunken case as a ready-to-paste corpus file / regression test in
+/// the docs/SYNTAX.md rule syntax (`view <rule>.` / `query <rule>.`),
+/// with `comment` lines up top describing the failure.  Identical to
+/// SerializeCase; named separately because this is the artifact the
+/// fuzzer writes next to a finding.
+std::string RegressionText(const FuzzCase& c, const std::string& comment);
+
+}  // namespace testing
+}  // namespace cqac
+
+#endif  // CQAC_TESTING_SHRINKER_H_

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "constraints/ac_solver.h"
+#include "workload/prand.h"
 
 namespace cqac {
 
@@ -17,8 +18,10 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
     : config_(config), rng_(config.seed) {}
 
 int WorkloadGenerator::RandomInt(int lo, int hi) {
-  std::uniform_int_distribution<int> dist(lo, hi);
-  return dist(rng_);
+  // Not std::uniform_int_distribution: its draw sequence is
+  // implementation-defined, which would break cross-platform seed
+  // reproducibility (see workload/prand.h).
+  return PortableUniformInt(rng_, lo, hi);
 }
 
 Rational WorkloadGenerator::RandomConstant() {

@@ -1,0 +1,44 @@
+#ifndef CQAC_WORKLOAD_PRAND_H_
+#define CQAC_WORKLOAD_PRAND_H_
+
+#include <cstdint>
+#include <random>
+
+namespace cqac {
+
+/// Portable uniform integer draws over an std::mt19937_64.
+///
+/// The engine itself is fully specified by the standard — a given seed
+/// produces the same 64-bit output sequence on every platform and in every
+/// build type — but std::uniform_int_distribution's mapping from raw
+/// engine outputs to a bounded range is implementation-defined: libstdc++,
+/// libc++, and MSVC each produce different draw sequences from the same
+/// engine state, and a standard library may change its mapping between
+/// releases.  Workload generation and the fuzzer draw through these
+/// explicit rejection samplers instead, so `cqacfuzz --seed N` reproduces
+/// byte-identical workloads across platforms, standard libraries, and
+/// Release/Debug builds.
+
+/// A uniform draw from [0, n).  n == 0 yields the full 64-bit range.
+inline uint64_t PortableBoundedDraw(std::mt19937_64& rng, uint64_t n) {
+  if (n == 0) return rng();
+  // Unbiased rejection: discard the short final partial block of the
+  // 2^64-value output space ((2^64 mod n) values), then reduce.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t x = rng();
+    if (x >= threshold) return x % n;
+  }
+}
+
+/// A uniform draw from [lo, hi], inclusive.  hi <= lo yields lo.
+inline int PortableUniformInt(std::mt19937_64& rng, int lo, int hi) {
+  if (hi <= lo) return lo;
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int>(PortableBoundedDraw(rng, span));
+}
+
+}  // namespace cqac
+
+#endif  // CQAC_WORKLOAD_PRAND_H_

@@ -1,0 +1,83 @@
+// Tier-1 replay of the persistent fuzz corpus (tests/corpus/*.cqac):
+// every case must load, round-trip through the serializer, agree across
+// the smoke configuration lattice, and — when a rewriting is found —
+// satisfy the brute-force semantic oracle.  cqacfuzz findings get
+// promoted into the corpus so each one stays fixed forever.
+
+#ifndef CQAC_CORPUS_DIR
+#error "CQAC_CORPUS_DIR must point at tests/corpus"
+#endif
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "testing/corpus.h"
+#include "testing/differential.h"
+#include "testing/oracle.h"
+
+namespace cqac {
+namespace testing {
+namespace {
+
+std::vector<CorpusEntry> LoadCorpusOrDie() {
+  std::string error;
+  std::optional<std::vector<CorpusEntry>> corpus =
+      LoadCorpusDir(CQAC_CORPUS_DIR, &error);
+  EXPECT_TRUE(corpus.has_value()) << error;
+  return corpus.value_or(std::vector<CorpusEntry>{});
+}
+
+TEST(CorpusTest, HasAtLeastTwentyFiveCases) {
+  EXPECT_GE(LoadCorpusOrDie().size(), 25u);
+}
+
+TEST(CorpusTest, EveryCaseIsWellFormed) {
+  for (const CorpusEntry& entry : LoadCorpusOrDie()) {
+    EXPECT_TRUE(entry.c.query.IsSafe()) << entry.name;
+    EXPECT_FALSE(entry.c.query.body().empty()) << entry.name;
+    for (const ConjunctiveQuery& v : entry.c.views.views()) {
+      EXPECT_TRUE(v.IsSafe()) << entry.name << " view " << v.name();
+    }
+  }
+}
+
+TEST(CorpusTest, SerializationRoundTrips) {
+  for (const CorpusEntry& entry : LoadCorpusOrDie()) {
+    std::string error;
+    const std::optional<FuzzCase> reparsed =
+        ParseCase(SerializeCase(entry.c), &error);
+    ASSERT_TRUE(reparsed.has_value()) << entry.name << ": " << error;
+    EXPECT_EQ(reparsed->query.ToString(), entry.c.query.ToString())
+        << entry.name;
+    ASSERT_EQ(reparsed->views.size(), entry.c.views.size()) << entry.name;
+    for (int i = 0; i < entry.c.views.size(); ++i) {
+      EXPECT_EQ(reparsed->views.views()[i].ToString(),
+                entry.c.views.views()[i].ToString())
+          << entry.name;
+    }
+  }
+}
+
+TEST(CorpusTest, SmokeLatticeAgreesAndOracleAcceptsEveryCase) {
+  const std::vector<LatticeConfig> lattice = SmokeConfigLattice();
+  OracleOptions oracle_options;
+  // Corpus cases include paper examples bigger than fuzz workloads; keep
+  // the replay inside the tier-1 time budget.
+  oracle_options.random_databases = 16;
+  oracle_options.exhaustive_max_facts = 0;
+  for (const CorpusEntry& entry : LoadCorpusOrDie()) {
+    const DifferentialReport report = RunConfigLattice(entry.c, lattice);
+    EXPECT_TRUE(report.ok) << entry.name << " config ["
+                           << report.divergent_config
+                           << "]: " << report.failure;
+    if (report.baseline_result.outcome == RewriteOutcome::kRewritingFound) {
+      const OracleVerdict verdict = CheckRewritingWithOracle(
+          entry.c, report.baseline_result.rewriting, oracle_options);
+      EXPECT_TRUE(verdict.ok) << entry.name << ": " << verdict.failure;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cqac

@@ -1,0 +1,120 @@
+// Satellite coverage for the Phase-1 memo's verify-on-hit contract: a
+// fingerprint collision between distinct keys must degrade to a miss,
+// never serve another key's entry — and the rewriter's results must be
+// unchanged by fingerprint width as long as verification stays on.
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "runtime/memo_cache.h"
+#include "testing/differential.h"
+#include "workload/generator.h"
+
+namespace cqac {
+namespace testing {
+namespace {
+
+class MemoCollisionTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    internal::SetPhase1FingerprintBitsForTest(0);
+    internal::SetPhase1MemoVerifyOnHitForTest(true);
+  }
+};
+
+/// Two distinct keys whose (possibly narrowed) fingerprints collide.
+/// With 1-bit fingerprints there are only 4 possible values, so 5 keys
+/// pigeonhole a collision.
+std::pair<std::string, std::string> FindCollidingKeys() {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 64; ++i) keys.push_back("key" + std::to_string(i));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (size_t j = i + 1; j < keys.size(); ++j) {
+      if (FingerprintPhase1Key(keys[i]) == FingerprintPhase1Key(keys[j])) {
+        return {keys[i], keys[j]};
+      }
+    }
+  }
+  return {"", ""};
+}
+
+TEST_F(MemoCollisionTest, CraftedCollisionDegradesToMiss) {
+  internal::SetPhase1FingerprintBitsForTest(1);
+  const auto [k1, k2] = FindCollidingKeys();
+  ASSERT_FALSE(k1.empty()) << "no collision among 64 keys at 1 bit?";
+  ASSERT_NE(k1, k2);
+  const Phase1Fingerprint fp1 = FingerprintPhase1Key(k1);
+  const Phase1Fingerprint fp2 = FingerprintPhase1Key(k2);
+  ASSERT_TRUE(fp1 == fp2);
+
+  Phase1Memo memo;
+  Phase1Entry entry;
+  entry.key = k1;
+  entry.combination_exists = true;
+  entry.mcds_kept = 7;
+  memo.Put(fp1, entry);
+
+  Phase1Entry out;
+  // The owning key hits...
+  EXPECT_TRUE(memo.Get(fp1, k1, &out));
+  EXPECT_EQ(out.mcds_kept, 7);
+  // ...the colliding key does NOT: verify-on-hit compares the full key
+  // and turns the collision into a miss.
+  EXPECT_FALSE(memo.Get(fp2, k2, &out));
+}
+
+TEST_F(MemoCollisionTest, DisablingVerifyOnHitServesWrongEntry) {
+  // The fault-injection hook cqacfuzz --inject-fault memo uses: without
+  // the key compare, the colliding key is (wrongly) served k1's entry.
+  // This is the bug the fuzzer harness must be able to catch end-to-end.
+  internal::SetPhase1FingerprintBitsForTest(1);
+  const auto [k1, k2] = FindCollidingKeys();
+  ASSERT_FALSE(k1.empty());
+
+  Phase1Memo memo;
+  Phase1Entry entry;
+  entry.key = k1;
+  entry.mcds_kept = 7;
+  memo.Put(FingerprintPhase1Key(k1), entry);
+
+  internal::SetPhase1MemoVerifyOnHitForTest(false);
+  Phase1Entry out;
+  ASSERT_TRUE(memo.Get(FingerprintPhase1Key(k2), k2, &out));
+  EXPECT_EQ(out.key, k1);  // the wrong reuse, observable
+}
+
+TEST_F(MemoCollisionTest, FullWidthFingerprintsDoNotCollideHere) {
+  const auto [k1, k2] = FindCollidingKeys();
+  EXPECT_TRUE(k1.empty()) << k1 << " and " << k2
+                          << " collide at full 128-bit width";
+}
+
+TEST_F(MemoCollisionTest, RewriterResultsInvariantUnderFingerprintWidth) {
+  // With verify-on-hit ON, narrowing fingerprints only converts would-be
+  // hits into verified misses: every invariant output of the rewriter
+  // must be byte-identical (the phase1_memo_* counters, excluded from the
+  // signature, are exactly what changes).
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.num_variables = 3;
+    config.num_constants = 1;
+    WorkloadGenerator g(config);
+    const WorkloadInstance instance = g.Generate();
+    const FuzzCase c{instance.query, instance.views};
+    LatticeConfig lattice_config;  // serial, phase1_dedup on
+
+    internal::SetPhase1FingerprintBitsForTest(0);
+    const RunSignature full = SignatureOf(RunWithConfig(c, lattice_config));
+    internal::SetPhase1FingerprintBitsForTest(4);
+    const RunSignature narrow = SignatureOf(RunWithConfig(c, lattice_config));
+    EXPECT_EQ(full, narrow) << "seed " << seed << "\n--- full\n"
+                            << full.ToString() << "\n--- narrow\n"
+                            << narrow.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cqac

@@ -1,0 +1,170 @@
+#include "testing/mutators.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "testing/differential.h"
+#include "workload/generator.h"
+
+namespace cqac {
+namespace testing {
+namespace {
+
+FuzzCase SampleCase() {
+  FuzzCase c;
+  c.query = Parser::MustParseRule(
+      "q(X,Y) :- p(X,Z), p(Z,Y), r(Y), X < Z, Z <= 4");
+  c.views = ViewSet(Parser::MustParseProgram(
+      "v1(X,Z) :- p(X,Z), X < Z.\n"
+      "v2(Z,Y) :- p(Z,Y), Z <= 4.\n"
+      "v3(Y) :- r(Y)"));
+  return c;
+}
+
+TEST(MutatorTest, RenameKeepsStructure) {
+  std::mt19937_64 rng(1);
+  const FuzzCase c = SampleCase();
+  const std::optional<Mutation> m = RenameVariablesMutation(c, rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->effect, MutationEffect::kPreservesEverything);
+  EXPECT_EQ(m->c.query.body().size(), c.query.body().size());
+  EXPECT_EQ(m->c.query.comparisons().size(), c.query.comparisons().size());
+  EXPECT_EQ(m->c.views.size(), c.views.size());
+  EXPECT_NE(m->c.query.ToString(), c.query.ToString());
+}
+
+TEST(MutatorTest, AddImpliedComparisonChainsThroughSharedTerm) {
+  std::mt19937_64 rng(1);
+  const FuzzCase c = SampleCase();  // X < Z, Z <= 4 chains to X < 4
+  const std::optional<Mutation> m = AddImpliedComparisonMutation(c, rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->effect, MutationEffect::kPreservesEverything);
+  ASSERT_EQ(m->c.query.comparisons().size(),
+            c.query.comparisons().size() + 1);
+  const Comparison& added = m->c.query.comparisons().back();
+  EXPECT_EQ(added.ToString(), "X < 4");
+}
+
+TEST(MutatorTest, AddImpliedFallsBackToDuplicate) {
+  std::mt19937_64 rng(1);
+  FuzzCase c = SampleCase();
+  c.query = Parser::MustParseRule("q(X) :- p(X,Y), X < 3");  // no chain
+  const std::optional<Mutation> m = AddImpliedComparisonMutation(c, rng);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->c.query.comparisons().size(), 2u);
+  EXPECT_EQ(m->c.query.comparisons()[0], m->c.query.comparisons()[1]);
+}
+
+TEST(MutatorTest, PermuteSubgoalsKeepsMultiset) {
+  std::mt19937_64 rng(3);
+  const FuzzCase c = SampleCase();
+  const std::optional<Mutation> m = PermuteSubgoalsMutation(c, rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->effect, MutationEffect::kPreservesOutcome);
+  std::multiset<std::string> before, after;
+  for (const Atom& a : c.query.body()) before.insert(a.ToString());
+  for (const Atom& a : m->c.query.body()) after.insert(a.ToString());
+  EXPECT_EQ(before, after);
+}
+
+TEST(MutatorTest, DuplicateViewGetsFreshNameAndRenamedVariables) {
+  std::mt19937_64 rng(2);
+  const FuzzCase c = SampleCase();
+  const std::optional<Mutation> m = DuplicateViewMutation(c, rng);
+  ASSERT_TRUE(m.has_value());
+  ASSERT_EQ(m->c.views.size(), c.views.size() + 1);
+  const ConjunctiveQuery& dup = m->c.views.views().back();
+  EXPECT_EQ(c.views.Find(dup.name()), nullptr);  // fresh predicate
+  const ConjunctiveQuery* original =
+      c.views.Find(dup.name().substr(0, 2));  // v1/v2/v3
+  ASSERT_NE(original, nullptr);
+  EXPECT_EQ(dup.body().size(), original->body().size());
+}
+
+TEST(MutatorTest, TightenAndRelaxFlipExactlyOneOperator) {
+  std::mt19937_64 rng(4);
+  const FuzzCase c = SampleCase();
+  const std::optional<Mutation> tightened =
+      TightenViewComparisonMutation(c, rng);
+  ASSERT_TRUE(tightened.has_value());
+  EXPECT_EQ(tightened->effect, MutationEffect::kMayChange);
+  int strict_before = 0, strict_after = 0;
+  for (const ConjunctiveQuery& v : c.views.views()) {
+    for (const Comparison& cmp : v.comparisons()) {
+      strict_before += cmp.op() == CompOp::kLt || cmp.op() == CompOp::kGt;
+    }
+  }
+  for (const ConjunctiveQuery& v : tightened->c.views.views()) {
+    for (const Comparison& cmp : v.comparisons()) {
+      strict_after += cmp.op() == CompOp::kLt || cmp.op() == CompOp::kGt;
+    }
+  }
+  EXPECT_EQ(strict_after, strict_before + 1);
+
+  const std::optional<Mutation> relaxed =
+      RelaxViewComparisonMutation(c, rng);
+  ASSERT_TRUE(relaxed.has_value());
+  int strict_relaxed = 0;
+  for (const ConjunctiveQuery& v : relaxed->c.views.views()) {
+    for (const Comparison& cmp : v.comparisons()) {
+      strict_relaxed += cmp.op() == CompOp::kLt || cmp.op() == CompOp::kGt;
+    }
+  }
+  EXPECT_EQ(strict_relaxed, strict_before - 1);
+}
+
+TEST(MutatorTest, MutatorsReturnNulloptWithoutMaterial) {
+  std::mt19937_64 rng(1);
+  FuzzCase bare;
+  bare.query = Parser::MustParseRule("q(X) :- p(X)");
+  EXPECT_FALSE(PermuteSubgoalsMutation(bare, rng).has_value());
+  EXPECT_FALSE(PermuteViewsMutation(bare, rng).has_value());
+  EXPECT_FALSE(DuplicateViewMutation(bare, rng).has_value());
+  EXPECT_FALSE(AddImpliedComparisonMutation(bare, rng).has_value());
+  EXPECT_FALSE(TightenViewComparisonMutation(bare, rng).has_value());
+  EXPECT_TRUE(RenameVariablesMutation(bare, rng).has_value());
+}
+
+TEST(MutatorTest, ApplyRandomMutationIsDeterministicPerSeed) {
+  const FuzzCase c = SampleCase();
+  std::mt19937_64 rng1(11), rng2(11);
+  const std::optional<Mutation> a = ApplyRandomMutation(c, rng1);
+  const std::optional<Mutation> b = ApplyRandomMutation(c, rng2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->name, b->name);
+  EXPECT_EQ(SerializeCase(a->c), SerializeCase(b->c));
+}
+
+TEST(MutatorTest, DeclaredEffectsHoldOnRealRuns) {
+  // The metamorphic theory itself, spot-checked: run the serial baseline
+  // on original and mutants and assert each declared effect.
+  const LatticeConfig baseline_config;
+  std::mt19937_64 rng(5);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    config.num_variables = 3;
+    config.num_constants = 1;
+    config.num_subgoals = 2;
+    config.num_views = 2;
+    WorkloadGenerator g(config);
+    const WorkloadInstance instance = g.Generate();
+    const FuzzCase c{instance.query, instance.views};
+    const RunSignature base = SignatureOf(RunWithConfig(c, baseline_config));
+    for (int i = 0; i < 4; ++i) {
+      const std::optional<Mutation> m = ApplyRandomMutation(c, rng);
+      ASSERT_TRUE(m.has_value());
+      const RunSignature mutant =
+          SignatureOf(RunWithConfig(m->c, baseline_config));
+      std::string why;
+      EXPECT_TRUE(MutationEffectHolds(m->effect, base, mutant, &why))
+          << "seed " << seed << " mutation " << m->name << ": " << why;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cqac

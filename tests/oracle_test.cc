@@ -1,0 +1,205 @@
+#include "testing/oracle.h"
+
+#include "engine/evaluate.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "rewriting/equiv_rewriter.h"
+#include "workload/generator.h"
+#include "workload/prand.h"
+
+namespace cqac {
+namespace testing {
+namespace {
+
+FuzzCase MakeCase(const char* query, const char* views_program) {
+  FuzzCase c;
+  c.query = Parser::MustParseRule(query);
+  if (views_program != nullptr && *views_program != '\0') {
+    c.views = ViewSet(Parser::MustParseProgram(views_program));
+  }
+  return c;
+}
+
+UnionQuery OneDisjunct(const char* rule) {
+  UnionQuery u;
+  u.Add(Parser::MustParseRule(rule));
+  return u;
+}
+
+TEST(NaiveEvaluateTest, MatchesHandComputation) {
+  const ConjunctiveQuery q =
+      Parser::MustParseRule("q(X) :- p(X,Y), r(Y), Y <= 3");
+  Database db;
+  db.Insert("p", {Rational(1), Rational(2)});
+  db.Insert("p", {Rational(1), Rational(5)});
+  db.Insert("p", {Rational(7), Rational(3)});
+  db.Insert("r", {Rational(2)});
+  db.Insert("r", {Rational(3)});
+  db.Insert("r", {Rational(5)});
+  const Relation out = NaiveEvaluate(q, db);
+  // (1,2) passes via Y=2; (1,5) fails the comparison; (7,3) passes.
+  EXPECT_EQ(out.size(), 2);
+  EXPECT_TRUE(out.Contains({Rational(1)}));
+  EXPECT_TRUE(out.Contains({Rational(7)}));
+}
+
+TEST(NaiveEvaluateTest, RepeatedVariablesForceEquality) {
+  const ConjunctiveQuery q = Parser::MustParseRule("q(X) :- p(X,X)");
+  Database db;
+  db.Insert("p", {Rational(1), Rational(2)});
+  db.Insert("p", {Rational(3), Rational(3)});
+  const Relation out = NaiveEvaluate(q, db);
+  EXPECT_EQ(out.size(), 1);
+  EXPECT_TRUE(out.Contains({Rational(3)}));
+}
+
+TEST(NaiveEvaluateTest, AgreesWithProductionEvaluatorOnRandomInputs) {
+  // The independence claim cuts both ways: the naive evaluator is only a
+  // useful referee if it matches the compiled one on non-adversarial
+  // inputs.
+  std::mt19937_64 rng(7);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    WorkloadConfig config;
+    config.seed = seed;
+    WorkloadGenerator g(config);
+    const WorkloadInstance instance = g.Generate();
+    const FuzzCase c{instance.query, instance.views};
+    const std::vector<Rational> pool = OracleValuePool(c, nullptr);
+    Database db;
+    for (const Atom& a : c.query.body()) {
+      for (int row = 0; row < 3; ++row) {
+        Tuple t;
+        for (int i = 0; i < a.arity(); ++i) {
+          t.push_back(pool[PortableBoundedDraw(rng, pool.size())]);
+        }
+        db.Insert(a.predicate(), std::move(t));
+      }
+    }
+    EXPECT_EQ(NaiveEvaluate(c.query, db), Evaluate(c.query, db))
+        << "seed " << seed;
+    for (const ConjunctiveQuery& v : c.views.views()) {
+      EXPECT_EQ(NaiveEvaluate(v, db), Evaluate(v, db)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(OracleValuePoolTest, HasConstantsMidpointsAndExtremes) {
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), X <= 5, Y < 8", "v(X,Y) :- p(X,Y)");
+  const std::vector<Rational> pool = OracleValuePool(c, nullptr);
+  EXPECT_NE(std::find(pool.begin(), pool.end(), Rational(5)), pool.end());
+  EXPECT_NE(std::find(pool.begin(), pool.end(), Rational(8)), pool.end());
+  EXPECT_NE(std::find(pool.begin(), pool.end(), Rational(13, 2)), pool.end());
+  EXPECT_NE(std::find(pool.begin(), pool.end(), Rational(4)), pool.end());
+  EXPECT_NE(std::find(pool.begin(), pool.end(), Rational(9)), pool.end());
+}
+
+TEST(OracleValuePoolTest, ConstantFreeCaseGetsDefaults) {
+  const FuzzCase c = MakeCase("q(X) :- p(X,Y)", "v(X) :- p(X,X)");
+  const std::vector<Rational> pool = OracleValuePool(c, nullptr);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(OracleTest, AcceptsCorrectRewriting) {
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), Y <= 3", "v(X,Y) :- p(X,Y)");
+  const UnionQuery rewriting = OneDisjunct("q(X) :- v(X,Y), Y <= 3");
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, rewriting);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+  EXPECT_TRUE(verdict.checked);
+  EXPECT_GT(verdict.orders_checked, 0);
+  EXPECT_GT(verdict.databases_checked, 0);
+}
+
+TEST(OracleTest, RejectsTooLooseRewriting) {
+  // Dropping the comparison makes the expansion strictly larger than the
+  // query: the reverse containment direction must fail.
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), Y <= 3", "v(X,Y) :- p(X,Y)");
+  const UnionQuery rewriting = OneDisjunct("q(X) :- v(X,Y)");
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, rewriting);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_FALSE(verdict.failure.empty());
+}
+
+TEST(OracleTest, RejectsTooTightRewriting) {
+  // Tightening the bound loses answers with Y in (2, 3]: the forward
+  // direction must fail.
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), Y <= 3", "v(X,Y) :- p(X,Y)");
+  const UnionQuery rewriting = OneDisjunct("q(X) :- v(X,Y), Y <= 2");
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, rewriting);
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_FALSE(verdict.failure.empty());
+}
+
+TEST(OracleTest, CatchesStrictnessFlip) {
+  // < vs <= differs only on the boundary; the midpoint/constant pool is
+  // what lets plain databases see it.
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), Y < 3", "v(X,Y) :- p(X,Y)");
+  const UnionQuery rewriting = OneDisjunct("q(X) :- v(X,Y), Y <= 3");
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, rewriting);
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(OracleTest, AcceptsRewriterOutputOnPaperStyleCase) {
+  const FuzzCase c = MakeCase(
+      "q(X,Y) :- p(X,Z), p(Z,Y), Z <= 4",
+      "v1(X,Z) :- p(X,Z), Z <= 4.\n"
+      "v2(Z,Y) :- p(Z,Y)");
+  RewriteOptions options;
+  options.verify = true;
+  EquivalentRewriter rewriter(c.query, c.views, options);
+  const RewriteResult result = rewriter.Run();
+  ASSERT_EQ(result.outcome, RewriteOutcome::kRewritingFound);
+  EXPECT_TRUE(result.verified);
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, result.rewriting);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+}
+
+TEST(OracleTest, EmptyUnionEquivalentToUnsatisfiableQuery) {
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X), X < 3, 5 < X", "v(X) :- p(X)");
+  const UnionQuery empty;
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, empty);
+  EXPECT_TRUE(verdict.ok) << verdict.failure;
+}
+
+TEST(OracleTest, EmptyUnionNotEquivalentToSatisfiableQuery) {
+  const FuzzCase c = MakeCase("q(X) :- p(X), X < 3", "v(X) :- p(X)");
+  const UnionQuery empty;
+  const OracleVerdict verdict = CheckRewritingWithOracle(c, empty);
+  EXPECT_FALSE(verdict.ok);
+}
+
+TEST(OracleTest, OverBudgetDirectionReportsUnchecked) {
+  OracleOptions options;
+  options.max_order_terms = 2;  // even the 3-variable query is over budget
+  const FuzzCase c =
+      MakeCase("q(X) :- p(X,Y), p(Y,Z)", "v(X,Y) :- p(X,Y)");
+  const UnionQuery rewriting = OneDisjunct("q(X) :- v(X,Y), v(Y,Z)");
+  const OracleVerdict verdict =
+      CheckEquivalenceByCanonicalDatabases(c, rewriting, options);
+  EXPECT_FALSE(verdict.checked);
+}
+
+TEST(OracleVerdictTest, MergeKeepsFirstFailure) {
+  OracleVerdict a;
+  a.ok = false;
+  a.failure = "first";
+  a.orders_checked = 3;
+  OracleVerdict b;
+  b.ok = false;
+  b.failure = "second";
+  b.databases_checked = 5;
+  a.Merge(b);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.failure, "first");
+  EXPECT_EQ(a.orders_checked, 3);
+  EXPECT_EQ(a.databases_checked, 5);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cqac

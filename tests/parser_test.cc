@@ -49,6 +49,18 @@ TEST(ParserTest, NumericConstants) {
   EXPECT_EQ(args[4], Term::Constant(Rational(-1, 4)));
 }
 
+TEST(ParserTest, RationalLiteralRoundTripsToString) {
+  // Rational::ToString emits num/den; the lexer must accept that form so
+  // serialized queries reparse identically.
+  auto q = Parser::ParseRule("q(X) :- a(X), X <= 5/2, -7/4 < X");
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->comparisons()[0].ToString(), "X <= 5/2");
+  EXPECT_EQ(q->comparisons()[1].ToString(), "-7/4 < X");
+  auto again = Parser::ParseRule(q->ToString());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->ToString(), q->ToString());
+}
+
 TEST(ParserTest, ComparisonBetweenConstants) {
   auto q = Parser::ParseRule("q() :- a(X), 3 < 5");
   ASSERT_TRUE(q.has_value());

@@ -1,0 +1,102 @@
+#include "testing/shrinker.h"
+
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "testing/differential.h"
+
+namespace cqac {
+namespace testing {
+namespace {
+
+FuzzCase BloatedCase() {
+  FuzzCase c;
+  c.query = Parser::MustParseRule(
+      "q(X) :- bad(X,Y), p(Y,Z), r(Z), s(X,X), X < Y, Y <= 4, Z < 9");
+  c.views = ViewSet(Parser::MustParseProgram(
+      "v1(X,Y) :- bad(X,Y).\n"
+      "v2(Y,Z) :- p(Y,Z), Y <= 4.\n"
+      "v3(Z) :- r(Z), Z < 9.\n"
+      "v4(X) :- s(X,X)"));
+  return c;
+}
+
+/// The synthetic failure: the query still mentions the `bad` relation.
+bool MentionsBad(const FuzzCase& c) {
+  for (const Atom& a : c.query.body()) {
+    if (a.predicate() == "bad") return true;
+  }
+  return false;
+}
+
+TEST(ShrinkerTest, RemovesEverythingIrrelevantToTheFailure) {
+  const ShrinkResult result = ShrinkFailingCase(BloatedCase(), MentionsBad);
+  EXPECT_TRUE(MentionsBad(result.c));
+  EXPECT_EQ(result.c.query.body().size(), 1u);  // just bad(X,Y)
+  EXPECT_TRUE(result.c.query.comparisons().empty());
+  EXPECT_EQ(result.c.views.size(), 0);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(ShrinkerTest, KeepsQueriesWellFormed) {
+  // A predicate that always fails would invite dropping the head
+  // variable's last subgoal; the well-formedness gate must refuse.
+  FuzzCase c;
+  c.query = Parser::MustParseRule("q(X) :- p(X), r(Y), X < 3");
+  const ShrinkResult result =
+      ShrinkFailingCase(c, [](const FuzzCase&) { return true; });
+  EXPECT_TRUE(result.c.query.IsSafe());
+  EXPECT_FALSE(result.c.query.body().empty());
+  // p(X) must survive (head safety); r(Y) and the comparison can go.
+  EXPECT_EQ(result.c.query.body().size(), 1u);
+  EXPECT_EQ(result.c.query.body()[0].predicate(), "p");
+}
+
+TEST(ShrinkerTest, RespectsEvaluationBudget) {
+  ShrinkOptions options;
+  options.max_evaluations = 2;
+  const ShrinkResult result =
+      ShrinkFailingCase(BloatedCase(), MentionsBad, options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_LE(result.evaluations, 2);
+  EXPECT_TRUE(MentionsBad(result.c));  // best-so-far still fails
+}
+
+TEST(ShrinkerTest, ShrinksARealLatticeStyleFailure) {
+  // Failure defined on the rewriter's actual output: "a rewriting is
+  // found".  The minimal such core of the bloated case must keep a view
+  // for every surviving subgoal.
+  FuzzCase c;
+  c.query = Parser::MustParseRule("q(X) :- p(X,Y), r(Y), Y <= 4");
+  c.views = ViewSet(Parser::MustParseProgram(
+      "v1(X,Y) :- p(X,Y).\n"
+      "v2(Y) :- r(Y).\n"
+      "v3(Y) :- r(Y), Y <= 4"));
+  auto finds_rewriting = [](const FuzzCase& candidate) {
+    return RunWithConfig(candidate, LatticeConfig{}).outcome ==
+           RewriteOutcome::kRewritingFound;
+  };
+  ASSERT_TRUE(finds_rewriting(c));
+  const ShrinkResult result = ShrinkFailingCase(c, finds_rewriting);
+  EXPECT_TRUE(finds_rewriting(result.c));
+  EXPECT_LE(result.c.query.body().size(), c.query.body().size());
+  EXPECT_LE(result.c.views.size(), c.views.size());
+}
+
+TEST(RegressionTextTest, RoundTripsThroughParseCase) {
+  const FuzzCase c = BloatedCase();
+  const std::string text = RegressionText(c, "why it failed\nsecond line");
+  std::string error;
+  const std::optional<FuzzCase> parsed = ParseCase(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->query.ToString(), c.query.ToString());
+  ASSERT_EQ(parsed->views.size(), c.views.size());
+  for (int i = 0; i < c.views.size(); ++i) {
+    EXPECT_EQ(parsed->views.views()[i].ToString(),
+              c.views.views()[i].ToString());
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace cqac
