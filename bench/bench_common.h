@@ -7,6 +7,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -125,13 +126,46 @@ inline std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// The commit the sources at CQAC_SOURCE_DIR are checked out at, or
+/// "unknown" when git or the work tree is unavailable (e.g. a tarball
+/// build).  Stamped into the --json record so a results/ trajectory file
+/// can always be traced back to the code that produced it.
+inline std::string GitCommit() {
+#ifdef CQAC_SOURCE_DIR
+  FILE* pipe = popen(
+      "git -C \"" CQAC_SOURCE_DIR "\" rev-parse HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {0};
+    const size_t n = fread(buf, 1, sizeof(buf) - 1, pipe);
+    pclose(pipe);
+    std::string commit(buf, n);
+    while (!commit.empty() &&
+           (commit.back() == '\n' || commit.back() == '\r')) {
+      commit.pop_back();
+    }
+    if (commit.size() == 40) return commit;
+  }
+#endif
+  return "unknown";
+}
+
+/// The CMAKE_BUILD_TYPE the bench was compiled under, or "unknown" for
+/// build systems that do not pass CQAC_BUILD_TYPE.
+inline std::string BuildType() {
+#ifdef CQAC_BUILD_TYPE
+  return CQAC_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
 /// Shared main of every bench_* binary: strips the repo's own flags
 /// (--jobs N, --json <path>, --memo), hands the rest to Google
 /// Benchmark, and writes the trajectory record when asked.  The JSON
-/// schema is {name, debug_build, wall_ms, jobs, cache_hits, cache_misses,
-/// benchmarks[]} — one file per run, accumulated as BENCH_*.json
-/// trajectory files under results/; cache_hits/misses are zero unless
-/// --memo is given.
+/// schema is {name, git_commit, build_type, cpus, debug_build, wall_ms,
+/// jobs, cache_hits, cache_misses, benchmarks[]} — one file per run,
+/// accumulated as BENCH_*.json trajectory files under results/;
+/// cache_hits/misses are zero unless --memo is given.
 inline int BenchMain(int argc, char** argv) {
   if (kDebugBuild) {
     std::fprintf(
@@ -185,6 +219,9 @@ inline int BenchMain(int argc, char** argv) {
     std::ofstream json(g_json_path);
     json << "{\n"
          << "  \"name\": \"" << JsonEscape(name) << "\",\n"
+         << "  \"git_commit\": \"" << JsonEscape(GitCommit()) << "\",\n"
+         << "  \"build_type\": \"" << JsonEscape(BuildType()) << "\",\n"
+         << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
          << "  \"debug_build\": " << (kDebugBuild ? "true" : "false") << ",\n"
          << "  \"wall_ms\": " << wall_ms << ",\n"
          << "  \"jobs\": " << cqac::ThreadPool::ResolveJobs(g_jobs) << ",\n"

@@ -9,6 +9,7 @@
 #include "containment/cq_containment.h"
 #include "containment/cqac_containment.h"
 #include "engine/evaluate.h"
+#include "obs/metrics.h"
 #include "parser/parser.h"
 #include "rewriting/contained_rewriter.h"
 #include "rewriting/equiv_rewriter.h"
@@ -74,6 +75,8 @@ bool Shell::ProcessLine(const std::string& line) {
     CmdEvalRewriting();
   } else if (command == "show") {
     CmdShow();
+  } else if (command == "metrics") {
+    CmdMetrics(args);
   } else if (command == "clear") {
     views_ = ViewSet();
     query_.reset();
@@ -207,6 +210,10 @@ void Shell::CmdRewrite(const std::string& args) {
          << " pruned, " << result.stats.phase1_memo_hits
          << " deduped (memo hits), " << result.stats.phase1_memo_misses
          << " computed in full\n";
+    out_ << "phase-times: enumeration " << result.stats.enumeration_ns
+         << " ns, freeze " << result.stats.freeze_ns << " ns, phase1 "
+         << result.stats.phase1_ns << " ns, phase2 "
+         << result.stats.phase2_ns << " ns\n";
   }
   if (json_stats) {
     const char* outcome = result.outcome == RewriteOutcome::kRewritingFound
@@ -214,7 +221,8 @@ void Shell::CmdRewrite(const std::string& args) {
                           : result.outcome == RewriteOutcome::kNoRewriting
                               ? "none"
                               : "aborted";
-    out_ << "{\"outcome\": \"" << outcome << "\", \"disjuncts\": "
+    out_ << "{\"schema_version\": " << kStatsJsonSchemaVersion
+         << ", \"outcome\": \"" << outcome << "\", \"disjuncts\": "
          << result.rewriting.size()
          << ", \"canonical_databases\": " << result.stats.canonical_databases
          << ", \"kept_canonical_databases\": "
@@ -223,7 +231,10 @@ void Shell::CmdRewrite(const std::string& args) {
          << ", \"phase2_checks\": " << result.stats.phase2_checks
          << ", \"phase1_memo_hits\": " << result.stats.phase1_memo_hits
          << ", \"phase1_memo_misses\": " << result.stats.phase1_memo_misses
-         << "}\n";
+         << ", \"enumeration_ns\": " << result.stats.enumeration_ns
+         << ", \"freeze_ns\": " << result.stats.freeze_ns
+         << ", \"phase1_ns\": " << result.stats.phase1_ns
+         << ", \"phase2_ns\": " << result.stats.phase2_ns << "}\n";
   }
   if (explain) out_ << TableauToString(result.trace);
 }
@@ -358,6 +369,22 @@ void Shell::CmdShow() {
   if (!db_.empty()) out_ << "facts:\n" << db_.ToString() << "\n";
 }
 
+void Shell::CmdMetrics(const std::string& args) {
+  if (args == "json") {
+    obs::MetricsRegistry::Global().DumpJson(out_);
+  } else if (args == "reset") {
+    obs::MetricsRegistry::Global().Reset();
+    out_ << "metrics reset\n";
+  } else if (args.empty()) {
+    if (!obs::MetricsActive()) {
+      out_ << "metrics collection is off (run cqacsh with --metrics)\n";
+    }
+    obs::MetricsRegistry::Global().DumpText(out_);
+  } else {
+    out_ << "usage: metrics [json|reset]\n";
+  }
+}
+
 void Shell::CmdHelp() {
   out_ << "commands:\n"
           "  view <rule>           add a view definition\n"
@@ -375,6 +402,7 @@ void Shell::CmdHelp() {
           "  fact <atom>.          insert a ground fact\n"
           "  eval <name|rule>      evaluate on the facts\n"
           "  eval-rewriting        evaluate the last rewriting\n"
+          "  metrics [json|reset]  dump or reset the metrics registry\n"
           "  show | clear | help | quit\n";
 }
 

@@ -31,6 +31,7 @@ namespace cqac {
 ///   fact <atom>.           insert a ground fact into the scratch database
 ///   eval <name|rule>       evaluate on the scratch database
 ///   eval-rewriting         evaluate the last rewriting on the database
+///   metrics [json|reset]   dump or reset the global metrics registry
 ///   show                   print current query, views, facts
 ///   clear                  reset all state
 ///   help                   print the command list
@@ -75,6 +76,7 @@ class Shell {
   void CmdEval(const std::string& args);
   void CmdEvalRewriting();
   void CmdShow();
+  void CmdMetrics(const std::string& args);
   void CmdHelp();
 
   /// Resolves `token` as a named rule, or parses it as an inline rule.

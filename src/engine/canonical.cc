@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace cqac {
 
 Term CanonicalDatabase::Unfreeze(const Rational& value) const {
@@ -132,6 +134,7 @@ const FlatInstance& CanonicalFreezer::Freeze(const TotalOrder& order) {
   if (epoch_ == 0) return FreezeFull(order);
   LoadOrder(order, /*track=*/true);
   ++epoch_;
+  int64_t rewritten = 0;
   for (const CompiledSubgoal& sg : subgoals_) {
     bool touched = false;
     for (const CompiledTerm& t : sg.terms) {
@@ -147,8 +150,16 @@ const FlatInstance& CanonicalFreezer::Freeze(const TotalOrder& order) {
       row[k] = t.is_const ? t.value : var_values_[t.slot];
     }
     rel_epochs_[sg.relation] = epoch_;
+    ++rewritten;
   }
   RebuildHead();
+  if (obs::MetricsActive()) {
+    // How much the delta form saves: rows actually rewritten vs the
+    // full-refreeze row count tracked in FreezeFull.
+    static obs::Counter& delta_rows =
+        obs::MetricsRegistry::Global().counter("freezer.delta_rows");
+    delta_rows.Add(rewritten);
+  }
   return instance_;
 }
 
@@ -165,6 +176,14 @@ const FlatInstance& CanonicalFreezer::FreezeFull(const TotalOrder& order) {
   }
   for (uint64_t& e : rel_epochs_) e = epoch_;
   RebuildHead();
+  if (obs::MetricsActive()) {
+    static obs::Counter& full =
+        obs::MetricsRegistry::Global().counter("freezer.full_freezes");
+    full.Add(1);
+    static obs::Counter& rows =
+        obs::MetricsRegistry::Global().counter("freezer.full_rows");
+    rows.Add(static_cast<int64_t>(subgoals_.size()));
+  }
   return instance_;
 }
 

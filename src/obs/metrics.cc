@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <ostream>
+
+namespace cqac {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_active{false};
+
+/// Bucket index of `value`: its bit width, so bucket 0 is exactly 0 and
+/// bucket b covers [2^(b-1), 2^b).
+int BucketOf(int64_t value) {
+  return std::bit_width(static_cast<uint64_t>(value));
+}
+
+/// Inclusive upper bound of bucket `b`.
+int64_t BucketUpper(int b) {
+  if (b == 0) return 0;
+  if (b >= 63) return INT64_MAX;
+  return (int64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+void Histogram::Observe(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t current = min_.load(std::memory_order_relaxed);
+  while (value < current &&
+         !min_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+  current = max_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !max_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::min() const {
+  const int64_t m = min_.load(std::memory_order_relaxed);
+  return m == INT64_MAX ? 0 : m;
+}
+
+int64_t Histogram::ApproxQuantile(double quantile) const {
+  const int64_t total = count();
+  if (total == 0) return 0;
+  const int64_t target =
+      static_cast<int64_t>(quantile * static_cast<double>(total));
+  int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += bucket(b);
+    if (cumulative > target) return BucketUpper(b);
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (std::atomic<int64_t>& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->Reset();
+  for (const auto& [name, g] : gauges_) g->Reset();
+  for (const auto& [name, h] : histograms_) h->Reset();
+}
+
+void MetricsRegistry::DumpText(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    out << "counter " << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << "gauge " << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << "histogram " << name << " count=" << h->count()
+        << " sum=" << h->sum() << " min=" << h->min() << " max=" << h->max()
+        << " p50<=" << h->ApproxQuantile(0.5)
+        << " p90<=" << h->ApproxQuantile(0.9)
+        << " p99<=" << h->ApproxQuantile(0.99) << "\n";
+  }
+}
+
+void MetricsRegistry::DumpJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": " << c->value();
+    first = false;
+  }
+  out << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": " << g->value();
+    first = false;
+  }
+  out << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"count\": "
+        << h->count() << ", \"sum\": " << h->sum() << ", \"min\": "
+        << h->min() << ", \"max\": " << h->max() << ", \"p50\": "
+        << h->ApproxQuantile(0.5) << ", \"p90\": " << h->ApproxQuantile(0.9)
+        << ", \"p99\": " << h->ApproxQuantile(0.99) << "}";
+    first = false;
+  }
+  out << "}}\n";
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+void EnableMetrics(bool enabled) {
+  g_metrics_active.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsActive() {
+  return g_metrics_active.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace cqac

@@ -1,0 +1,141 @@
+#ifndef CQAC_OBS_METRICS_H_
+#define CQAC_OBS_METRICS_H_
+
+// Typed runtime metrics for the rewriting runtime: counters (monotonic
+// sums), gauges (last/maximum value), and histograms (log2-bucketed
+// distributions), owned by a process-wide registry.
+//
+// The registry is always compiled in — unlike span tracing there is no
+// build-time gate — because a metric that is never updated costs nothing.
+// Updates are lock-free (relaxed atomics); only name registration takes a
+// mutex, and instrumented hot paths cache the returned reference (entries
+// are never removed, so references stay valid for the process lifetime;
+// Reset zeroes values in place).
+//
+// Instrumentation that needs extra work *to produce a value* — e.g. a
+// steady_clock read per canonical database for a latency histogram —
+// additionally checks MetricsActive(), a runtime switch behind
+// `cqacsh --metrics`, so idle builds pay nothing but a relaxed load.
+//
+// Naming convention (see docs/OBSERVABILITY.md): lower-case
+// `<component>.<what>`, with `_ns` suffixes on durations, e.g.
+// `threadpool.tasks_stolen`, `phase1.db_wall_ns`.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cqac {
+namespace obs {
+
+/// A monotonically increasing sum.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A point-in-time value; Set overwrites, Max keeps the high watermark.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Max(int64_t value) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A distribution of non-negative values in power-of-two buckets: bucket b
+/// counts values whose bit width is b (bucket 0 holds exactly 0), i.e.
+/// values in [2^(b-1), 2^b).  Good to a factor of two, which is all a
+/// wall-time distribution needs.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t value);
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when the histogram is empty.
+  int64_t min() const;
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (inclusive) of the bucket where the cumulative count
+  /// first reaches `quantile` (in [0,1]); 0 when empty.  A factor-of-two
+  /// approximation of the true quantile.
+  int64_t ApproxQuantile(double quantile) const;
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+};
+
+/// The process-wide name -> metric table.  Lookup-or-create is
+/// mutex-guarded; the returned references are valid forever.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every registered metric in place (references stay valid).
+  void Reset();
+
+  /// One line per metric, sorted by name within each type:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count=<n> sum=<s> min=<m> max=<M> p50<=<q> ...
+  void DumpText(std::ostream& out) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}}}
+  void DumpJson(std::ostream& out) const;
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Runtime switch for instrumentation whose *value production* costs
+/// something (clock reads on per-database paths).  Off by default.
+void EnableMetrics(bool enabled);
+bool MetricsActive();
+
+}  // namespace obs
+}  // namespace cqac
+
+#endif  // CQAC_OBS_METRICS_H_

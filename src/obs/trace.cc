@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+namespace cqac {
+namespace obs {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's span storage.  Single producer (the owning thread), which
+/// publishes each span with a release store of `count`; the collector
+/// acquire-loads `count` and reads only the slots it covers, so no span is
+/// ever read while being written.  The buffer never shrinks and is only
+/// appended to; StartTracing resets `count` while no producer holds the
+/// buffer armed (stale in-flight spans from a previous session are
+/// discarded by the recorder's own session check).
+struct SpanBuffer {
+  explicit SpanBuffer(uint32_t id) : tid(id) {}
+
+  const uint32_t tid;
+  std::vector<TraceEvent> slots;        // lazily sized to capacity
+  std::atomic<int64_t> count{0};        // published spans
+  std::atomic<int64_t> dropped{0};      // spans refused by a full buffer
+
+  void Push(const TraceEvent& event) {
+    const int64_t n = count.load(std::memory_order_relaxed);
+    if (n >= kSpanBufferCapacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (slots.empty()) slots.resize(kSpanBufferCapacity);
+    slots[static_cast<size_t>(n)] = event;
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+/// Owns every SpanBuffer ever created.  Buffers of exited threads go on a
+/// free list and are handed to the next new thread, so long sessions with
+/// many short-lived thread pools reuse a bounded set of buffers.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<SpanBuffer>> all;
+  std::vector<SpanBuffer*> parked;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::atomic<bool> g_active{false};
+std::atomic<int64_t> g_session_t0{0};
+// Bumped by StartTracing; spans begun in an earlier session are discarded
+// at scope exit instead of leaking into the new one.
+std::atomic<uint64_t> g_session_id{0};
+
+/// The calling thread's buffer, claiming a parked one or registering a new
+/// one on first use.  The raw pointer stays valid forever (the registry
+/// owns the buffer); the thread-local handle parks it at thread exit.
+struct BufferHandle {
+  SpanBuffer* buffer = nullptr;
+
+  ~BufferHandle() {
+    if (buffer == nullptr) return;
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.parked.push_back(buffer);
+  }
+};
+
+SpanBuffer* ThreadBuffer() {
+  static thread_local BufferHandle handle;
+  if (handle.buffer == nullptr) {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (!registry.parked.empty()) {
+      handle.buffer = registry.parked.back();
+      registry.parked.pop_back();
+    } else {
+      registry.all.push_back(std::make_unique<SpanBuffer>(
+          static_cast<uint32_t>(registry.all.size())));
+      handle.buffer = registry.all.back().get();
+    }
+  }
+  return handle.buffer;
+}
+
+}  // namespace
+
+void StartTracing() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  g_active.store(false, std::memory_order_seq_cst);
+  for (const std::unique_ptr<SpanBuffer>& buffer : registry.all) {
+    buffer->count.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+  g_session_id.fetch_add(1, std::memory_order_relaxed);
+  g_session_t0.store(NowNs(), std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_seq_cst);
+}
+
+CollectedTrace StopTracing() {
+  g_active.store(false, std::memory_order_seq_cst);
+  CollectedTrace trace;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::unique_ptr<SpanBuffer>& buffer : registry.all) {
+    const int64_t n = buffer->count.load(std::memory_order_acquire);
+    for (int64_t i = 0; i < n; ++i) {
+      trace.events.push_back(buffer->slots[static_cast<size_t>(i)]);
+    }
+    trace.dropped_spans += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns < b.dur_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  return trace;
+}
+
+bool TracingActive() {
+  return TracingCompiledIn() && g_active.load(std::memory_order_relaxed);
+}
+
+void WriteChromeTrace(std::ostream& out, const CollectedTrace& trace) {
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& event : trace.events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    // Chrome's ts/dur are microseconds; keep nanosecond precision as
+    // fractional digits.  Span names are string literals from the
+    // instrumentation sites and contain nothing needing JSON escaping.
+    out << "  {\"name\": \"" << event.name << "\", \"cat\": \"cqac\", "
+        << "\"ph\": \"X\", \"ts\": " << event.start_ns / 1000 << "."
+        << static_cast<char>('0' + (event.start_ns % 1000) / 100)
+        << static_cast<char>('0' + (event.start_ns % 100) / 10)
+        << static_cast<char>('0' + event.start_ns % 10)
+        << ", \"dur\": " << event.dur_ns / 1000 << "."
+        << static_cast<char>('0' + (event.dur_ns % 1000) / 100)
+        << static_cast<char>('0' + (event.dur_ns % 100) / 10)
+        << static_cast<char>('0' + event.dur_ns % 10)
+        << ", \"pid\": 1, \"tid\": " << event.tid << "}";
+  }
+  out << (first ? "" : "\n") << "], \"cqacDroppedSpans\": "
+      << trace.dropped_spans << "}\n";
+}
+
+namespace internal {
+
+SpanRecorder::SpanRecorder(const char* name) : name_(name) {
+  if (g_active.load(std::memory_order_relaxed)) {
+    session_ = g_session_id.load(std::memory_order_relaxed);
+    start_ns_ = NowNs() - g_session_t0.load(std::memory_order_relaxed);
+  }
+}
+
+SpanRecorder::~SpanRecorder() {
+  if (start_ns_ < 0) return;
+  // A span recorded into a different session than it began in would carry
+  // a stale start offset; drop spans straddling a Stop or a restart.
+  if (!g_active.load(std::memory_order_relaxed) ||
+      g_session_id.load(std::memory_order_relaxed) != session_) {
+    return;
+  }
+  TraceEvent event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.dur_ns =
+      NowNs() - g_session_t0.load(std::memory_order_relaxed) - start_ns_;
+  SpanBuffer* buffer = ThreadBuffer();
+  event.tid = buffer->tid;
+  buffer->Push(event);
+}
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace cqac

@@ -1,0 +1,124 @@
+#ifndef CQAC_OBS_TRACE_H_
+#define CQAC_OBS_TRACE_H_
+
+// Span tracing for the rewriting pipeline.
+//
+// Instrumented code marks named phases with CQAC_TRACE_SPAN("phase1.freeze");
+// the macro is an RAII recorder that, while a tracing session is active,
+// appends one complete span (name, start, duration, thread) to a per-thread
+// lock-free buffer.  StopTracing() merges every thread's spans into one
+// deterministic sequence, exportable as Chrome trace-event JSON
+// (WriteChromeTrace) and viewable in Perfetto or chrome://tracing.
+//
+// Cost model, in increasing order:
+//   - compiled out (CMake -DCQAC_TRACING=OFF): the macro expands to nothing;
+//     zero instructions on every instrumented path.
+//   - compiled in, no session active (the default at runtime): one relaxed
+//     atomic load and a predictable branch per span.
+//   - session active: two steady_clock reads plus one buffer append per
+//     span.  No locks are taken on the recording path.
+//
+// Timestamps come exclusively from std::chrono::steady_clock and are never
+// fed back into the algorithms, so tracing cannot perturb the rewriter's
+// byte-identical serial/parallel guarantee — only wall-clock numbers differ
+// between runs.
+//
+// Buffers are bounded (kSpanBufferCapacity spans per thread); once a thread
+// fills its buffer, further spans are dropped and counted, never silently
+// lost.  Buffers of exited threads are parked and handed to new threads, so
+// memory is bounded by the peak number of concurrently tracing threads.
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+// Defined (0 or 1) on the compiler command line by the top-level CMake
+// option CQAC_TRACING; default to "compiled in" for non-CMake builds.
+#ifndef CQAC_TRACING
+#define CQAC_TRACING 1
+#endif
+
+namespace cqac {
+namespace obs {
+
+/// Spans one thread can hold per session; later spans are dropped+counted.
+inline constexpr int64_t kSpanBufferCapacity = 1 << 15;
+
+/// One completed span.  `name` is always a string literal with static
+/// storage duration (the macro's argument), so events are POD and the
+/// buffers never allocate per span.
+struct TraceEvent {
+  const char* name = nullptr;
+  int64_t start_ns = 0;  // steady-clock offset from the session start
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;  // registration order of the recording thread's buffer
+};
+
+/// Everything StopTracing collected.
+struct CollectedTrace {
+  /// Merged deterministically: sorted by (start_ns, dur_ns, tid, name), so
+  /// equal per-thread span sets always yield equal sequences.
+  std::vector<TraceEvent> events;
+  /// Spans lost to full buffers during the session.
+  int64_t dropped_spans = 0;
+};
+
+/// True when the span macros were compiled in (CMake CQAC_TRACING=ON).
+/// When false, Start/StopTracing still work but no span is ever recorded.
+constexpr bool TracingCompiledIn() { return CQAC_TRACING != 0; }
+
+/// Arms span recording: resets every thread buffer and the session clock.
+/// Sessions do not nest; calling Start during an active session restarts
+/// it, discarding the spans recorded so far.
+void StartTracing();
+
+/// Disarms recording and returns the session's merged spans.  Spans of
+/// still-running instrumented code are dropped (a span is recorded at its
+/// end); call after the traced work has completed.
+CollectedTrace StopTracing();
+
+/// True while a session is active (and tracing is compiled in).
+bool TracingActive();
+
+/// Renders `trace` as Chrome trace-event JSON: an object whose
+/// "traceEvents" array holds one complete event ("ph":"X") per span, with
+/// microsecond ts/dur, plus a top-level "cqacDroppedSpans" count.
+void WriteChromeTrace(std::ostream& out, const CollectedTrace& trace);
+
+namespace internal {
+
+/// The RAII body behind CQAC_TRACE_SPAN.  Samples the clock only while a
+/// session is active; records the span at scope exit unless the session
+/// ended in between.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(const char* name);
+  ~SpanRecorder();
+
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_ns_ = -1;  // -1: not recording
+  uint64_t session_ = 0;   // session the span began in
+};
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace cqac
+
+#if CQAC_TRACING
+#define CQAC_OBS_CONCAT_INNER(a, b) a##b
+#define CQAC_OBS_CONCAT(a, b) CQAC_OBS_CONCAT_INNER(a, b)
+/// Declares an RAII span covering the rest of the enclosing scope.  `name`
+/// must be a string literal (see docs/OBSERVABILITY.md for the naming
+/// conventions).
+#define CQAC_TRACE_SPAN(name)                       \
+  ::cqac::obs::internal::SpanRecorder CQAC_OBS_CONCAT( \
+      cqac_trace_span_, __LINE__)(name)
+#else
+#define CQAC_TRACE_SPAN(name) static_cast<void>(0)
+#endif
+
+#endif  // CQAC_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <optional>
 #include <set>
@@ -11,6 +12,8 @@
 #include "containment/cqac_containment.h"
 #include "engine/canonical.h"
 #include "engine/evaluate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewriting/coalesce.h"
 #include "rewriting/expansion.h"
 #include "rewriting/exportable.h"
@@ -22,6 +25,15 @@
 namespace cqac {
 
 namespace {
+
+/// Steady-clock nanoseconds for the RewriteStats wall-time fields.  Never
+/// fed back into the algorithm: timing can shift scheduling but not
+/// results.
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// The expansion of `disjunct`, simplified when requested.  Unsatisfiable
 /// expansions stay as-is (they compute nothing and pass containment
@@ -113,11 +125,30 @@ void RewriteStats::Merge(const RewriteStats& other) {
   phase2_orders += other.phase2_orders;
   phase1_memo_hits += other.phase1_memo_hits;
   phase1_memo_misses += other.phase1_memo_misses;
+  enumeration_ns += other.enumeration_ns;
+  freeze_ns += other.freeze_ns;
+  phase1_ns += other.phase1_ns;
+  phase2_ns += other.phase2_ns;
+}
+
+void RecordRewriteMetrics(const RewriteStats& stats) {
+  if (!obs::MetricsActive()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.counter("rewrite.runs").Add(1);
+  registry.counter("rewrite.canonical_databases")
+      .Add(stats.canonical_databases);
+  registry.counter("rewrite.kept_canonical_databases")
+      .Add(stats.kept_canonical_databases);
+  registry.counter("rewrite.phase2_checks").Add(stats.phase2_checks);
+  registry.counter("rewrite.phase2_orders").Add(stats.phase2_orders);
+  registry.counter("phase1_memo.hits").Add(stats.phase1_memo_hits);
+  registry.counter("phase1_memo.misses").Add(stats.phase1_memo_misses);
 }
 
 RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
                                const ViewSet& views,
                                const RewriteOptions& options) {
+  CQAC_TRACE_SPAN("prepare.work");
   RewriteWork work(query, views, options);
 
   // Q0 and the exported variants V0 (Section 3.2 / Examples 5 and 6).
@@ -129,7 +160,10 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
   }
 
   // MiniCon phase 1 over Q0/V0 (the buckets; formed once).
-  work.mcds = FormMcds(work.q0, work.v0_variants);
+  {
+    CQAC_TRACE_SPAN("prepare.mcd_formation");
+    work.mcds = FormMcds(work.q0, work.v0_variants);
+  }
 
   // All constants of the query and the views participate in the orders.
   work.constants = query.Constants();
@@ -179,9 +213,12 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
   return work;
 }
 
-DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
-                                         const TotalOrder& order,
-                                         Phase1Memo* memo) {
+/// Phase-1 steps 2-3.7 proper; the public ProcessCanonicalDatabase wraps
+/// it with the per-database span and wall-time accounting (kept outside so
+/// the duration lands in the returned stats after the body finishes).
+static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
+                                                    const TotalOrder& order,
+                                                    Phase1Memo* memo) {
   const RewriteOptions& options = work.options;
   DatabaseOutcome out;
   if (options.explain) out.trace.order = order.ToString();
@@ -211,9 +248,16 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
     cache.matcher.emplace(std::move(mcd_tuples), *cache.freezer);
     cache.work_id = work.work_id;
   }
-  const FlatInstance& inst = cache.freezer->Freeze(order);
-  if (!work.prepared_query.Run(inst, &cache.freezer->frozen_head(), nullptr,
-                               &cache.scratch)) {
+  bool computes_head;
+  {
+    CQAC_TRACE_SPAN("phase1.freeze");
+    const int64_t freeze_t0 = NowNs();
+    const FlatInstance& inst = cache.freezer->Freeze(order);
+    computes_head = work.prepared_query.Run(
+        inst, &cache.freezer->frozen_head(), nullptr, &cache.scratch);
+    out.stats.freeze_ns += NowNs() - freeze_t0;
+  }
+  if (!computes_head) {
     out.status = DatabaseOutcome::Status::kSkipped;
     if (options.explain) out.trace.status = "skipped";
     return out;
@@ -222,7 +266,10 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   ++out.stats.kept_canonical_databases;
 
   // Step 3.1-3.2: view tuples T_i(V), from the epoch-gated evaluator.
-  cache.evaluator->Refresh(*cache.freezer);
+  {
+    CQAC_TRACE_SPAN("phase1.view_tuples");
+    cache.evaluator->Refresh(*cache.freezer);
+  }
   out.stats.view_tuples_total += cache.evaluator->total();
   if (options.explain) out.trace.view_tuples = cache.evaluator->total();
   if (cache.evaluator->total() == 0) {
@@ -243,10 +290,15 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   std::string memo_key;
   Phase1Fingerprint memo_fp;
   if (memo != nullptr) {
-    memo_key = BuildPhase1Key(*cache.freezer, *cache.evaluator);
-    memo_fp = FingerprintPhase1Key(memo_key);
     Phase1Entry entry;
-    if (memo->Get(memo_fp, memo_key, &entry)) {
+    bool hit;
+    {
+      CQAC_TRACE_SPAN("phase1.memo_probe");
+      memo_key = BuildPhase1Key(*cache.freezer, *cache.evaluator);
+      memo_fp = FingerprintPhase1Key(memo_key);
+      hit = memo->Get(memo_fp, memo_key, &entry);
+    }
+    if (hit) {
       ++out.stats.phase1_memo_hits;
       out.stats.mcds_kept_total += entry.mcds_kept;
       if (!entry.combination_exists) {
@@ -276,45 +328,48 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   // surviving tuples enter the Pre-Rewriting body.
   const size_t num_mcds = work.mcds.size();
   std::vector<int> kept;
-  switch (options.pruning) {
-    case RewriteOptions::Pruning::kNone:
-      kept.resize(num_mcds);
-      for (size_t m = 0; m < num_mcds; ++m) kept[m] = static_cast<int>(m);
-      break;
-    case RewriteOptions::Pruning::kRelaxedForm: {
-      // Definition 2 works on unfrozen tuples; build them for this
-      // database (the frozen-match default never needs them).
-      std::map<std::string, std::vector<Atom>> unfrozen;
-      for (int v = 0; v < cache.evaluator->view_count(); ++v) {
-        std::vector<Atom>& atoms = unfrozen[cache.evaluator->view_name(v)];
-        for (const Tuple& ground : cache.evaluator->ground(v).tuples()) {
-          std::vector<Term> args;
-          args.reserve(ground.size());
-          for (const Rational& value : ground) {
-            args.push_back(cache.freezer->UnfreezeValue(value));
-          }
-          atoms.push_back(Atom(cache.evaluator->view_name(v),
-                               std::move(args)));
-        }
-      }
-      for (size_t m = 0; m < num_mcds; ++m) {
-        const auto it = unfrozen.find(work.mcds[m].view_tuple.predicate());
-        if (it == unfrozen.end()) continue;
-        for (const Atom& t : it->second) {
-          if (IsMoreRelaxedForm(work.mcds[m].view_tuple, t)) {
-            kept.push_back(static_cast<int>(m));
-            break;
+  {
+    CQAC_TRACE_SPAN("phase1.bucket_prune");
+    switch (options.pruning) {
+      case RewriteOptions::Pruning::kNone:
+        kept.resize(num_mcds);
+        for (size_t m = 0; m < num_mcds; ++m) kept[m] = static_cast<int>(m);
+        break;
+      case RewriteOptions::Pruning::kRelaxedForm: {
+        // Definition 2 works on unfrozen tuples; build them for this
+        // database (the frozen-match default never needs them).
+        std::map<std::string, std::vector<Atom>> unfrozen;
+        for (int v = 0; v < cache.evaluator->view_count(); ++v) {
+          std::vector<Atom>& atoms = unfrozen[cache.evaluator->view_name(v)];
+          for (const Tuple& ground : cache.evaluator->ground(v).tuples()) {
+            std::vector<Term> args;
+            args.reserve(ground.size());
+            for (const Rational& value : ground) {
+              args.push_back(cache.freezer->UnfreezeValue(value));
+            }
+            atoms.push_back(Atom(cache.evaluator->view_name(v),
+                                 std::move(args)));
           }
         }
+        for (size_t m = 0; m < num_mcds; ++m) {
+          const auto it = unfrozen.find(work.mcds[m].view_tuple.predicate());
+          if (it == unfrozen.end()) continue;
+          for (const Atom& t : it->second) {
+            if (IsMoreRelaxedForm(work.mcds[m].view_tuple, t)) {
+              kept.push_back(static_cast<int>(m));
+              break;
+            }
+          }
+        }
+        break;
       }
-      break;
-    }
-    case RewriteOptions::Pruning::kFrozenMatch: {
-      cache.matcher->BindDatabase(*cache.evaluator);
-      for (size_t m = 0; m < num_mcds; ++m) {
-        if (cache.matcher->Matches(m)) kept.push_back(static_cast<int>(m));
+      case RewriteOptions::Pruning::kFrozenMatch: {
+        cache.matcher->BindDatabase(*cache.evaluator);
+        for (size_t m = 0; m < num_mcds; ++m) {
+          if (cache.matcher->Matches(m)) kept.push_back(static_cast<int>(m));
+        }
+        break;
       }
-      break;
     }
   }
   out.stats.mcds_kept_total += static_cast<int64_t>(kept.size());
@@ -410,13 +465,36 @@ DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
   return out;
 }
 
-Phase2Outcome CheckExpansionContained(const RewriteWork& work,
-                                      const ConjunctiveQuery& pre,
-                                      MemoCache* memo) {
-  const ConjunctiveQuery expansion =
-      ExpandForCheck(pre, work.views, work.options.simplify_expansions);
+DatabaseOutcome ProcessCanonicalDatabase(const RewriteWork& work,
+                                         const TotalOrder& order,
+                                         Phase1Memo* memo) {
+  CQAC_TRACE_SPAN("phase1.database");
+  const int64_t t0 = NowNs();
+  DatabaseOutcome out = ProcessCanonicalDatabaseImpl(work, order, memo);
+  const int64_t dur = NowNs() - t0;
+  out.stats.phase1_ns += dur;
+  if (obs::MetricsActive()) {
+    // The registry never invalidates references, so the lookup happens
+    // once per process, not once per canonical database.
+    static obs::Histogram& wall =
+        obs::MetricsRegistry::Global().histogram("phase1.db_wall_ns");
+    wall.Observe(dur);
+  }
+  return out;
+}
+
+static Phase2Outcome CheckExpansionContainedImpl(const RewriteWork& work,
+                                                 const ConjunctiveQuery& pre,
+                                                 MemoCache* memo) {
+  ConjunctiveQuery expansion;
+  {
+    CQAC_TRACE_SPAN("phase2.expand");
+    expansion =
+        ExpandForCheck(pre, work.views, work.options.simplify_expansions);
+  }
   std::string key;
   if (memo != nullptr) {
+    CQAC_TRACE_SPAN("phase2.memo_probe");
     key = ContainmentMemoKey(expansion, work.query);
     if (std::optional<bool> cached = memo->Get(key); cached.has_value()) {
       Phase2Outcome out;
@@ -433,9 +511,25 @@ Phase2Outcome CheckExpansionContained(const RewriteWork& work,
   return out;
 }
 
+Phase2Outcome CheckExpansionContained(const RewriteWork& work,
+                                      const ConjunctiveQuery& pre,
+                                      MemoCache* memo) {
+  CQAC_TRACE_SPAN("phase2.check");
+  const int64_t t0 = NowNs();
+  Phase2Outcome out = CheckExpansionContainedImpl(work, pre, memo);
+  out.wall_ns = NowNs() - t0;
+  if (obs::MetricsActive()) {
+    static obs::Histogram& wall =
+        obs::MetricsRegistry::Global().histogram("phase2.check_wall_ns");
+    wall.Observe(out.wall_ns);
+  }
+  return out;
+}
+
 void FinalizeFoundRewriting(const RewriteWork& work,
                             std::vector<ConjunctiveQuery> pre_rewritings,
                             RewriteResult* result) {
+  CQAC_TRACE_SPAN("finalize");
   const RewriteOptions& options = work.options;
 
   UnionQuery rewriting(std::move(pre_rewritings));
@@ -498,7 +592,9 @@ RewriteResult EquivalentRewriter::Run() {
   if (options_.jobs != 1) {
     return ParallelRewrite(query_, views_, options_, memo_);
   }
-  return RunSerial();
+  RewriteResult result = RunSerial();
+  RecordRewriteMetrics(result.stats);
+  return result;
 }
 
 RewriteResult EquivalentRewriter::RunSerial() {
@@ -533,6 +629,9 @@ RewriteResult EquivalentRewriter::RunSerial() {
   std::optional<Phase1Memo> phase1_memo;
   if (options_.phase1_dedup && !options_.explain) phase1_memo.emplace();
 
+  const int64_t enumerate_t0 = NowNs();
+  {
+  CQAC_TRACE_SPAN("phase1.enumerate");
   ForEachTotalOrder(
       query_.AllVariables(), work.constants, [&](const TotalOrder& order) {
         ++result.stats.canonical_databases;
@@ -560,6 +659,8 @@ RewriteResult EquivalentRewriter::RunSerial() {
         }
         return true;
       });
+  }
+  result.stats.enumeration_ns = NowNs() - enumerate_t0;
 
   if (aborted) {
     result.outcome = RewriteOutcome::kAborted;
@@ -586,6 +687,7 @@ RewriteResult EquivalentRewriter::RunSerial() {
     ++result.stats.phase2_checks;
     const Phase2Outcome check = CheckExpansionContained(work, pre, memo_);
     result.stats.phase2_orders += check.orders_enumerated;
+    result.stats.phase2_ns += check.wall_ns;
     if (options_.explain) phase2_verdicts[pre.ToString()] = check.contained;
     if (!check.contained) {
       result.outcome = RewriteOutcome::kNoRewriting;

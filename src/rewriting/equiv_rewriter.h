@@ -107,11 +107,28 @@ struct RewriteStats {
   int64_t phase1_memo_hits = 0;          // databases served from the memo
   int64_t phase1_memo_misses = 0;        // databases computed in full
 
+  // Per-phase wall time, in nanoseconds of std::chrono::steady_clock.
+  // Accumulated element-wise through Merge like every other field, so the
+  // serial and parallel paths aggregate them identically — the *values*
+  // are wall-clock measurements and naturally vary run to run.  The
+  // work-summed fields (freeze/phase1/phase2) add up per-unit durations
+  // across all workers, so on a parallel run phase1_ns can exceed
+  // enumeration_ns (total CPU time vs. elapsed time of the fan-out loop).
+  int64_t enumeration_ns = 0;  // elapsed time of the Phase-1 loop/fan-out
+  int64_t freeze_ns = 0;       // sum: delta freeze + keep-test, per database
+  int64_t phase1_ns = 0;       // sum: full ProcessCanonicalDatabase calls
+  int64_t phase2_ns = 0;       // sum: CheckExpansionContained calls
+
   /// Element-wise accumulation.  Both the serial loop and the parallel
   /// driver build their totals exclusively through Merge, so equal work
   /// yields equal counters regardless of thread count.
   void Merge(const RewriteStats& other);
 };
+
+/// Version of the one-line JSON records emitted by `cqacsh --json` (per
+/// rewrite and per batch).  Bump on any field addition, removal, or
+/// meaning change; the record shapes are documented in docs/SYNTAX.md.
+inline constexpr int kStatsJsonSchemaVersion = 2;
 
 enum class RewriteOutcome {
   kRewritingFound,
@@ -193,6 +210,12 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
                                const ViewSet& views,
                                const RewriteOptions& options);
 
+/// Folds a finished run's counters into the global metrics registry
+/// (obs/metrics.h): rewrite.* counters plus the Phase-1 memo hit/miss
+/// split.  No-op unless obs::MetricsActive(); called by both the serial
+/// loop and the parallel driver.
+void RecordRewriteMetrics(const RewriteStats& stats);
+
 /// What Phase 1 concluded about one canonical database.
 struct DatabaseOutcome {
   enum class Status {
@@ -236,6 +259,7 @@ struct Phase2Outcome {
   bool contained = false;
   int64_t orders_enumerated = 0;  // 0 when served from the memo cache
   bool cache_hit = false;
+  int64_t wall_ns = 0;  // elapsed time of this check (incl. memo probe)
 };
 
 /// Expands `pre` with respect to the views (simplifying when the options

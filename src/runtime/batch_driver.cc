@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "rewriting/view_set.h"
 #include "runtime/thread_pool.h"
@@ -139,7 +141,11 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
                       const BatchOptions& options) {
   BatchSummary summary;
 
-  const std::vector<BatchJob> jobs = ParseJobs(in);
+  std::vector<BatchJob> jobs;
+  {
+    CQAC_TRACE_SPAN("batch.parse");
+    jobs = ParseJobs(in);
+  }
   summary.jobs_total = static_cast<int64_t>(jobs.size());
   if (jobs.empty()) {
     out << "batch: 0 jobs\n";
@@ -164,6 +170,8 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   std::condition_variable cv;
   size_t done = 0;
 
+  {
+  CQAC_TRACE_SPAN("batch.dispatch");
   for (size_t i = 0; i < jobs.size(); ++i) {
     pool.Submit([&, i] {
       const BatchJob& job = jobs[i];
@@ -194,6 +202,7 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
     std::unique_lock<std::mutex> lock(mu);
     cv.wait(lock, [&] { return done == jobs.size(); });
   }
+  }  // batch.dispatch
 
   // Results print in input order regardless of completion order.
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -217,6 +226,15 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
 
   summary.cache = memo.Stats();
   for (const RewriteStats& s : job_stats) summary.rewrite.Merge(s);
+  if (obs::MetricsActive()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.counter("memo_cache.hits").Add(summary.cache.hits);
+    reg.counter("memo_cache.misses").Add(summary.cache.misses);
+    reg.counter("memo_cache.evictions").Add(summary.cache.evictions);
+    reg.counter("batch.jobs").Add(summary.jobs_total);
+    reg.gauge("threadpool.max_queue_depth").Max(pool.max_queue_depth());
+    reg.counter("threadpool.tasks_stolen").Add(pool.tasks_stolen());
+  }
   out << "batch: " << summary.jobs_total << " jobs, " << summary.found
       << " found, " << summary.none << " none, " << summary.aborted
       << " aborted, " << summary.errors << " errors\n";
@@ -230,9 +248,14 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
         << " pruned, " << summary.rewrite.phase1_memo_hits
         << " deduped (memo hits), " << summary.rewrite.phase1_memo_misses
         << " computed in full\n";
+    out << "phase-times: enumeration " << summary.rewrite.enumeration_ns
+        << " ns, freeze " << summary.rewrite.freeze_ns << " ns, phase1 "
+        << summary.rewrite.phase1_ns << " ns, phase2 "
+        << summary.rewrite.phase2_ns << " ns\n";
   }
   if (options.json_summary) {
-    out << "{\"jobs\": " << summary.jobs_total << ", \"found\": "
+    out << "{\"schema_version\": " << kStatsJsonSchemaVersion
+        << ", \"jobs\": " << summary.jobs_total << ", \"found\": "
         << summary.found << ", \"none\": " << summary.none
         << ", \"aborted\": " << summary.aborted << ", \"errors\": "
         << summary.errors << ", \"cache_hits\": " << summary.cache.hits
@@ -243,7 +266,13 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
         << summary.rewrite.kept_canonical_databases
         << ", \"phase1_memo_hits\": " << summary.rewrite.phase1_memo_hits
         << ", \"phase1_memo_misses\": " << summary.rewrite.phase1_memo_misses
-        << "}\n";
+        << ", \"enumeration_ns\": " << summary.rewrite.enumeration_ns
+        << ", \"freeze_ns\": " << summary.rewrite.freeze_ns
+        << ", \"phase1_ns\": " << summary.rewrite.phase1_ns
+        << ", \"phase2_ns\": " << summary.rewrite.phase2_ns << "}\n";
+  }
+  if (options.print_metrics) {
+    obs::MetricsRegistry::Global().DumpText(out);
   }
   return summary;
 }

@@ -35,6 +35,10 @@ struct BatchOptions {
   /// containment-cache counters, and the aggregated rewrite stats
   /// including the Phase-1 memo hit/miss split.  Behind `cqacsh --json`.
   bool json_summary = false;
+
+  /// Append a dump of the global metrics registry (obs/metrics.h) after
+  /// the summary.  Behind `cqacsh --metrics`.
+  bool print_metrics = false;
 };
 
 /// Counters of one RunBatch call.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <memory>
@@ -14,6 +15,8 @@
 
 #include "constraints/ac_solver.h"
 #include "constraints/orders.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/cancellation.h"
 #include "runtime/memo_cache.h"
 #include "runtime/thread_pool.h"
@@ -21,6 +24,12 @@
 namespace cqac {
 
 namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Countdown latch: the main thread blocks until every fanned-out task
 /// has called Done (whether it executed or was cancelled).  The mutex
@@ -61,16 +70,29 @@ struct Phase2Slot {
   Phase2Outcome outcome;
 };
 
-}  // namespace
+/// After a run, folds the parallel-specific counters into the global
+/// metrics registry.  `RecordRewriteMetrics` handles the stats shared
+/// with the serial path; this adds what only the parallel driver knows.
+void RecordParallelMetrics(const ParallelRewriteReport& report) {
+  if (!obs::MetricsActive()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.counter("parallel.db_tasks_executed").Add(report.db_tasks_executed);
+  reg.counter("parallel.db_tasks_cancelled").Add(report.db_tasks_cancelled);
+  reg.counter("parallel.phase2_tasks_executed")
+      .Add(report.phase2_tasks_executed);
+  reg.counter("parallel.phase2_tasks_cancelled")
+      .Add(report.phase2_tasks_cancelled);
+  reg.counter("threadpool.tasks_stolen").Add(report.tasks_stolen);
+  reg.counter("memo_cache.hits").Add(report.cache_hits);
+  reg.counter("memo_cache.misses").Add(report.cache_misses);
+}
 
-RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
-                              const ViewSet& views,
-                              const RewriteOptions& options,
-                              MemoCache* memo, ThreadPool* pool,
-                              ParallelRewriteReport* report) {
+RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
+                                  const ViewSet& views,
+                                  const RewriteOptions& options,
+                                  MemoCache* memo, ThreadPool* pool,
+                                  ParallelRewriteReport* report) {
   RewriteResult result;
-  ParallelRewriteReport local_report;
-  if (report == nullptr) report = &local_report;
 
   // A query with contradictory comparisons computes nothing; the empty
   // union is an equivalent rewriting.  (Same early exit as the serial
@@ -128,6 +150,9 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   std::condition_variable win_cv;
   PrefixCancel db_cancel;
   std::atomic<int64_t> db_executed{0};
+  // Steady-clock time of the first observed failure, or 0; lets the
+  // drain below report how long cancellation took to quiesce the pool.
+  std::atomic<int64_t> first_fail_ns{0};
 
   std::vector<ConjunctiveQuery> pre_rewritings;
   std::set<std::string> pre_rewriting_keys;
@@ -169,7 +194,9 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
     slot.outcome = DatabaseOutcome();
   };
 
+  const int64_t enumerate_t0 = NowNs();
   {
+    CQAC_TRACE_SPAN("phase1.enumerate");
     int64_t enumerated = 0;
     ForEachTotalOrder(
         query.AllVariables(), work.constants, [&](const TotalOrder& order) {
@@ -198,6 +225,11 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
               db_executed.fetch_add(1, std::memory_order_relaxed);
               if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
                 db_cancel.FailAt(i);
+                if (obs::MetricsActive()) {
+                  int64_t expected = 0;
+                  first_fail_ns.compare_exchange_strong(
+                      expected, NowNs(), std::memory_order_relaxed);
+                }
               }
             }
             // Notify while holding the lock: the merging thread owns
@@ -211,14 +243,25 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
           ++submitted;
           return true;
         });
+
+    // Replay the tail in order; after a failure only drain, never replay —
+    // every submitted task must finish before its captured state dies.
+    while (merged < submitted) consume_next(/*replay=*/!failed);
   }
-  // Replay the tail in order; after a failure only drain, never replay —
-  // every submitted task must finish before its captured state dies.
-  while (merged < submitted) consume_next(/*replay=*/!failed);
+  result.stats.enumeration_ns = NowNs() - enumerate_t0;
 
   report->db_tasks_total = submitted;
   report->db_tasks_executed = db_executed.load();
   report->db_tasks_cancelled = submitted - report->db_tasks_executed;
+  report->tasks_stolen = pool->tasks_stolen() - stolen_before;
+  if (obs::MetricsActive()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.gauge("threadpool.max_queue_depth").Max(pool->max_queue_depth());
+    const int64_t fail_ns = first_fail_ns.load(std::memory_order_relaxed);
+    if (fail_ns != 0) {
+      reg.histogram("parallel.cancel_drain_ns").Observe(NowNs() - fail_ns);
+    }
+  }
 
   if (failed) {
     result.outcome = RewriteOutcome::kNoRewriting;
@@ -245,6 +288,7 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   std::vector<Phase2Slot> p2_slots(static_cast<size_t>(num_pres));
   PrefixCancel p2_cancel;
   std::atomic<int64_t> p2_executed{0};
+  std::atomic<int64_t> p2_first_fail_ns{0};
   {
     Latch latch(num_pres);
     for (int64_t i = 0; i < num_pres; ++i) {
@@ -255,12 +299,27 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
               CheckExpansionContained(work, pre_rewritings[i], memo);
           slot.executed = true;
           p2_executed.fetch_add(1, std::memory_order_relaxed);
-          if (!slot.outcome.contained) p2_cancel.FailAt(i);
+          if (!slot.outcome.contained) {
+            p2_cancel.FailAt(i);
+            if (obs::MetricsActive()) {
+              int64_t expected = 0;
+              p2_first_fail_ns.compare_exchange_strong(
+                  expected, NowNs(), std::memory_order_relaxed);
+            }
+          }
         }
         latch.Done();
       });
     }
     latch.Wait();
+  }
+  if (obs::MetricsActive()) {
+    const int64_t fail_ns = p2_first_fail_ns.load(std::memory_order_relaxed);
+    if (fail_ns != 0) {
+      obs::MetricsRegistry::Global()
+          .histogram("parallel.cancel_drain_ns")
+          .Observe(NowNs() - fail_ns);
+    }
   }
   report->phase2_tasks_executed = p2_executed.load();
   report->phase2_tasks_cancelled = num_pres - report->phase2_tasks_executed;
@@ -272,6 +331,7 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
     const Phase2Slot& slot = p2_slots[static_cast<size_t>(i)];
     ++result.stats.phase2_checks;
     result.stats.phase2_orders += slot.outcome.orders_enumerated;
+    result.stats.phase2_ns += slot.outcome.wall_ns;
     if (slot.outcome.cache_hit) {
       ++report->cache_hits;
     } else {
@@ -306,6 +366,22 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   if (phase2_failed) return result;
 
   FinalizeFoundRewriting(work, std::move(pre_rewritings), &result);
+  return result;
+}
+
+}  // namespace
+
+RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
+                              const ViewSet& views,
+                              const RewriteOptions& options, MemoCache* memo,
+                              ThreadPool* pool,
+                              ParallelRewriteReport* report) {
+  ParallelRewriteReport local_report;
+  if (report == nullptr) report = &local_report;
+  RewriteResult result =
+      ParallelRewriteImpl(query, views, options, memo, pool, report);
+  RecordRewriteMetrics(result.stats);
+  RecordParallelMetrics(*report);
   return result;
 }
 

@@ -57,7 +57,12 @@ void ThreadPool::Submit(Task task) {
     // the task would never run.  Pushing first means a woken worker
     // always finds the task.
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.fetch_add(1);
+    const int64_t depth = pending_.fetch_add(1) + 1;
+    if (depth > max_depth_.load(std::memory_order_relaxed)) {
+      // mu_ serializes Submits, so a plain store cannot lose a larger
+      // concurrent value.
+      max_depth_.store(depth, std::memory_order_relaxed);
+    }
   }
   cv_.notify_one();
 }
@@ -82,9 +87,13 @@ void ThreadPool::WorkerLoop(int worker_index) {
   for (;;) {
     if (NextTask(worker_index, &task)) {
       pending_.fetch_sub(1);
+      // Count before running: callers learn of completion through the
+      // task's own side effects (a latch, a cv), so the increment must
+      // happen-before the body for tasks_executed() to read exact once
+      // the last task has signalled.
+      executed_.fetch_add(1);
       task();
       task = nullptr;
-      executed_.fetch_add(1);
       continue;
     }
     std::unique_lock<std::mutex> lock(mu_);

@@ -49,6 +49,10 @@ class ThreadPool {
   /// Tasks obtained by stealing from another worker's queue.
   int64_t tasks_stolen() const { return stolen_.load(); }
 
+  /// Highest number of submitted-but-not-started tasks observed at any
+  /// Submit (monotonic; approximate while running).
+  int64_t max_queue_depth() const { return max_depth_.load(); }
+
   /// Resolves a user-facing jobs count: 0 -> hardware concurrency,
   /// otherwise clamped to at least 1.
   static int ResolveJobs(int jobs);
@@ -74,6 +78,7 @@ class ThreadPool {
   std::atomic<uint64_t> next_queue_{0};
   std::atomic<int64_t> executed_{0};
   std::atomic<int64_t> stolen_{0};
+  std::atomic<int64_t> max_depth_{0};
 };
 
 }  // namespace cqac

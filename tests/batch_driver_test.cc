@@ -144,9 +144,11 @@ TEST(BatchDriverTest, JsonSummaryIncludesMemoCounters) {
   BatchOptions options;
   options.json_summary = true;
   RunBatch(in, out, options);
-  EXPECT_NE(out.str().find("{\"jobs\": 1"), std::string::npos);
+  EXPECT_NE(out.str().find("{\"schema_version\": 2, \"jobs\": 1"),
+            std::string::npos);
   EXPECT_NE(out.str().find("\"phase1_memo_hits\": "), std::string::npos);
   EXPECT_NE(out.str().find("\"phase1_memo_misses\": "), std::string::npos);
+  EXPECT_NE(out.str().find("\"phase1_ns\": "), std::string::npos);
 }
 
 TEST(BatchDriverTest, FootersAbsentByDefault) {

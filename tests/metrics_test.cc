@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cqac {
+namespace {
+
+TEST(MetricsTest, CounterAccumulates) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add(1);
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(MetricsTest, GaugeSetAndMax) {
+  obs::Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Max(3);  // Lower value does not regress the gauge.
+  EXPECT_EQ(g.value(), 7);
+  g.Max(9);
+  EXPECT_EQ(g.value(), 9);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(MetricsTest, HistogramStatsAndQuantiles) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0);
+  for (int i = 1; i <= 100; ++i) h.Observe(i);
+  EXPECT_EQ(h.count(), 100);
+  EXPECT_EQ(h.sum(), 5050);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  // Power-of-two buckets: the quantile is an inclusive upper bound that
+  // never undershoots the true value's bucket.
+  EXPECT_GE(h.ApproxQuantile(0.5), 50);
+  EXPECT_GE(h.ApproxQuantile(0.99), 99);
+  EXPECT_LE(h.ApproxQuantile(0.5), 127);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(MetricsTest, HistogramNegativeClampsToZero) {
+  obs::Histogram h;
+  h.Observe(-5);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(MetricsTest, RegistryReturnsStableReferences) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("a");
+  a.Add(1);
+  // Registering more metrics must not invalidate earlier references —
+  // instrumentation caches them in static locals.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler" + std::to_string(i));
+  }
+  EXPECT_EQ(&a, &reg.counter("a"));
+  EXPECT_EQ(a.value(), 1);
+  // Reset zeroes in place rather than discarding the object.
+  reg.Reset();
+  EXPECT_EQ(&a, &reg.counter("a"));
+  EXPECT_EQ(a.value(), 0);
+}
+
+TEST(MetricsTest, DumpTextFormat) {
+  obs::MetricsRegistry reg;
+  reg.counter("hits").Add(3);
+  reg.gauge("depth").Set(5);
+  reg.histogram("wall").Observe(10);
+  std::ostringstream out;
+  reg.DumpText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("counter hits 3\n"), std::string::npos);
+  EXPECT_NE(text.find("gauge depth 5\n"), std::string::npos);
+  EXPECT_NE(text.find("histogram wall count=1 sum=10 min=10 max=10"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, DumpJsonFormat) {
+  obs::MetricsRegistry reg;
+  reg.counter("hits").Add(3);
+  reg.histogram("wall").Observe(10);
+  std::ostringstream out;
+  reg.DumpJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\": {\"hits\": 3}"), std::string::npos);
+  EXPECT_NE(json.find("\"wall\": {\"count\": 1, \"sum\": 10"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, EnableGateTogglesGlobalCollection) {
+  EXPECT_FALSE(obs::MetricsActive());
+  obs::EnableMetrics(true);
+  EXPECT_TRUE(obs::MetricsActive());
+  obs::EnableMetrics(false);
+  EXPECT_FALSE(obs::MetricsActive());
+}
+
+/// Hammer a shared counter, gauge, and histogram from many threads; run
+/// under ThreadSanitizer via `ctest -L tsan` this proves the relaxed
+/// atomics are race-free, and the totals prove no update is lost.
+TEST(MetricsTest, ConcurrentUpdatesAreRaceFreeAndLossless) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Registration races on the name map are part of the test.
+      obs::Counter& c = reg.counter("hammer.count");
+      obs::Gauge& g = reg.gauge("hammer.depth");
+      obs::Histogram& h = reg.histogram("hammer.wall");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        g.Max(t * kPerThread + i);
+        h.Observe(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hammer.count").value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.gauge("hammer.depth").value(), kThreads * kPerThread - 1);
+  EXPECT_EQ(reg.histogram("hammer.wall").count(), kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("hammer.wall").max(), kPerThread - 1);
+}
+
+}  // namespace
+}  // namespace cqac

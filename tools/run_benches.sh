@@ -28,6 +28,8 @@ fi
 cmake --build "$build" --target "${benches[@]}" -j"$(nproc)"
 
 mkdir -p "$repo/results"
+echo "commit: $(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)"
+echo "cpus:   $(nproc)"
 for bench in "${benches[@]}"; do
   echo "=== $bench ==="
   "$build/bench/$bench" --json "$repo/results/$bench.json" \
