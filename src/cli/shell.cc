@@ -1,6 +1,5 @@
 #include "cli/shell.h"
 
-#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -15,6 +14,7 @@
 #include "rewriting/equiv_rewriter.h"
 #include "rewriting/expansion.h"
 #include "rewriting/explain.h"
+#include "runtime/thread_pool.h"
 
 namespace cqac {
 
@@ -29,18 +29,6 @@ std::pair<std::string, std::string> SplitCommand(const std::string& line) {
   const size_t rest = line.find_first_not_of(" \t", end);
   return {line.substr(start, end - start),
           rest == std::string::npos ? "" : line.substr(rest)};
-}
-
-/// Parses a non-negative integer; false on trailing garbage ("4x",
-/// "abc").  Same strictness as cqacsh's --jobs parser.
-bool ParseJobsValue(const std::string& text, int* jobs) {
-  char* end = nullptr;
-  const long value = std::strtol(text.c_str(), &end, 10);
-  if (end == text.c_str() || *end != '\0' || value < 0 || value > 1 << 20) {
-    return false;
-  }
-  *jobs = static_cast<int>(value);
-  return true;
 }
 
 }  // namespace
@@ -163,10 +151,11 @@ void Shell::CmdRewrite(const std::string& args) {
       options.minimize_output = true;
     } else if (flag.rfind("jobs=", 0) == 0) {
       int jobs = 0;
-      if (ParseJobsValue(flag.substr(5), &jobs)) {
+      std::string error;
+      if (ThreadPool::ParseJobsFlag(flag.substr(5), &jobs, &error)) {
         options.jobs = jobs;
       } else {
-        out_ << "warning: bad jobs value '" << flag << "' ignored\n";
+        out_ << "warning: jobs " << error << "; flag ignored\n";
       }
     } else {
       out_ << "warning: unknown flag '" << flag << "' ignored\n";

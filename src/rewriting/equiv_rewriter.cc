@@ -623,6 +623,7 @@ RewriteResult EquivalentRewriter::RunSerial() {
   std::set<std::string> pre_rewriting_keys;
   bool failed = false;
   bool aborted = false;
+  bool cancelled = false;
 
   // The Phase-1 memo lives and dies with this run (its entries index into
   // `work`).
@@ -634,6 +635,10 @@ RewriteResult EquivalentRewriter::RunSerial() {
   CQAC_TRACE_SPAN("phase1.enumerate");
   ForEachTotalOrder(
       query_.AllVariables(), work.constants, [&](const TotalOrder& order) {
+        if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+          cancelled = true;
+          return false;
+        }
         ++result.stats.canonical_databases;
         if (options_.max_canonical_databases >= 0 &&
             result.stats.canonical_databases >
@@ -662,6 +667,11 @@ RewriteResult EquivalentRewriter::RunSerial() {
   }
   result.stats.enumeration_ns = NowNs() - enumerate_t0;
 
+  if (cancelled) {
+    result.outcome = RewriteOutcome::kAborted;
+    result.failure_reason = kCancelledReason;
+    return result;
+  }
   if (aborted) {
     result.outcome = RewriteOutcome::kAborted;
     result.failure_reason = "canonical database budget exceeded";
@@ -684,6 +694,11 @@ RewriteResult EquivalentRewriter::RunSerial() {
   std::map<std::string, bool> phase2_verdicts;
   bool phase2_failed = false;
   for (const ConjunctiveQuery& pre : pre_rewritings) {
+    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      result.outcome = RewriteOutcome::kAborted;
+      result.failure_reason = kCancelledReason;
+      return result;
+    }
     ++result.stats.phase2_checks;
     const Phase2Outcome check = CheckExpansionContained(work, pre, memo_);
     result.stats.phase2_orders += check.orders_enumerated;

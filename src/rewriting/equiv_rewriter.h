@@ -13,6 +13,7 @@
 #include "rewriting/explain.h"
 #include "rewriting/minicon.h"
 #include "rewriting/view_set.h"
+#include "runtime/cancellation.h"
 
 namespace cqac {
 
@@ -92,7 +93,22 @@ struct RewriteOptions {
   /// memo cache, the work counter stats.phase2_orders may differ; see
   /// runtime/parallel_rewriter.h).
   int jobs = 1;
+
+  /// Cooperative cancellation (runtime/cancellation.h), the mechanism
+  /// behind per-request deadlines in the rewrite service.  When non-null,
+  /// both drivers poll the token at canonical-database and Phase-2
+  /// containment-check boundaries and abort with outcome kAborted and
+  /// failure_reason "cancelled" as soon as it is set.  Abort latency is
+  /// therefore bounded by one work unit (one ProcessCanonicalDatabase or
+  /// one CheckExpansionContained call), not by the whole run.  The caller
+  /// keeps ownership; the token must outlive Run().
+  const CancellationToken* cancel = nullptr;
 };
+
+/// The failure_reason of a run aborted through RewriteOptions::cancel;
+/// distinguishes cancellation from the database-budget abort, which
+/// shares RewriteOutcome::kAborted.
+inline constexpr const char kCancelledReason[] = "cancelled";
 
 /// Counters describing the work one Run() performed.
 struct RewriteStats {

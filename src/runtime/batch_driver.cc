@@ -20,14 +20,6 @@ namespace cqac {
 
 namespace {
 
-/// One parsed job: a query plus its views.  `error` is set instead when
-/// the block failed to parse.
-struct BatchJob {
-  std::optional<ConjunctiveQuery> query;
-  ViewSet views;
-  std::string error;
-};
-
 /// Splits off the first whitespace-delimited word.
 std::pair<std::string, std::string> SplitCommand(const std::string& line) {
   const size_t start = line.find_first_not_of(" \t");
@@ -39,9 +31,9 @@ std::pair<std::string, std::string> SplitCommand(const std::string& line) {
           rest == std::string::npos ? "" : line.substr(rest)};
 }
 
-/// Parses the job stream into blocks.  Parse problems become per-job
-/// errors rather than aborting the batch.
-std::vector<BatchJob> ParseJobs(std::istream& in) {
+}  // namespace
+
+std::vector<BatchJob> ParseJobStream(std::istream& in) {
   std::vector<BatchJob> jobs;
   BatchJob current;
   bool current_nonempty = false;
@@ -100,9 +92,25 @@ std::vector<BatchJob> ParseJobs(std::istream& in) {
   return jobs;
 }
 
-/// Renders one job's result block.
-std::string RenderResult(size_t index, const BatchJob& job,
-                         const RewriteResult& result, bool echo) {
+BatchJob ParseJobBlock(const std::string& text) {
+  std::istringstream in(text);
+  std::vector<BatchJob> jobs = ParseJobStream(in);
+  if (jobs.empty()) {
+    BatchJob job;
+    job.error = "empty job";
+    return job;
+  }
+  if (jobs.size() > 1) {
+    BatchJob job;
+    job.error = "request contains " + std::to_string(jobs.size()) +
+                " jobs; send one job per request";
+    return job;
+  }
+  return std::move(jobs.front());
+}
+
+std::string RenderJobResult(size_t index, const BatchJob& job,
+                            const RewriteResult& result, bool echo) {
   std::ostringstream out;
   out << "job " << index << ": ";
   if (echo && job.query.has_value()) {
@@ -135,7 +143,55 @@ std::string RenderResult(size_t index, const BatchJob& job,
   return out.str();
 }
 
-}  // namespace
+std::string RenderJobError(size_t index, const std::string& error) {
+  return "job " + std::to_string(index) + ": error: " + error + "\n";
+}
+
+void WriteBatchFooter(std::ostream& out, const BatchSummary& summary,
+                      const BatchOptions& options) {
+  out << "batch: " << summary.jobs_total << " jobs, " << summary.found
+      << " found, " << summary.none << " none, " << summary.aborted
+      << " aborted, " << summary.deadline_exceeded << " deadline-exceeded, "
+      << summary.rejected << " rejected, " << summary.errors << " errors\n";
+  out << "cache: " << summary.cache.hits << " hits, " << summary.cache.misses
+      << " misses, " << summary.cache.evictions << " evictions\n";
+  if (options.print_stats) {
+    out << "phase-1: " << summary.rewrite.canonical_databases
+        << " databases visited, "
+        << summary.rewrite.canonical_databases -
+               summary.rewrite.kept_canonical_databases
+        << " pruned, " << summary.rewrite.phase1_memo_hits
+        << " deduped (memo hits), " << summary.rewrite.phase1_memo_misses
+        << " computed in full\n";
+    out << "phase-times: enumeration " << summary.rewrite.enumeration_ns
+        << " ns, freeze " << summary.rewrite.freeze_ns << " ns, phase1 "
+        << summary.rewrite.phase1_ns << " ns, phase2 "
+        << summary.rewrite.phase2_ns << " ns\n";
+  }
+  if (options.json_summary) {
+    out << "{\"schema_version\": " << kStatsJsonSchemaVersion
+        << ", \"jobs\": " << summary.jobs_total << ", \"found\": "
+        << summary.found << ", \"none\": " << summary.none
+        << ", \"aborted\": " << summary.aborted
+        << ", \"deadline_exceeded\": " << summary.deadline_exceeded
+        << ", \"rejected\": " << summary.rejected << ", \"errors\": "
+        << summary.errors << ", \"cache_hits\": " << summary.cache.hits
+        << ", \"cache_misses\": " << summary.cache.misses
+        << ", \"canonical_databases\": "
+        << summary.rewrite.canonical_databases
+        << ", \"kept_canonical_databases\": "
+        << summary.rewrite.kept_canonical_databases
+        << ", \"phase1_memo_hits\": " << summary.rewrite.phase1_memo_hits
+        << ", \"phase1_memo_misses\": " << summary.rewrite.phase1_memo_misses
+        << ", \"enumeration_ns\": " << summary.rewrite.enumeration_ns
+        << ", \"freeze_ns\": " << summary.rewrite.freeze_ns
+        << ", \"phase1_ns\": " << summary.rewrite.phase1_ns
+        << ", \"phase2_ns\": " << summary.rewrite.phase2_ns << "}\n";
+  }
+  if (options.print_metrics) {
+    obs::MetricsRegistry::Global().DumpText(out);
+  }
+}
 
 BatchSummary RunBatch(std::istream& in, std::ostream& out,
                       const BatchOptions& options) {
@@ -144,7 +200,7 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   std::vector<BatchJob> jobs;
   {
     CQAC_TRACE_SPAN("batch.parse");
-    jobs = ParseJobs(in);
+    jobs = ParseJobStream(in);
   }
   summary.jobs_total = static_cast<int64_t>(jobs.size());
   if (jobs.empty()) {
@@ -180,14 +236,14 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
       RewriteOutcome outcome = RewriteOutcome::kNoRewriting;
       RewriteStats stats;
       if (!job.error.empty()) {
-        rendered = "job " + std::to_string(i) + ": error: " + job.error + "\n";
+        rendered = RenderJobError(i, job.error);
         is_error = true;
       } else {
         const RewriteResult result =
             EquivalentRewriter(*job.query, job.views, per_job, &memo).Run();
         outcome = result.outcome;
         stats = result.stats;
-        rendered = RenderResult(i, job, result, options.echo);
+        rendered = RenderJobResult(i, job, result, options.echo);
       }
       std::lock_guard<std::mutex> lock(mu);
       outputs[i] = std::move(rendered);
@@ -235,45 +291,7 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
     reg.gauge("threadpool.max_queue_depth").Max(pool.max_queue_depth());
     reg.counter("threadpool.tasks_stolen").Add(pool.tasks_stolen());
   }
-  out << "batch: " << summary.jobs_total << " jobs, " << summary.found
-      << " found, " << summary.none << " none, " << summary.aborted
-      << " aborted, " << summary.errors << " errors\n";
-  out << "cache: " << summary.cache.hits << " hits, " << summary.cache.misses
-      << " misses, " << summary.cache.evictions << " evictions\n";
-  if (options.print_stats) {
-    out << "phase-1: " << summary.rewrite.canonical_databases
-        << " databases visited, "
-        << summary.rewrite.canonical_databases -
-               summary.rewrite.kept_canonical_databases
-        << " pruned, " << summary.rewrite.phase1_memo_hits
-        << " deduped (memo hits), " << summary.rewrite.phase1_memo_misses
-        << " computed in full\n";
-    out << "phase-times: enumeration " << summary.rewrite.enumeration_ns
-        << " ns, freeze " << summary.rewrite.freeze_ns << " ns, phase1 "
-        << summary.rewrite.phase1_ns << " ns, phase2 "
-        << summary.rewrite.phase2_ns << " ns\n";
-  }
-  if (options.json_summary) {
-    out << "{\"schema_version\": " << kStatsJsonSchemaVersion
-        << ", \"jobs\": " << summary.jobs_total << ", \"found\": "
-        << summary.found << ", \"none\": " << summary.none
-        << ", \"aborted\": " << summary.aborted << ", \"errors\": "
-        << summary.errors << ", \"cache_hits\": " << summary.cache.hits
-        << ", \"cache_misses\": " << summary.cache.misses
-        << ", \"canonical_databases\": "
-        << summary.rewrite.canonical_databases
-        << ", \"kept_canonical_databases\": "
-        << summary.rewrite.kept_canonical_databases
-        << ", \"phase1_memo_hits\": " << summary.rewrite.phase1_memo_hits
-        << ", \"phase1_memo_misses\": " << summary.rewrite.phase1_memo_misses
-        << ", \"enumeration_ns\": " << summary.rewrite.enumeration_ns
-        << ", \"freeze_ns\": " << summary.rewrite.freeze_ns
-        << ", \"phase1_ns\": " << summary.rewrite.phase1_ns
-        << ", \"phase2_ns\": " << summary.rewrite.phase2_ns << "}\n";
-  }
-  if (options.print_metrics) {
-    obs::MetricsRegistry::Global().DumpText(out);
-  }
+  WriteBatchFooter(out, summary, options);
   return summary;
 }
 

@@ -3,8 +3,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "rewriting/equiv_rewriter.h"
+#include "rewriting/view_set.h"
 #include "runtime/memo_cache.h"
 
 namespace cqac {
@@ -41,16 +45,59 @@ struct BatchOptions {
   bool print_metrics = false;
 };
 
-/// Counters of one RunBatch call.
+/// Counters of one RunBatch call — and the one job-outcome taxonomy
+/// shared with the rewrite service (server/server.h): every job lands in
+/// exactly one of found / none / aborted / deadline_exceeded / rejected /
+/// errors.  The stdin batch driver has no deadlines or admission control,
+/// so it leaves the two service counters at zero; the footer and JSON
+/// record report them either way so the formats stay aligned.
 struct BatchSummary {
   int64_t jobs_total = 0;
   int64_t found = 0;      // jobs with an equivalent rewriting
   int64_t none = 0;       // jobs with provably no rewriting
   int64_t aborted = 0;    // jobs that hit the canonical-database budget
+  int64_t deadline_exceeded = 0;  // jobs cancelled by their deadline
+  int64_t rejected = 0;   // jobs shed by admission control or drain
   int64_t errors = 0;     // jobs that failed to parse
   MemoCacheStats cache;   // shared memo cache, summed over all jobs
   RewriteStats rewrite;   // per-job RewriteStats, merged over all jobs
 };
+
+/// One parsed job: a query plus its views.  `error` is set instead when
+/// the block failed to parse; the other fields are then meaningless.
+struct BatchJob {
+  std::optional<ConjunctiveQuery> query;
+  ViewSet views;
+  std::string error;
+};
+
+/// Parses a job stream (the `--serve-batch` stdin format documented on
+/// RunBatch below) into blocks.  Parse problems become per-job errors
+/// rather than aborting the batch.  Shared with the rewrite service,
+/// whose requests carry one block each — going through the same parser is
+/// what makes a service response body byte-identical to the batch result
+/// block for the same input, error wording included.
+std::vector<BatchJob> ParseJobStream(std::istream& in);
+
+/// Parses exactly one job block from `text` (same directives as the
+/// stream form; `run`/`---`/blank-line separators are permitted but a
+/// second non-empty block is an error).  Never returns an empty result:
+/// problems, including "empty job", come back as BatchJob::error.
+BatchJob ParseJobBlock(const std::string& text);
+
+/// Renders one job's result block exactly as `--serve-batch` prints it.
+std::string RenderJobResult(size_t index, const BatchJob& job,
+                            const RewriteResult& result, bool echo);
+
+/// Renders one job's error block ("job N: error: ...\n").
+std::string RenderJobError(size_t index, const std::string& error);
+
+/// Writes the batch footer: the outcome line, the cache line, and — per
+/// `options` — the Phase-1 stats footer, the one-line JSON record
+/// (schema_version kStatsJsonSchemaVersion), and the metrics dump.
+/// Shared verbatim by RunBatch and the rewrite service's drain summary.
+void WriteBatchFooter(std::ostream& out, const BatchSummary& summary,
+                      const BatchOptions& options);
 
 /// The batch service driver behind `cqacsh --serve-batch`: reads a stream
 /// of rewriting jobs, executes them concurrently over a work-stealing

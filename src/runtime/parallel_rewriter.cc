@@ -160,6 +160,7 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
   int64_t merged = 0;     // slots replayed into the result, in order
   bool failed = false;
   bool abort_pending = false;
+  const CancellationToken* const cancel = options.cancel;
 
   // Waits for the task at enumeration index `merged` and frees its slot.
   // When `replay` is set, first reproduces the serial loop's handling of
@@ -200,6 +201,7 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     int64_t enumerated = 0;
     ForEachTotalOrder(
         query.AllVariables(), work.constants, [&](const TotalOrder& order) {
+          if (cancel != nullptr && cancel->cancelled()) return false;
           ++enumerated;
           if (options.max_canonical_databases >= 0 &&
               enumerated > options.max_canonical_databases) {
@@ -219,7 +221,8 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
             // First failing D_i cancels everything past it; work at or
             // below the cutoff must still run so the merge reproduces
             // the serial prefix (see PrefixCancel).
-            if (db_cancel.ShouldRun(i)) {
+            if (db_cancel.ShouldRun(i) &&
+                (cancel == nullptr || !cancel->cancelled())) {
               slot.outcome =
                   ProcessCanonicalDatabase(work, slot.order, p1_memo);
               db_executed.fetch_add(1, std::memory_order_relaxed);
@@ -263,6 +266,16 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     }
   }
 
+  // The cancellation re-check must precede every other verdict: a task
+  // that observed the token mid-flight skipped its database, so any
+  // conclusion drawn from the merged outcomes would be built on partial
+  // work.  The token is monotonic, so re-checking here catches a cancel
+  // that landed after the last enumeration callback.
+  if (cancel != nullptr && cancel->cancelled()) {
+    result.outcome = RewriteOutcome::kAborted;
+    result.failure_reason = kCancelledReason;
+    return result;
+  }
   if (failed) {
     result.outcome = RewriteOutcome::kNoRewriting;
     return result;
@@ -293,7 +306,8 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     Latch latch(num_pres);
     for (int64_t i = 0; i < num_pres; ++i) {
       pool->Submit([&, i] {
-        if (p2_cancel.ShouldRun(i)) {
+        if (p2_cancel.ShouldRun(i) &&
+            (cancel == nullptr || !cancel->cancelled())) {
           Phase2Slot& slot = p2_slots[static_cast<size_t>(i)];
           slot.outcome =
               CheckExpansionContained(work, pre_rewritings[i], memo);
@@ -324,6 +338,14 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
   report->phase2_tasks_executed = p2_executed.load();
   report->phase2_tasks_cancelled = num_pres - report->phase2_tasks_executed;
   report->tasks_stolen = pool->tasks_stolen() - stolen_before;
+
+  // Same ordering argument as after Phase 1: a token observed by any
+  // Phase-2 task means some slots hold no verdict.
+  if (cancel != nullptr && cancel->cancelled()) {
+    result.outcome = RewriteOutcome::kAborted;
+    result.failure_reason = kCancelledReason;
+    return result;
+  }
 
   std::map<std::string, bool> phase2_verdicts;
   bool phase2_failed = false;

@@ -1,5 +1,6 @@
 #include "runtime/thread_pool.h"
 
+#include <cstdlib>
 #include <utility>
 
 namespace cqac {
@@ -18,6 +19,37 @@ int ThreadPool::ResolveJobs(int jobs) {
   if (jobs > 0) return jobs;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::ParseJobsFlag(const std::string& text, int* jobs,
+                               std::string* error) {
+  // Strict: digits only, no sign, no surrounding whitespace (strtol
+  // alone would accept " 3", which a flag or `jobs=` value never is).
+  bool digits_only = !text.empty();
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      digits_only = false;
+      break;
+    }
+  }
+  char* end = nullptr;
+  const long value =
+      digits_only ? std::strtol(text.c_str(), &end, 10) : -1;
+  if (!digits_only || end == text.c_str() || *end != '\0' || value < 0) {
+    if (error != nullptr) {
+      *error = "needs a non-negative integer, got '" + text + "'";
+    }
+    return false;
+  }
+  if (value > kMaxJobs) {
+    if (error != nullptr) {
+      *error = "accepts at most " + std::to_string(kMaxJobs) +
+               " worker threads, got '" + text + "'";
+    }
+    return false;
+  }
+  *jobs = static_cast<int>(value);
+  return true;
 }
 
 ThreadPool::ThreadPool(int num_threads) {

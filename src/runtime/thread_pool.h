@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -56,6 +57,21 @@ class ThreadPool {
   /// Resolves a user-facing jobs count: 0 -> hardware concurrency,
   /// otherwise clamped to at least 1.
   static int ResolveJobs(int jobs);
+
+  /// Largest worker-thread count any user-facing jobs flag accepts.  A
+  /// pool of more threads than this is a configuration mistake, not a
+  /// workload: each worker owns a queue and a stack, and every idle
+  /// worker scans all queues when stealing.
+  static constexpr int kMaxJobs = 4096;
+
+  /// The one parser behind every jobs flag (`cqacsh --jobs`, the shell's
+  /// `rewrite jobs=N`, `cqacd --jobs`): a base-10 non-negative integer
+  /// with no trailing garbage, at most kMaxJobs (0 = hardware
+  /// concurrency).  On failure returns false and, when `error` is
+  /// non-null, sets it to a complete "--flag needs ..."-style reason
+  /// without the flag name.
+  static bool ParseJobsFlag(const std::string& text, int* jobs,
+                            std::string* error = nullptr);
 
  private:
   void WorkerLoop(int worker_index);

@@ -1,0 +1,416 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace cqac {
+namespace server {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeInt(int64_t i) {
+  JsonValue v;
+  v.type_ = Type::kInt;
+  v.int_ = i;
+  return v;
+}
+
+JsonValue JsonValue::MakeDouble(double d) {
+  JsonValue v;
+  v.type_ = Type::kDouble;
+  v.double_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+int64_t JsonValue::AsInt() const {
+  if (type_ == Type::kDouble) return static_cast<int64_t>(double_);
+  return int_;
+}
+
+double JsonValue::AsDouble() const {
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return double_;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+int64_t JsonValue::FindInt(const std::string& key, int64_t def,
+                           bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (v->type() != Type::kInt && v->type() != Type::kDouble) {
+    if (ok != nullptr) *ok = false;
+    return def;
+  }
+  return v->AsInt();
+}
+
+bool JsonValue::FindBool(const std::string& key, bool def, bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (v->type() != Type::kBool) {
+    if (ok != nullptr) *ok = false;
+    return def;
+  }
+  return v->AsBool();
+}
+
+std::string JsonValue::FindString(const std::string& key,
+                                  const std::string& def, bool* ok) const {
+  if (ok != nullptr) *ok = true;
+  const JsonValue* v = Find(key);
+  if (v == nullptr) return def;
+  if (v->type() != Type::kString) {
+    if (ok != nullptr) *ok = false;
+    return def;
+  }
+  return v->AsString();
+}
+
+namespace {
+
+/// Recursive-descent parser over a bounded-depth document.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(JsonValue* value) {
+    SkipSpace();
+    if (!ParseValue(value, 0)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& reason) {
+    *error_ = reason + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* value, int depth) {
+    if (depth > kMaxJsonDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!Literal("null", 4)) return false;
+        *value = JsonValue();
+        return true;
+      case 't':
+        if (!Literal("true", 4)) return false;
+        *value = JsonValue::MakeBool(true);
+        return true;
+      case 'f':
+        if (!Literal("false", 5)) return false;
+        *value = JsonValue::MakeBool(false);
+        return true;
+      case '"': {
+        std::string s;
+        if (!ParseString(&s)) return false;
+        *value = JsonValue::MakeString(std::move(s));
+        return true;
+      }
+      case '[':
+        return ParseArray(value, depth);
+      case '{':
+        return ParseObject(value, depth);
+      default:
+        return ParseNumber(value);
+    }
+  }
+
+  bool ParseArray(JsonValue* value, int depth) {
+    ++pos_;  // '['
+    *value = JsonValue::MakeArray();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue element;
+      SkipSpace();
+      if (!ParseValue(&element, depth + 1)) return false;
+      value->MutableArray().push_back(std::move(element));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* value, int depth) {
+    ++pos_;  // '{'
+    *value = JsonValue::MakeObject();
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      SkipSpace();
+      JsonValue member;
+      if (!ParseValue(&member, depth + 1)) return false;
+      value->MutableObject()[std::move(key)] = std::move(member);
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseHex4(uint32_t* code) {
+    if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("bad \\u escape");
+      }
+    }
+    pos_ += 4;
+    *code = value;
+    return true;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            uint32_t code = 0;
+            if (!ParseHex4(&code)) return false;
+            if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Fail("unpaired surrogate");
+              }
+              pos_ += 2;
+              uint32_t low = 0;
+              if (!ParseHex4(&low)) return false;
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Fail("bad low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Fail("unpaired surrogate");
+            }
+            AppendUtf8(out, code);
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      if (c < 0x20) return Fail("unescaped control character");
+      out->push_back(static_cast<char>(c));
+      ++pos_;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* value) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string literal = text_.substr(start, pos_ - start);
+    if (literal.empty() || literal == "-") return Fail("bad number");
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      const long long parsed = std::strtoll(literal.c_str(), &end, 10);
+      if (errno == 0 && end == literal.c_str() + literal.size()) {
+        *value = JsonValue::MakeInt(parsed);
+        return true;
+      }
+      // Out of int64 range: fall through to double.
+      errno = 0;
+    }
+    char* end = nullptr;
+    const double parsed = std::strtod(literal.c_str(), &end);
+    if (end != literal.c_str() + literal.size()) return Fail("bad number");
+    *value = JsonValue::MakeDouble(parsed);
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* value,
+               std::string* error) {
+  std::string local_error;
+  Parser parser(text, error != nullptr ? error : &local_error);
+  return parser.Parse(value);
+}
+
+void AppendJsonString(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (const char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace server
+}  // namespace cqac

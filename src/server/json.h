@@ -1,0 +1,88 @@
+#ifndef CQAC_SERVER_JSON_H_
+#define CQAC_SERVER_JSON_H_
+
+// A minimal JSON value for the wire protocol (server/protocol.h): enough
+// to parse client requests and pick responses apart, nothing more.  The
+// repo's own JSON *output* (stats records, bench results) is streamed
+// directly — this type is for the one place we must read JSON we did not
+// write.
+//
+// Numbers parse as int64 when the literal is integral and in range
+// (request ids, deadlines, counters) and as double otherwise; AsInt
+// accepts both.  Strings decode escape sequences including \uXXXX
+// (encoded to UTF-8; surrogate pairs supported).  The parser rejects
+// trailing garbage and nesting deeper than kMaxDepth rather than
+// recursing unboundedly on adversarial input.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cqac {
+namespace server {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeInt(int64_t i);
+  static JsonValue MakeDouble(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  /// Typed accessors; the value must have the matching type.
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const;     // kInt, or kDouble truncated toward zero
+  double AsDouble() const;   // kDouble or kInt
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+
+  std::vector<JsonValue>& MutableArray() { return array_; }
+  std::map<std::string, JsonValue>& MutableObject() { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience typed lookups with defaults, tolerant of absent keys but
+  /// strict about present-but-mistyped values (returns false through
+  /// `*ok` when non-null in that case, else the default).
+  int64_t FindInt(const std::string& key, int64_t def,
+                  bool* ok = nullptr) const;
+  bool FindBool(const std::string& key, bool def, bool* ok = nullptr) const;
+  std::string FindString(const std::string& key, const std::string& def,
+                         bool* ok = nullptr) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+inline constexpr int kMaxJsonDepth = 64;
+
+/// Parses `text` as one JSON document (trailing whitespace permitted,
+/// anything else is an error).  On failure returns false and sets
+/// `error` to a human-readable reason with a byte offset.
+bool ParseJson(const std::string& text, JsonValue* value, std::string* error);
+
+/// Appends `text` to `out` as a JSON string literal, quotes included.
+void AppendJsonString(std::string* out, const std::string& text);
+
+}  // namespace server
+}  // namespace cqac
+
+#endif  // CQAC_SERVER_JSON_H_

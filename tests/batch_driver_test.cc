@@ -151,6 +151,66 @@ TEST(BatchDriverTest, JsonSummaryIncludesMemoCounters) {
   EXPECT_NE(out.str().find("\"phase1_ns\": "), std::string::npos);
 }
 
+TEST(BatchDriverTest, FooterCarriesTheServiceCounters) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  RunBatch(in, out);
+  // The stdin driver has no deadlines or admission control, but the
+  // footer reports the shared taxonomy either way so batch and service
+  // outputs stay aligned.
+  EXPECT_NE(out.str().find("0 deadline-exceeded, 0 rejected"),
+            std::string::npos);
+}
+
+TEST(BatchDriverTest, JsonSummaryCarriesTheServiceCounters) {
+  std::istringstream in(kPaperJob);
+  std::ostringstream out;
+  BatchOptions options;
+  options.json_summary = true;
+  RunBatch(in, out, options);
+  EXPECT_NE(out.str().find("\"deadline_exceeded\": 0"), std::string::npos);
+  EXPECT_NE(out.str().find("\"rejected\": 0"), std::string::npos);
+}
+
+TEST(WriteBatchFooterTest, ReportsNonzeroServiceCounters) {
+  BatchSummary summary;
+  summary.jobs_total = 5;
+  summary.found = 2;
+  summary.deadline_exceeded = 2;
+  summary.rejected = 1;
+  std::ostringstream out;
+  WriteBatchFooter(out, summary, BatchOptions());
+  EXPECT_NE(out.str().find(
+                "batch: 5 jobs, 2 found, 0 none, 0 aborted, "
+                "2 deadline-exceeded, 1 rejected, 0 errors"),
+            std::string::npos);
+}
+
+TEST(ParseJobBlockTest, ParsesOneBlock) {
+  const BatchJob job = ParseJobBlock(kPaperJob);
+  EXPECT_TRUE(job.error.empty()) << job.error;
+  ASSERT_TRUE(job.query.has_value());
+  EXPECT_EQ(job.query->name(), "q");
+  EXPECT_EQ(job.views.views().size(), 1u);
+}
+
+TEST(ParseJobBlockTest, EmptyAndMultiJobTextsAreErrors) {
+  EXPECT_EQ(ParseJobBlock("").error, "empty job");
+  EXPECT_EQ(ParseJobBlock("% only a comment\n").error, "empty job");
+  const BatchJob multi =
+      ParseJobBlock(std::string(kPaperJob) + "run\n" + kPaperJob);
+  EXPECT_NE(multi.error.find("send one job per request"), std::string::npos);
+}
+
+TEST(ParseJobBlockTest, SharesStreamParserErrorWording) {
+  // The service parses request blocks with the same code as the stdin
+  // driver, so error strings match verbatim.
+  EXPECT_EQ(ParseJobBlock("view v(X) :- p(X,Y)\n").error,
+            "job has views but no query");
+  EXPECT_NE(ParseJobBlock("frobnicate\n").error.find("unknown directive"),
+            std::string::npos);
+}
+
 TEST(BatchDriverTest, FootersAbsentByDefault) {
   std::istringstream in(kPaperJob);
   std::ostringstream out;

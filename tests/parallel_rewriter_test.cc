@@ -259,5 +259,49 @@ TEST(ParallelRewriterTest, HardwareConcurrencyDefault) {
   ExpectResultsEqual(serial, parallel, "jobs=0");
 }
 
+// A token cancelled before Run() aborts both drivers at the first poll
+// with the dedicated "cancelled" reason — the mechanism the rewrite
+// service's per-request deadlines build on.
+TEST(ParallelRewriterTest, PreCancelledTokenAbortsSerialAndParallel) {
+  const ConjunctiveQuery query = Parser::MustParseRule(
+      "q(A) :- r(A), s(A,A), A <= 8");
+  const ViewSet views(Parser::MustParseProgram(
+      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z."));
+
+  CancellationToken token;
+  token.Cancel();
+  for (const int jobs : {1, 4}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    RewriteOptions options;
+    options.jobs = jobs;
+    options.cancel = &token;
+    const RewriteResult result =
+        EquivalentRewriter(query, views, options).Run();
+    EXPECT_EQ(result.outcome, RewriteOutcome::kAborted);
+    EXPECT_EQ(result.failure_reason, kCancelledReason);
+  }
+}
+
+// An unset token changes nothing: results stay byte-identical to runs
+// with no token at all.
+TEST(ParallelRewriterTest, UnsetTokenIsInert) {
+  const ConjunctiveQuery query = Parser::MustParseRule(
+      "q(A) :- r(A), s(A,A), A <= 8");
+  const ViewSet views(Parser::MustParseProgram(
+      "v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z."));
+
+  CancellationToken token;
+  for (const int jobs : {1, 4}) {
+    RewriteOptions plain;
+    plain.jobs = jobs;
+    RewriteOptions with_token = plain;
+    with_token.cancel = &token;
+    const RewriteResult a = EquivalentRewriter(query, views, plain).Run();
+    const RewriteResult b =
+        EquivalentRewriter(query, views, with_token).Run();
+    ExpectResultsEqual(a, b, "jobs=" + std::to_string(jobs));
+  }
+}
+
 }  // namespace
 }  // namespace cqac

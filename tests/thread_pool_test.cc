@@ -100,5 +100,38 @@ TEST(ThreadPoolTest, CountsExecutionsAndIdleWorkersSteal) {
   EXPECT_LE(pool.tasks_stolen(), pool.tasks_executed());
 }
 
+TEST(ParseJobsFlagTest, AcceptsPlainCounts) {
+  int jobs = -1;
+  EXPECT_TRUE(ThreadPool::ParseJobsFlag("0", &jobs));
+  EXPECT_EQ(jobs, 0);
+  EXPECT_TRUE(ThreadPool::ParseJobsFlag("16", &jobs));
+  EXPECT_EQ(jobs, 16);
+  EXPECT_TRUE(ThreadPool::ParseJobsFlag("4096", &jobs));
+  EXPECT_EQ(jobs, ThreadPool::kMaxJobs);
+}
+
+TEST(ParseJobsFlagTest, RejectsGarbageWithAReason) {
+  int jobs = 7;
+  std::string error;
+  for (const char* bad : {"", "4x", "abc", "-1", " 3", "3 "}) {
+    EXPECT_FALSE(ThreadPool::ParseJobsFlag(bad, &jobs, &error)) << bad;
+    EXPECT_NE(error.find("non-negative integer"), std::string::npos) << bad;
+    EXPECT_EQ(jobs, 7) << "rejected input must not modify the output";
+  }
+}
+
+TEST(ParseJobsFlagTest, ClampsAtKMaxJobsWithAClearError) {
+  // The old parser accepted anything up to 1<<20 "worker threads" — a
+  // configuration mistake, not a workload.  Past kMaxJobs is now an error
+  // that names the limit.
+  int jobs = 7;
+  std::string error;
+  EXPECT_FALSE(ThreadPool::ParseJobsFlag("4097", &jobs, &error));
+  EXPECT_NE(error.find("at most 4096"), std::string::npos);
+  EXPECT_FALSE(ThreadPool::ParseJobsFlag("1048576", &jobs, &error));
+  EXPECT_NE(error.find("at most 4096"), std::string::npos);
+  EXPECT_EQ(jobs, 7);
+}
+
 }  // namespace
 }  // namespace cqac

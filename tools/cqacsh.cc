@@ -18,8 +18,6 @@
 // chrome://tracing or Perfetto); `--metrics` collects runtime counters
 // and dumps the registry on exit.  See docs/OBSERVABILITY.md.
 
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -30,25 +28,15 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/batch_driver.h"
+#include "runtime/thread_pool.h"
 
 namespace {
-
-/// Parses a non-negative integer; false on trailing garbage ("4x", "abc").
-bool ParseJobs(const char* text, int* jobs) {
-  char* end = nullptr;
-  const long value = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0' || value < 0 || value > 1 << 20) {
-    return false;
-  }
-  *jobs = static_cast<int>(value);
-  return true;
-}
 
 void PrintUsage(std::ostream& out) {
   out << "usage: cqacsh [--jobs N] [--serve-batch] [--stats] [--json]\n"
          "              [--trace FILE] [--metrics] [--help]\n"
          "  --jobs N       worker threads for rewriting (0 = all cores;\n"
-         "                 default: all cores; 1 = serial)\n"
+         "                 default: all cores; 1 = serial; max 4096)\n"
          "  --serve-batch  read rewriting jobs from stdin and execute them\n"
          "                 concurrently; otherwise run the interactive shell\n"
          "  --stats        print the Phase-1 breakdown (databases visited /\n"
@@ -123,15 +111,15 @@ int main(int argc, char** argv) {
         std::cerr << "error: --jobs needs a value\n";
         return 1;
       }
-      if (!ParseJobs(argv[++i], &jobs)) {
-        std::cerr << "error: --jobs needs a non-negative integer, got '"
-                  << argv[i] << "'\n";
+      std::string error;
+      if (!cqac::ThreadPool::ParseJobsFlag(argv[++i], &jobs, &error)) {
+        std::cerr << "error: --jobs " << error << "\n";
         return 1;
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
-      if (!ParseJobs(arg.c_str() + 7, &jobs)) {
-        std::cerr << "error: --jobs needs a non-negative integer, got '"
-                  << arg.substr(7) << "'\n";
+      std::string error;
+      if (!cqac::ThreadPool::ParseJobsFlag(arg.substr(7), &jobs, &error)) {
+        std::cerr << "error: --jobs " << error << "\n";
         return 1;
       }
     } else if (arg == "--help" || arg == "-h") {
@@ -142,10 +130,6 @@ int main(int argc, char** argv) {
       PrintUsage(std::cerr);
       return 1;
     }
-  }
-  if (jobs < 0) {
-    std::cerr << "error: --jobs must be >= 0\n";
-    return 1;
   }
 
   if (!trace_path.empty()) cqac::obs::StartTracing();

@@ -12,6 +12,11 @@
 # With no arguments, re-runs the benches whose .txt snapshots are
 # checked in.  Each bench writes results/<name>.txt (console output)
 # and results/<name>.json (trajectory record, cold caches: no --memo).
+#
+# The pseudo-bench `server_throughput` is not a google-benchmark binary:
+# it starts cqacd on a Unix socket and sweeps `cqacc --load` over
+# connection counts 1/2/4/8, recording one JSON record per point in
+# results/BENCH_server_throughput.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,16 +27,67 @@ cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
-  benches=(bench_containment bench_canonical bench_homomorphism bench_phase1)
+  benches=(bench_containment bench_canonical bench_homomorphism bench_phase1
+           server_throughput)
 fi
 
-cmake --build "$build" --target "${benches[@]}" -j"$(nproc)"
+run_server_throughput() {
+  local requests=512
+  local work sock daemon_pid out
+  work="$(mktemp -d)"
+  sock="$work/cqac.sock"
+  out="$repo/results/BENCH_server_throughput.json"
+
+  "$build/tools/cqacd" --unix "$sock" > "$work/cqacd.out" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "error: cqacd did not come up" >&2; return 1; }
+
+  {
+    echo "{\"bench\": \"server_throughput\","
+    echo " \"commit\": \"$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)\","
+    echo " \"cpus\": $(nproc),"
+    echo " \"requests_per_point\": $requests,"
+    echo " \"sweep\": ["
+    local first=1
+    for c in 1 2 4 8; do
+      [ $first -eq 1 ] || echo ","
+      first=0
+      printf '  '
+      "$build/tools/cqacc" --unix "$sock" --load "$requests" \
+        --concurrency "$c" | tr -d '\n'
+    done
+    echo ""
+    echo "]}"
+  } > "$out"
+  kill -TERM "$daemon_pid"
+  wait "$daemon_pid" || true
+  rm -rf "$work"
+  cat "$out" | tee "$repo/results/BENCH_server_throughput.txt"
+}
+
+targets=()
+for bench in "${benches[@]}"; do
+  if [ "$bench" = server_throughput ]; then
+    targets+=(cqacd cqacc)
+  else
+    targets+=("$bench")
+  fi
+done
+cmake --build "$build" --target "${targets[@]}" -j"$(nproc)"
 
 mkdir -p "$repo/results"
 echo "commit: $(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)"
 echo "cpus:   $(nproc)"
 for bench in "${benches[@]}"; do
   echo "=== $bench ==="
-  "$build/bench/$bench" --json "$repo/results/$bench.json" \
-    --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
+  if [ "$bench" = server_throughput ]; then
+    run_server_throughput
+  else
+    "$build/bench/$bench" --json "$repo/results/$bench.json" \
+      --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
+  fi
 done

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the rewrite service (docs/SERVICE.md): starts
+# cqacd on a Unix socket, checks that cqacc's job-mode output is
+# byte-identical to `cqacsh --serve-batch` for the same stream, runs a
+# small concurrent load, then SIGTERMs the daemon and checks the
+# graceful drain (batch footer printed, exit 0).
+#
+# Usage:  tools/server_smoke.sh [build-dir]     # default: build
+set -euo pipefail
+
+build="${1:-build}"
+cd "$(dirname "$0")/.."
+
+for tool in cqacd cqacc cqacsh; do
+  if [ ! -x "$build/tools/$tool" ]; then
+    echo "error: $build/tools/$tool not built" >&2
+    exit 1
+  fi
+done
+
+work="$(mktemp -d)"
+sock="$work/cqac.sock"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+cat > "$work/jobs.txt" <<'EOF'
+view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z
+query q(A) :- r(A), s(A,A), A <= 8
+run
+view w(A,B) :- e(A,B), A <= B
+query q2(X,Y) :- e(X,Y), X <= Y
+run
+query broken(
+run
+view lone(A) :- p(A)
+EOF
+
+"$build/tools/cqacd" --unix "$sock" > "$work/cqacd.out" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+[ -S "$sock" ] || { echo "error: cqacd did not come up" >&2; cat "$work/cqacd.out" >&2; exit 1; }
+
+# 1. Byte-identical bodies: cqacc output == cqacsh --serve-batch output
+#    minus the two footer lines.  Both exit 1 (the stream contains two
+#    deliberate job-level errors), which is itself part of the parity.
+cqacc_status=0
+"$build/tools/cqacc" --unix "$sock" < "$work/jobs.txt" > "$work/cqacc.out" || cqacc_status=$?
+cqacsh_status=0
+"$build/tools/cqacsh" --serve-batch < "$work/jobs.txt" > "$work/cqacsh.out" || cqacsh_status=$?
+head -n -2 "$work/cqacsh.out" > "$work/cqacsh.body"
+if ! diff -u "$work/cqacsh.body" "$work/cqacc.out"; then
+  echo "error: service response bodies differ from --serve-batch" >&2
+  exit 1
+fi
+if [ "$cqacc_status" != "$cqacsh_status" ]; then
+  echo "error: exit codes differ: cqacc=$cqacc_status cqacsh=$cqacsh_status" >&2
+  exit 1
+fi
+
+# 2. Concurrent load: 8 connections, every request answered.
+"$build/tools/cqacc" --unix "$sock" --load 64 --concurrency 8 > "$work/load.json"
+grep -q '"completed": 64' "$work/load.json" || {
+  echo "error: load run incomplete: $(cat "$work/load.json")" >&2
+  exit 1
+}
+
+# 3. Graceful drain: SIGTERM -> batch footer on stdout, exit 0.
+kill -TERM "$daemon_pid"
+drain_status=0
+wait "$daemon_pid" || drain_status=$?
+if [ "$drain_status" != 0 ]; then
+  echo "error: cqacd exited $drain_status on SIGTERM" >&2
+  cat "$work/cqacd.out" >&2
+  exit 1
+fi
+grep -q '^batch: 68 jobs' "$work/cqacd.out" || {
+  echo "error: drain footer missing or wrong:" >&2
+  cat "$work/cqacd.out" >&2
+  exit 1
+}
+
+echo "server smoke: OK (parity, 8-way load, graceful drain)"
