@@ -71,6 +71,7 @@ bool Shell::ProcessLine(const std::string& line) {
     named_.clear();
     db_ = Database();
     last_rewriting_.reset();
+    catalog_.reset();
     out_ << "state cleared\n";
   } else if (command == "help") {
     CmdHelp();
@@ -102,6 +103,7 @@ void Shell::CmdView(const std::string& args) {
   }
   out_ << "view added: " << rule->ToString() << "\n";
   views_.Add(*std::move(rule));
+  catalog_.reset();  // The compiled catalog no longer matches the views.
 }
 
 void Shell::CmdQuery(const std::string& args) {
@@ -161,8 +163,13 @@ void Shell::CmdRewrite(const std::string& args) {
       out_ << "warning: unknown flag '" << flag << "' ignored\n";
     }
   }
-  const RewriteResult result =
-      EquivalentRewriter(*query_, views_, options).Run();
+  // The session catalog survives across `rewrite` invocations: the view
+  // set is compiled once and later runs reuse its plans and caches
+  // (results are byte-identical to a fresh EquivalentRewriter run).
+  if (catalog_ == nullptr) {
+    catalog_ = std::make_shared<ViewCatalog>(views_);
+  }
+  const RewriteResult result = catalog_->Rewrite(*query_, options);
   switch (result.outcome) {
     case RewriteOutcome::kRewritingFound:
       out_ << "equivalent rewriting (" << result.rewriting.size()
@@ -203,6 +210,12 @@ void Shell::CmdRewrite(const std::string& args) {
          << " ns, freeze " << result.stats.freeze_ns << " ns, phase1 "
          << result.stats.phase1_ns << " ns, phase2 "
          << result.stats.phase2_ns << " ns\n";
+    const CatalogStats cstats = catalog_->Stats();
+    out_ << "catalog: epoch " << cstats.epoch << ", "
+         << (result.from_semantic_cache ? "semantic hit" : "computed") << ", "
+         << cstats.plans_built << " plans built, " << cstats.plan_hits
+         << " plan hits, " << cstats.semantic_hits << " semantic hits, "
+         << cstats.semantic_misses << " semantic misses\n";
   }
   if (json_stats) {
     const char* outcome = result.outcome == RewriteOutcome::kRewritingFound
@@ -223,7 +236,9 @@ void Shell::CmdRewrite(const std::string& args) {
          << ", \"enumeration_ns\": " << result.stats.enumeration_ns
          << ", \"freeze_ns\": " << result.stats.freeze_ns
          << ", \"phase1_ns\": " << result.stats.phase1_ns
-         << ", \"phase2_ns\": " << result.stats.phase2_ns << "}\n";
+         << ", \"phase2_ns\": " << result.stats.phase2_ns
+         << ", \"semantic_cache_hit\": " << (result.from_semantic_cache ? 1 : 0)
+         << ", \"catalog_epoch\": " << result.catalog_epoch << "}\n";
   }
   if (explain) out_ << TableauToString(result.trace);
 }

@@ -3,10 +3,12 @@
 
 #include <iosfwd>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "ast/query.h"
+#include "catalog/view_catalog.h"
 #include "engine/database.h"
 #include "rewriting/view_set.h"
 
@@ -91,6 +93,12 @@ class Shell {
   std::map<std::string, ConjunctiveQuery> named_;
   Database db_;
   std::optional<UnionQuery> last_rewriting_;
+
+  /// The session catalog: views are parsed, interned, and compiled once,
+  /// then every `rewrite` borrows from the catalog instead of rebuilding.
+  /// Dropped whenever the view set changes (`view`, `clear`), rebuilt
+  /// lazily on the next `rewrite`.
+  std::shared_ptr<ViewCatalog> catalog_;
 };
 
 }  // namespace cqac

@@ -148,14 +148,26 @@ void RecordRewriteMetrics(const RewriteStats& stats) {
 RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
                                const ViewSet& views,
                                const RewriteOptions& options) {
+  return PrepareRewriteWork(query, views, options, nullptr, nullptr);
+}
+
+RewriteWork PrepareRewriteWork(
+    const ConjunctiveQuery& query, const ViewSet& views,
+    const RewriteOptions& options,
+    const std::vector<ConjunctiveQuery>* precompiled_v0,
+    const std::vector<Rational>* view_constants) {
   CQAC_TRACE_SPAN("prepare.work");
   RewriteWork work(query, views, options);
 
   // Q0 and the exported variants V0 (Section 3.2 / Examples 5 and 6).
   work.q0 = query.WithoutComparisons();
-  for (const ConjunctiveQuery& view : views.views()) {
-    for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
-      work.v0_variants.push_back(std::move(variant));
+  if (precompiled_v0 != nullptr) {
+    work.v0_variants = *precompiled_v0;
+  } else {
+    for (const ConjunctiveQuery& view : views.views()) {
+      for (ConjunctiveQuery& variant : BuildV0Variants(view)) {
+        work.v0_variants.push_back(std::move(variant));
+      }
     }
   }
 
@@ -167,10 +179,16 @@ RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
 
   // All constants of the query and the views participate in the orders.
   work.constants = query.Constants();
-  for (const Rational& c : views.Constants()) {
-    if (std::find(work.constants.begin(), work.constants.end(), c) ==
-        work.constants.end()) {
-      work.constants.push_back(c);
+  {
+    std::vector<Rational> derived;
+    const std::vector<Rational>& vc =
+        view_constants != nullptr ? *view_constants
+                                  : (derived = views.Constants());
+    for (const Rational& c : vc) {
+      if (std::find(work.constants.begin(), work.constants.end(), c) ==
+          work.constants.end()) {
+        work.constants.push_back(c);
+      }
     }
   }
 
@@ -597,25 +615,15 @@ RewriteResult EquivalentRewriter::Run() {
   return result;
 }
 
-RewriteResult EquivalentRewriter::RunSerial() {
+RewriteResult RunPreparedRewriteSerial(const RewriteWork& work,
+                                       const RewriteOptions& driver,
+                                       MemoCache* memo,
+                                       Phase1Memo* phase1_memo) {
   RewriteResult result;
-
-  // A query with contradictory comparisons computes nothing; the empty
-  // union is an equivalent rewriting.
-  if (!AcSolver::IsSatisfiable(query_.comparisons())) {
-    result.outcome = RewriteOutcome::kRewritingFound;
-    if (options_.verify) {
-      result.verified =
-          RewritingIsEquivalent(query_, result.rewriting, views_);
-    }
-    return result;
-  }
-
-  // --- Shared setup (independent of the canonical database) ---
-
-  const RewriteWork work = PrepareRewriteWork(query_, views_, options_);
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
+
+  const bool explain = work.options.explain;
 
   // --- Phase 1: one Pre-Rewriting per kept canonical database ---
 
@@ -625,31 +633,35 @@ RewriteResult EquivalentRewriter::RunSerial() {
   bool aborted = false;
   bool cancelled = false;
 
-  // The Phase-1 memo lives and dies with this run (its entries index into
-  // `work`).
-  std::optional<Phase1Memo> phase1_memo;
-  if (options_.phase1_dedup && !options_.explain) phase1_memo.emplace();
+  // With no external (catalog-scoped) memo, the Phase-1 memo lives and
+  // dies with this run (its entries index into `work`).
+  std::optional<Phase1Memo> local_memo;
+  if (phase1_memo == nullptr && driver.phase1_dedup && !explain) {
+    local_memo.emplace();
+    phase1_memo = &*local_memo;
+  }
 
   const int64_t enumerate_t0 = NowNs();
   {
   CQAC_TRACE_SPAN("phase1.enumerate");
   ForEachTotalOrder(
-      query_.AllVariables(), work.constants, [&](const TotalOrder& order) {
-        if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+      work.query.AllVariables(), work.constants,
+      [&](const TotalOrder& order) {
+        if (driver.cancel != nullptr && driver.cancel->cancelled()) {
           cancelled = true;
           return false;
         }
         ++result.stats.canonical_databases;
-        if (options_.max_canonical_databases >= 0 &&
+        if (driver.max_canonical_databases >= 0 &&
             result.stats.canonical_databases >
-                options_.max_canonical_databases) {
+                driver.max_canonical_databases) {
           aborted = true;
           return false;
         }
-        DatabaseOutcome out = ProcessCanonicalDatabase(
-            work, order, phase1_memo ? &*phase1_memo : nullptr);
+        DatabaseOutcome out =
+            ProcessCanonicalDatabase(work, order, phase1_memo);
         result.stats.Merge(out.stats);
-        if (options_.explain) {
+        if (explain) {
           result.trace.databases.push_back(std::move(out.trace));
         }
         if (out.status == DatabaseOutcome::Status::kFailed) {
@@ -694,16 +706,16 @@ RewriteResult EquivalentRewriter::RunSerial() {
   std::map<std::string, bool> phase2_verdicts;
   bool phase2_failed = false;
   for (const ConjunctiveQuery& pre : pre_rewritings) {
-    if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    if (driver.cancel != nullptr && driver.cancel->cancelled()) {
       result.outcome = RewriteOutcome::kAborted;
       result.failure_reason = kCancelledReason;
       return result;
     }
     ++result.stats.phase2_checks;
-    const Phase2Outcome check = CheckExpansionContained(work, pre, memo_);
+    const Phase2Outcome check = CheckExpansionContained(work, pre, memo);
     result.stats.phase2_orders += check.orders_enumerated;
     result.stats.phase2_ns += check.wall_ns;
-    if (options_.explain) phase2_verdicts[pre.ToString()] = check.contained;
+    if (explain) phase2_verdicts[pre.ToString()] = check.contained;
     if (!check.contained) {
       result.outcome = RewriteOutcome::kNoRewriting;
       result.failure_reason =
@@ -712,7 +724,7 @@ RewriteResult EquivalentRewriter::RunSerial() {
       break;
     }
   }
-  if (options_.explain) {
+  if (explain) {
     for (CanonicalDatabaseTrace& db : result.trace.databases) {
       if (db.status != "ok") continue;
       auto it = phase2_verdicts.find(db.pre_rewriting);
@@ -731,6 +743,23 @@ RewriteResult EquivalentRewriter::RunSerial() {
 
   FinalizeFoundRewriting(work, std::move(pre_rewritings), &result);
   return result;
+}
+
+RewriteResult EquivalentRewriter::RunSerial() {
+  // A query with contradictory comparisons computes nothing; the empty
+  // union is an equivalent rewriting.
+  if (!AcSolver::IsSatisfiable(query_.comparisons())) {
+    RewriteResult result;
+    result.outcome = RewriteOutcome::kRewritingFound;
+    if (options_.verify) {
+      result.verified =
+          RewritingIsEquivalent(query_, result.rewriting, views_);
+    }
+    return result;
+  }
+
+  const RewriteWork work = PrepareRewriteWork(query_, views_, options_);
+  return RunPreparedRewriteSerial(work, options_, memo_, nullptr);
 }
 
 RewriteResult FindEquivalentRewriting(const ConjunctiveQuery& query,

@@ -144,7 +144,9 @@ struct RewriteStats {
 /// Version of the one-line JSON records emitted by `cqacsh --json` (per
 /// rewrite and per batch).  Bump on any field addition, removal, or
 /// meaning change; the record shapes are documented in docs/SYNTAX.md.
-inline constexpr int kStatsJsonSchemaVersion = 2;
+/// v3: per-rewrite records gained `semantic_cache_hit`, batch records the
+/// `catalog_*` counter block (catalog/view_catalog.h).
+inline constexpr int kStatsJsonSchemaVersion = 3;
 
 enum class RewriteOutcome {
   kRewritingFound,
@@ -170,6 +172,17 @@ struct RewriteResult {
   RewriteTrace trace;
 
   RewriteStats stats;
+
+  /// True when a ViewCatalog's semantic result cache served this answer
+  /// without running the algorithm (catalog/view_catalog.h).  The stats
+  /// then replay the original run's counters verbatim — the
+  /// configuration-invariant ones are provably what a fresh run would
+  /// report; the wall times and memo splits are the original run's.
+  bool from_semantic_cache = false;
+
+  /// Epoch of the catalog that produced this result; 0 when the run did
+  /// not go through a catalog.
+  uint64_t catalog_epoch = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -225,6 +238,40 @@ struct RewriteWork {
 RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
                                const ViewSet& views,
                                const RewriteOptions& options);
+
+/// Overload reusing per-view machinery compiled ahead of time by a
+/// ViewCatalog (catalog/view_catalog.h): `precompiled_v0` is the exported
+/// variants of all views flattened in view order, `view_constants` the
+/// views' deduplicated constant pool — both exactly what the first
+/// overload would derive, so the resulting work is identical to a cold
+/// build.  Either pointer may be null to fall back to deriving that part.
+RewriteWork PrepareRewriteWork(
+    const ConjunctiveQuery& query, const ViewSet& views,
+    const RewriteOptions& options,
+    const std::vector<ConjunctiveQuery>* precompiled_v0,
+    const std::vector<Rational>* view_constants);
+
+/// Phases 1-2 plus finalization over a prebuilt work context — the serial
+/// loop of EquivalentRewriter::RunSerial, factored out so a ViewCatalog
+/// can run many requests over one compiled, long-lived RewriteWork.
+///
+/// Phase semantics (pruning, simplification, explain, ...) come from
+/// work.options; `driver` supplies only the scheduling-level knobs read
+/// per request: `cancel` and `max_canonical_databases` (and
+/// `phase1_dedup`, below).  For the classic one-shot path the two are the
+/// same object.
+///
+/// `phase1_memo`, when non-null, must belong to `work` (its entries index
+/// work.mcds) and may persist across calls — that is the catalog-scoped
+/// cross-request Phase-1 memo.  When null, a run-local memo is created
+/// per driver.phase1_dedup, reproducing the classic behavior.
+///
+/// The caller must have handled the unsatisfiable-query shortcut; this
+/// function assumes work was built from a satisfiable query.
+RewriteResult RunPreparedRewriteSerial(const RewriteWork& work,
+                                       const RewriteOptions& driver,
+                                       MemoCache* memo,
+                                       Phase1Memo* phase1_memo);
 
 /// Folds a finished run's counters into the global metrics registry
 /// (obs/metrics.h): rewrite.* counters plus the Phase-1 memo hit/miss

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "catalog/view_catalog.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
@@ -155,6 +156,13 @@ void WriteBatchFooter(std::ostream& out, const BatchSummary& summary,
       << summary.rejected << " rejected, " << summary.errors << " errors\n";
   out << "cache: " << summary.cache.hits << " hits, " << summary.cache.misses
       << " misses, " << summary.cache.evictions << " evictions\n";
+  if (summary.catalog_enabled) {
+    out << "catalog: " << summary.catalogs_built << " built, epoch "
+        << summary.catalog_epoch << ", " << summary.catalog_plans_built
+        << " plans built, " << summary.catalog_plan_hits << " plan hits, "
+        << summary.catalog_semantic_hits << " semantic hits, "
+        << summary.catalog_semantic_misses << " semantic misses\n";
+  }
   if (options.print_stats) {
     out << "phase-1: " << summary.rewrite.canonical_databases
         << " databases visited, "
@@ -186,7 +194,15 @@ void WriteBatchFooter(std::ostream& out, const BatchSummary& summary,
         << ", \"enumeration_ns\": " << summary.rewrite.enumeration_ns
         << ", \"freeze_ns\": " << summary.rewrite.freeze_ns
         << ", \"phase1_ns\": " << summary.rewrite.phase1_ns
-        << ", \"phase2_ns\": " << summary.rewrite.phase2_ns << "}\n";
+        << ", \"phase2_ns\": " << summary.rewrite.phase2_ns
+        << ", \"catalog_enabled\": " << (summary.catalog_enabled ? 1 : 0)
+        << ", \"catalogs_built\": " << summary.catalogs_built
+        << ", \"catalog_plans_built\": " << summary.catalog_plans_built
+        << ", \"catalog_plan_hits\": " << summary.catalog_plan_hits
+        << ", \"catalog_semantic_hits\": " << summary.catalog_semantic_hits
+        << ", \"catalog_semantic_misses\": "
+        << summary.catalog_semantic_misses
+        << ", \"catalog_epoch\": " << summary.catalog_epoch << "}\n";
   }
   if (options.print_metrics) {
     obs::MetricsRegistry::Global().DumpText(out);
@@ -214,6 +230,12 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   RewriteOptions per_job = options.rewrite;
   per_job.jobs = 1;
   MemoCache memo(options.cache_capacity);
+  std::optional<CatalogRegistry> registry;
+  if (options.use_catalog) {
+    CatalogOptions copts;
+    copts.containment_cache_capacity = options.cache_capacity;
+    registry.emplace(/*capacity=*/8, copts);
+  }
   ThreadPool pool(ThreadPool::ResolveJobs(options.jobs));
 
   std::vector<std::string> outputs(jobs.size());
@@ -240,7 +262,10 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
         is_error = true;
       } else {
         const RewriteResult result =
-            EquivalentRewriter(*job.query, job.views, per_job, &memo).Run();
+            registry.has_value()
+                ? registry->GetOrBuild(job.views)->Rewrite(*job.query, per_job)
+                : EquivalentRewriter(*job.query, job.views, per_job, &memo)
+                      .Run();
         outcome = result.outcome;
         stats = result.stats;
         rendered = RenderJobResult(i, job, result, options.echo);
@@ -280,7 +305,19 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
     }
   }
 
-  summary.cache = memo.Stats();
+  if (registry.has_value()) {
+    const CatalogRegistryStats cstats = registry->Stats();
+    summary.catalog_enabled = true;
+    summary.catalogs_built = cstats.catalogs_built;
+    summary.catalog_plans_built = cstats.plans_built;
+    summary.catalog_plan_hits = cstats.plan_hits;
+    summary.catalog_semantic_hits = cstats.semantic_hits;
+    summary.catalog_semantic_misses = cstats.semantic_misses;
+    summary.catalog_epoch = cstats.latest_epoch;
+    summary.cache = cstats.containment;
+  } else {
+    summary.cache = memo.Stats();
+  }
   for (const RewriteStats& s : job_stats) summary.rewrite.Merge(s);
   if (obs::MetricsActive()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

@@ -43,6 +43,13 @@ struct BatchOptions {
   /// Append a dump of the global metrics registry (obs/metrics.h) after
   /// the summary.  Behind `cqacsh --metrics`.
   bool print_metrics = false;
+
+  /// Route jobs through a CatalogRegistry (catalog/view_catalog.h): each
+  /// distinct view set in the batch is compiled into one shared
+  /// ViewCatalog and its plans, Phase-1 memo, containment memo, and
+  /// semantic result cache are reused across the batch's jobs.  Results
+  /// are byte-identical either way.  Behind `cqacsh --catalog`.
+  bool use_catalog = false;
 };
 
 /// Counters of one RunBatch call — and the one job-outcome taxonomy
@@ -61,6 +68,16 @@ struct BatchSummary {
   int64_t errors = 0;     // jobs that failed to parse
   MemoCacheStats cache;   // shared memo cache, summed over all jobs
   RewriteStats rewrite;   // per-job RewriteStats, merged over all jobs
+
+  // Catalog counters; meaningful iff catalog_enabled (the footer prints
+  // the catalog line only then, the JSON record carries them always).
+  bool catalog_enabled = false;
+  int64_t catalogs_built = 0;
+  int64_t catalog_plans_built = 0;
+  int64_t catalog_plan_hits = 0;
+  int64_t catalog_semantic_hits = 0;
+  int64_t catalog_semantic_misses = 0;
+  uint64_t catalog_epoch = 0;  // newest resident catalog's epoch
 };
 
 /// One parsed job: a query plus its views.  `error` is set instead when

@@ -87,23 +87,13 @@ void RecordParallelMetrics(const ParallelRewriteReport& report) {
   reg.counter("memo_cache.misses").Add(report.cache_misses);
 }
 
-RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
-                                  const ViewSet& views,
-                                  const RewriteOptions& options,
-                                  MemoCache* memo, ThreadPool* pool,
-                                  ParallelRewriteReport* report) {
+RewriteResult ParallelRewritePreparedImpl(const RewriteWork& work,
+                                          const RewriteOptions& options,
+                                          MemoCache* memo, ThreadPool* pool,
+                                          ParallelRewriteReport* report,
+                                          Phase1Memo* external_p1_memo) {
   RewriteResult result;
-
-  // A query with contradictory comparisons computes nothing; the empty
-  // union is an equivalent rewriting.  (Same early exit as the serial
-  // path, before any threads spin up.)
-  if (!AcSolver::IsSatisfiable(query.comparisons())) {
-    result.outcome = RewriteOutcome::kRewritingFound;
-    if (options.verify) {
-      result.verified = RewritingIsEquivalent(query, result.rewriting, views);
-    }
-    return result;
-  }
+  const bool explain = work.options.explain;
 
   // Own a pool only if the caller did not share one.
   std::unique_ptr<ThreadPool> owned_pool;
@@ -115,21 +105,24 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
   report->jobs = pool->num_threads();
   const int64_t stolen_before = pool->tasks_stolen();
 
-  // --- Shared immutable setup ---
-
-  const RewriteWork work = PrepareRewriteWork(query, views, options);
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
 
-  // One Phase-1 memo per run, shared by every worker (sharded; first
-  // writer wins).  Which worker takes the miss for a given structural key
-  // races, so the per-database hit/miss *split* can differ from the serial
-  // run's — but every replayed conclusion is verified against the full
-  // key, so outcomes, Pre-Rewritings, and the hit+miss total are
-  // byte-identical to serial.
+  // One Phase-1 memo per run unless the caller passed a catalog-scoped
+  // one, shared by every worker (sharded; first writer wins).  Which
+  // worker takes the miss for a given structural key races, so the
+  // per-database hit/miss *split* can differ from the serial run's — but
+  // every replayed conclusion is verified against the full key, so
+  // outcomes, Pre-Rewritings, and the hit+miss total are byte-identical
+  // to serial.
   std::optional<Phase1Memo> phase1_memo;
-  if (options.phase1_dedup && !options.explain) phase1_memo.emplace();
-  Phase1Memo* const p1_memo = phase1_memo ? &*phase1_memo : nullptr;
+  if (external_p1_memo == nullptr && options.phase1_dedup && !explain) {
+    phase1_memo.emplace();
+  }
+  Phase1Memo* const p1_memo =
+      external_p1_memo != nullptr
+          ? external_p1_memo
+          : (phase1_memo ? &*phase1_memo : nullptr);
 
   // --- Phase 1 fan-out: one task per canonical database, streamed ---
   //
@@ -181,7 +174,7 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     }
     ++result.stats.canonical_databases;
     result.stats.Merge(slot.outcome.stats);
-    if (options.explain) {
+    if (explain) {
       result.trace.databases.push_back(std::move(slot.outcome.trace));
     }
     if (slot.outcome.status == DatabaseOutcome::Status::kFailed) {
@@ -200,7 +193,8 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     CQAC_TRACE_SPAN("phase1.enumerate");
     int64_t enumerated = 0;
     ForEachTotalOrder(
-        query.AllVariables(), work.constants, [&](const TotalOrder& order) {
+        work.query.AllVariables(), work.constants,
+        [&](const TotalOrder& order) {
           if (cancel != nullptr && cancel->cancelled()) return false;
           ++enumerated;
           if (options.max_canonical_databases >= 0 &&
@@ -359,7 +353,7 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
     } else {
       ++report->cache_misses;
     }
-    if (options.explain) {
+    if (explain) {
       phase2_verdicts[pre_rewritings[i].ToString()] = slot.outcome.contained;
     }
     if (!slot.outcome.contained) {
@@ -370,7 +364,7 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
       break;
     }
   }
-  if (options.explain) {
+  if (explain) {
     for (CanonicalDatabaseTrace& db : result.trace.databases) {
       if (db.status != "ok") continue;
       auto it = phase2_verdicts.find(db.pre_rewriting);
@@ -391,6 +385,30 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
   return result;
 }
 
+RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
+                                  const ViewSet& views,
+                                  const RewriteOptions& options,
+                                  MemoCache* memo, ThreadPool* pool,
+                                  ParallelRewriteReport* report) {
+  // A query with contradictory comparisons computes nothing; the empty
+  // union is an equivalent rewriting.  (Same early exit as the serial
+  // path, before any threads spin up.)
+  if (!AcSolver::IsSatisfiable(query.comparisons())) {
+    RewriteResult result;
+    result.outcome = RewriteOutcome::kRewritingFound;
+    if (options.verify) {
+      result.verified = RewritingIsEquivalent(query, result.rewriting, views);
+    }
+    return result;
+  }
+
+  // --- Shared immutable setup ---
+
+  const RewriteWork work = PrepareRewriteWork(query, views, options);
+  return ParallelRewritePreparedImpl(work, options, memo, pool, report,
+                                     /*external_p1_memo=*/nullptr);
+}
+
 }  // namespace
 
 RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
@@ -402,6 +420,20 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
   if (report == nullptr) report = &local_report;
   RewriteResult result =
       ParallelRewriteImpl(query, views, options, memo, pool, report);
+  RecordRewriteMetrics(result.stats);
+  RecordParallelMetrics(*report);
+  return result;
+}
+
+RewriteResult ParallelRewritePrepared(const RewriteWork& work,
+                                      const RewriteOptions& driver,
+                                      MemoCache* memo, ThreadPool* pool,
+                                      ParallelRewriteReport* report,
+                                      Phase1Memo* phase1_memo) {
+  ParallelRewriteReport local_report;
+  if (report == nullptr) report = &local_report;
+  RewriteResult result = ParallelRewritePreparedImpl(work, driver, memo, pool,
+                                                     report, phase1_memo);
   RecordRewriteMetrics(result.stats);
   RecordParallelMetrics(*report);
   return result;

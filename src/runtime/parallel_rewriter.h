@@ -64,6 +64,22 @@ RewriteResult ParallelRewrite(const ConjunctiveQuery& query,
                               ThreadPool* pool = nullptr,
                               ParallelRewriteReport* report = nullptr);
 
+/// The same driver over a prebuilt work context — the parallel twin of
+/// RunPreparedRewriteSerial (rewriting/equiv_rewriter.h), used by a
+/// ViewCatalog to fan out many requests over one compiled RewriteWork.
+/// `driver` supplies the scheduling knobs (jobs, cancel,
+/// max_canonical_databases, phase1_dedup); phase semantics come from
+/// work.options.  `phase1_memo`, when non-null, must belong to `work` and
+/// may persist across calls; when null a run-local memo is created per
+/// driver.phase1_dedup.  The caller must have handled the
+/// unsatisfiable-query shortcut.
+RewriteResult ParallelRewritePrepared(const RewriteWork& work,
+                                      const RewriteOptions& driver,
+                                      MemoCache* memo = nullptr,
+                                      ThreadPool* pool = nullptr,
+                                      ParallelRewriteReport* report = nullptr,
+                                      Phase1Memo* phase1_memo = nullptr);
+
 }  // namespace cqac
 
 #endif  // CQAC_RUNTIME_PARALLEL_REWRITER_H_

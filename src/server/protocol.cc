@@ -119,6 +119,18 @@ bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
   }
 
   bool ok = true;
+  const std::string type = root.FindString("type", "rewrite", &ok);
+  if (!ok) {
+    *error = "'type' must be a string";
+    return false;
+  }
+  if (type == "set_catalog") {
+    request->set_catalog = true;
+  } else if (type != "rewrite") {
+    *error = "unknown request type '" + type + "'";
+    return false;
+  }
+
   const std::string job = root.FindString("job", "", &ok);
   if (!ok) {
     *error = "'job' must be a string";
@@ -127,15 +139,6 @@ bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
   if (!job.empty()) {
     request->job_text = job;
   } else {
-    const std::string query = root.FindString("query", "", &ok);
-    if (!ok) {
-      *error = "'query' must be a string";
-      return false;
-    }
-    if (query.empty()) {
-      *error = "request carries neither 'job' nor 'query'";
-      return false;
-    }
     std::string text;
     if (const JsonValue* views = root.Find("views"); views != nullptr) {
       if (views->type() != JsonValue::Type::kArray) {
@@ -150,7 +153,19 @@ bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
         text += "view " + view.AsString() + "\n";
       }
     }
-    text += "query " + query + "\n";
+    const std::string query = root.FindString("query", "", &ok);
+    if (!ok) {
+      *error = "'query' must be a string";
+      return false;
+    }
+    if (!query.empty()) {
+      text += "query " + query + "\n";
+    } else if (!request->set_catalog) {
+      // A rewrite needs a query; a catalog swap is views alone (an empty
+      // `views` array clears the default catalog).
+      *error = "request carries neither 'job' nor 'query'";
+      return false;
+    }
     request->job_text = std::move(text);
   }
 
@@ -209,6 +224,15 @@ std::string EncodeServiceResponse(const ServiceResponse& response) {
            ", \"phase1_ns\": " + std::to_string(s.phase1_ns) +
            ", \"phase2_ns\": " + std::to_string(s.phase2_ns) + "}";
   }
+  if (response.catalog_epoch > 0) {
+    out += ", \"catalog_epoch\": " + std::to_string(response.catalog_epoch) +
+           ", \"semantic_cache_hit\": " +
+           (response.from_semantic_cache ? std::string("1")
+                                         : std::string("0"));
+  }
+  if (response.catalog_views >= 0) {
+    out += ", \"catalog_views\": " + std::to_string(response.catalog_views);
+  }
   out += "}";
   return out;
 }
@@ -264,6 +288,23 @@ bool ParseServiceResponse(const std::string& body, ServiceResponse* response,
   response->error = root.FindString("error", "", &ok);
   if (!ok) {
     *error = "'error' must be a string";
+    return false;
+  }
+  response->catalog_epoch =
+      static_cast<uint64_t>(root.FindInt("catalog_epoch", 0, &ok));
+  if (!ok) {
+    *error = "'catalog_epoch' must be an integer";
+    return false;
+  }
+  response->from_semantic_cache =
+      root.FindInt("semantic_cache_hit", 0, &ok) != 0;
+  if (!ok) {
+    *error = "'semantic_cache_hit' must be an integer";
+    return false;
+  }
+  response->catalog_views = root.FindInt("catalog_views", -1, &ok);
+  if (!ok) {
+    *error = "'catalog_views' must be an integer";
     return false;
   }
   return true;

@@ -18,11 +18,18 @@
 //
 // Request body (all fields optional unless noted):
 //
-//   {"job": "view v(...) :- ...\nquery q(...) :- ...",   // required*
+//   {"type": "rewrite",  // rewrite (default) | set_catalog
+//    "job": "view v(...) :- ...\nquery q(...) :- ...",   // required*
 //    "query": "q(X) :- ...", "views": ["v(X) :- ..."],   // *alternative
 //    "index": 0,          // job index echoed in the rendered body
 //    "deadline_ms": 2000, // wall-clock budget; 0/absent = server default
 //    "echo": false}       // echo definitions in the body
+//
+// A `set_catalog` request carries only views — either a `job` block of
+// `view` directives or a `views` array — and swaps the server's default
+// catalog to a compilation of that view set (docs/SERVICE.md); requires
+// the server to run with catalog support (`cqacd --catalog`).
+// Subsequent query-only rewrite requests are served against it.
 //
 // Response body:
 //
@@ -33,8 +40,12 @@
 //    "body": "job 0: ...",     // status=ok only; byte-identical to the
 //                              // --serve-batch result block
 //    "error": "...",           // non-ok statuses
-//    "counters": {...}}        // status=ok, job ran: the per-rewrite
+//    "counters": {...},        // status=ok, job ran: the per-rewrite
 //                              // schema_version record of docs/SYNTAX.md
+//    "catalog_epoch": 7,       // catalog-served only: epoch of the
+//    "semantic_cache_hit": 1,  //   serving catalog + whether the result
+//                              //   replayed from the semantic cache
+//    "catalog_views": 3}       // set_catalog ack only: view count
 
 #include <cstddef>
 #include <cstdint>
@@ -112,12 +123,17 @@ struct ServiceRequest {
   int64_t deadline_ms = 0;  // 0 = use the server default (possibly none)
   bool echo = false;
   bool has_echo = false;  // request carried an explicit "echo"
+
+  /// `"type": "set_catalog"`: job_text then holds only `view` directives
+  /// and the request swaps the server's default catalog.
+  bool set_catalog = false;
 };
 
 /// Parses a request body.  Accepts either a raw `job` block or the
 /// structured `query` + `views` form (assembled into a block, so both
-/// take the same parse path server-side).  False + `error` on
-/// malformed JSON, wrong field types, or a missing job.
+/// take the same parse path server-side); a `set_catalog` request may
+/// instead carry views alone.  False + `error` on malformed JSON, wrong
+/// field types, or a missing job.
 bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
                          std::string* error);
 
@@ -133,6 +149,15 @@ struct ServiceResponse {
   bool has_counters = false;
   RewriteStats stats;
   int64_t disjuncts = 0;
+
+  /// Catalog provenance: epoch of the catalog that served the job (0 =
+  /// not catalog-served) and whether the result replayed from its
+  /// semantic cache.  Encoded only when catalog_epoch > 0.
+  uint64_t catalog_epoch = 0;
+  bool from_semantic_cache = false;
+
+  /// set_catalog ack only: number of views compiled; -1 = absent.
+  int64_t catalog_views = -1;
 };
 
 /// Serializes a response body.  The counters object mirrors the

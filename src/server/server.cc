@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <sstream>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -45,10 +46,46 @@ bool SendAll(int fd, const std::string& data) {
   return true;
 }
 
+/// Parses a job block expected to hold only `view` directives (a catalog
+/// definition).  An empty block is a valid empty view set.
+bool ParseViewsBlock(const std::string& text, ViewSet* views,
+                     std::string* error) {
+  std::istringstream in(text);
+  std::vector<BatchJob> jobs = ParseJobStream(in);
+  if (jobs.empty()) {
+    *views = ViewSet();
+    return true;
+  }
+  if (jobs.size() > 1) {
+    *error = "catalog definition contains " + std::to_string(jobs.size()) +
+             " blocks; send one";
+    return false;
+  }
+  BatchJob& job = jobs.front();
+  // ParseJobStream flags a view-only block as a job without a query —
+  // here that is exactly the expected shape.
+  if (!job.error.empty() && job.error != "job has views but no query") {
+    *error = job.error;
+    return false;
+  }
+  if (job.query.has_value()) {
+    *error = "catalog definition must not contain a query";
+    return false;
+  }
+  *views = std::move(job.views);
+  return true;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), memo_(options_.cache_capacity) {}
+    : options_(std::move(options)), memo_(options_.cache_capacity) {
+  if (options_.use_catalog) {
+    CatalogOptions copts;
+    copts.containment_cache_capacity = options_.cache_capacity;
+    registry_ = std::make_unique<CatalogRegistry>(/*capacity=*/8, copts);
+  }
+}
 
 Server::~Server() {
   if (started_.load() && !joined_.load()) {
@@ -61,6 +98,21 @@ bool Server::Start(std::string* error) {
   if (options_.unix_socket_path.empty() && options_.tcp_port < 0) {
     *error = "no listener configured: set a Unix socket path or a TCP port";
     return false;
+  }
+
+  if (!options_.catalog_views_text.empty()) {
+    if (registry_ == nullptr) {
+      *error = "catalog views configured without catalog support enabled";
+      return false;
+    }
+    ViewSet views;
+    std::string verror;
+    if (!ParseViewsBlock(options_.catalog_views_text, &views, &verror)) {
+      *error = "bad catalog views: " + verror;
+      return false;
+    }
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    default_catalog_ = registry_->GetOrBuild(views);
   }
 
   if (!options_.unix_socket_path.empty()) {
@@ -263,6 +315,13 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     return;
   }
 
+  if (request.set_catalog) {
+    // A catalog swap is control-plane work: handled inline (compiling a
+    // view set is cheap next to one rewrite) and not counted as a job.
+    HandleSetCatalog(conn, frame.id, request);
+    return;
+  }
+
   // Admission control: shed rather than queue once the live count of
   // admitted-but-unfinished jobs reaches the limit.  The pool's
   // max_queue_depth() watermark is monotonic and would latch rejection
@@ -307,6 +366,45 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
   });
 }
 
+void Server::HandleSetCatalog(const std::shared_ptr<Connection>& conn,
+                              uint64_t id, const ServiceRequest& request) {
+  ServiceResponse response;
+  if (registry_ == nullptr) {
+    response.status = ResponseStatus::kBadRequest;
+    response.outcome = JobOutcome::kError;
+    response.error =
+        "catalog support is disabled; start cqacd with --catalog";
+    WriteResponse(*conn, id, response);
+    return;
+  }
+  ViewSet views;
+  std::string error;
+  if (!ParseViewsBlock(request.job_text, &views, &error)) {
+    response.status = ResponseStatus::kBadRequest;
+    response.outcome = JobOutcome::kError;
+    response.error = error;
+    WriteResponse(*conn, id, response);
+    return;
+  }
+  const std::shared_ptr<ViewCatalog> catalog = registry_->GetOrBuild(views);
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    default_catalog_ = catalog;
+  }
+  const int view_count = static_cast<int>(views.views().size());
+  response.status = ResponseStatus::kOk;
+  response.outcome = JobOutcome::kNone;
+  response.body = "catalog set: " + std::to_string(view_count) + " view" +
+                  (view_count == 1 ? "" : "s") + ", epoch " +
+                  std::to_string(catalog->epoch()) + "\n";
+  response.catalog_epoch = catalog->epoch();
+  response.catalog_views = view_count;
+  WriteResponse(*conn, id, response);
+  if (obs::MetricsActive()) {
+    obs::MetricsRegistry::Global().counter("server.catalog_swaps").Add(1);
+  }
+}
+
 void Server::RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
                     const ServiceRequest& request,
                     const std::shared_ptr<JobState>& job_state) {
@@ -332,8 +430,23 @@ void Server::RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
     RewriteOptions per_job = options_.rewrite;
     per_job.jobs = 1;
     per_job.cancel = &job_state->token;
+    std::shared_ptr<ViewCatalog> catalog;
+    if (registry_ != nullptr) {
+      if (job.views.views().empty()) {
+        // Query-only request: served against the default catalog when one
+        // is installed (else an empty view set, same as the classic path).
+        std::lock_guard<std::mutex> lock(catalog_mu_);
+        catalog = default_catalog_;
+      }
+      if (catalog == nullptr) catalog = registry_->GetOrBuild(job.views);
+    }
     const RewriteResult result =
-        EquivalentRewriter(*job.query, job.views, per_job, &memo_).Run();
+        catalog != nullptr
+            ? catalog->Rewrite(*job.query, per_job)
+            : EquivalentRewriter(*job.query, job.views, per_job, &memo_)
+                  .Run();
+    response.catalog_epoch = result.catalog_epoch;
+    response.from_semantic_cache = result.from_semantic_cache;
     run_stats = result.stats;
     counted_stats = &run_stats;
     const bool cancelled = result.outcome == RewriteOutcome::kAborted &&
@@ -510,7 +623,19 @@ BatchSummary Server::summary() const {
     std::lock_guard<std::mutex> lock(summary_mu_);
     out = summary_;
   }
-  out.cache = memo_.Stats();
+  if (registry_ != nullptr) {
+    const CatalogRegistryStats cstats = registry_->Stats();
+    out.catalog_enabled = true;
+    out.catalogs_built = cstats.catalogs_built;
+    out.catalog_plans_built = cstats.plans_built;
+    out.catalog_plan_hits = cstats.plan_hits;
+    out.catalog_semantic_hits = cstats.semantic_hits;
+    out.catalog_semantic_misses = cstats.semantic_misses;
+    out.catalog_epoch = cstats.latest_epoch;
+    out.cache = cstats.containment;
+  } else {
+    out.cache = memo_.Stats();
+  }
   return out;
 }
 

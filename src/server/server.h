@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "catalog/view_catalog.h"
 #include "runtime/batch_driver.h"
 #include "runtime/cancellation.h"
 #include "runtime/memo_cache.h"
@@ -79,6 +80,19 @@ struct ServerOptions {
 
   /// Default for requests that do not carry their own `echo`.
   bool echo = false;
+
+  /// Serve jobs through a CatalogRegistry (catalog/view_catalog.h): each
+  /// distinct view set is compiled once into a shared ViewCatalog whose
+  /// plans, Phase-1 memo, containment memo, and semantic result cache
+  /// persist across requests and connections.  Also enables the
+  /// `set_catalog` request, which installs a default catalog that serves
+  /// query-only requests.  Results are byte-identical either way.
+  /// Behind `cqacd --catalog`.
+  bool use_catalog = false;
+
+  /// Startup default catalog: a job block of `view` directives compiled
+  /// at Start() (requires use_catalog).  Behind `cqacd --catalog-views`.
+  std::string catalog_views_text;
 };
 
 class Server {
@@ -144,6 +158,8 @@ class Server {
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   void WatchdogLoop();
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
+  void HandleSetCatalog(const std::shared_ptr<Connection>& conn, uint64_t id,
+                        const ServiceRequest& request);
   void RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
               const ServiceRequest& request,
               const std::shared_ptr<JobState>& job_state);
@@ -156,6 +172,14 @@ class Server {
   ServerOptions options_;
   MemoCache memo_;
   std::unique_ptr<ThreadPool> pool_;
+
+  /// Catalog mode (options_.use_catalog): the registry of compiled view
+  /// sets, plus the default catalog serving query-only requests.  The
+  /// default is swapped atomically under catalog_mu_ by `set_catalog`;
+  /// in-flight jobs keep their shared_ptr to the catalog they started on.
+  std::unique_ptr<CatalogRegistry> registry_;
+  mutable std::mutex catalog_mu_;
+  std::shared_ptr<ViewCatalog> default_catalog_;
 
   std::vector<int> listen_fds_;
   int bound_tcp_port_ = -1;

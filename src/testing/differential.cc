@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "catalog/view_catalog.h"
 #include "containment/homomorphism.h"
 #include "runtime/memo_cache.h"
 
@@ -16,6 +17,7 @@ std::string LatticeConfig::Name() const {
   if (legacy_orders) out << " legacy-orders";
   if (legacy_homomorphism) out << " legacy-homomorphism";
   if (verify) out << " verify";
+  if (use_catalog) out << " catalog";
   return out.str();
 }
 
@@ -60,6 +62,13 @@ std::vector<LatticeConfig> FullConfigLattice() {
   LatticeConfig verify;  // semantic anchor
   verify.verify = true;
   lattice.push_back(verify);
+  LatticeConfig catalog;  // catalog-served, replayed from the semantic cache
+  catalog.use_catalog = true;
+  lattice.push_back(catalog);
+  LatticeConfig catalog_parallel;  // catalog plan under the parallel driver
+  catalog_parallel.use_catalog = true;
+  catalog_parallel.jobs = 4;
+  lattice.push_back(catalog_parallel);
   return lattice;
 }
 
@@ -80,6 +89,9 @@ std::vector<LatticeConfig> SmokeConfigLattice() {
   LatticeConfig verify;
   verify.verify = true;
   lattice.push_back(verify);
+  LatticeConfig catalog;
+  catalog.use_catalog = true;
+  lattice.push_back(catalog);
   return lattice;
 }
 
@@ -152,6 +164,14 @@ ScopedEngineSelection::~ScopedEngineSelection() {
 
 RewriteResult RunWithConfig(const FuzzCase& c, const LatticeConfig& config) {
   ScopedEngineSelection selection(config);
+  if (config.use_catalog) {
+    // Cold run populates the caches, warm run replays from the semantic
+    // cache; returning the warm result makes the lattice diff prove the
+    // replay is byte-identical to a fresh run.
+    ViewCatalog catalog(c.views);
+    (void)catalog.Rewrite(c.query, config.ToOptions());
+    return catalog.Rewrite(c.query, config.ToOptions());
+  }
   MemoCache memo(/*capacity=*/1 << 14, /*num_shards=*/4);
   EquivalentRewriter rewriter(c.query, c.views, config.ToOptions(),
                               config.memo_cache ? &memo : nullptr);

@@ -37,6 +37,12 @@ struct LatticeConfig {
   /// re-checked; the driver requires verified == true whenever this is on.
   bool verify = false;
 
+  /// Serve the case through a freshly built ViewCatalog
+  /// (catalog/view_catalog.h), running it twice so the second run replays
+  /// from the semantic cache — the signature diffed against the baseline
+  /// is the warm one, proving cached results are byte-identical.
+  bool use_catalog = false;
+
   /// E.g. "jobs=4 dedup memo legacy-orders".
   std::string Name() const;
 

@@ -490,6 +490,123 @@ TEST(ServerTest, JobsOneAndJobsManyProduceIdenticalBodies) {
   EXPECT_EQ(s1.errors, sN.errors);
 }
 
+TEST(ServerTest, CatalogModeMatchesClassicByteForByte) {
+  ServerOptions classic;
+  ServerOptions catalog;
+  catalog.use_catalog = true;
+  TestServer ts_classic(std::move(classic));
+  TestServer ts_catalog(std::move(catalog));
+  ASSERT_TRUE(ts_classic.started);
+  ASSERT_TRUE(ts_catalog.started);
+
+  TestClient c1(ts_classic.path);
+  TestClient c2(ts_catalog.path);
+  ASSERT_TRUE(c1.connected());
+  ASSERT_TRUE(c2.connected());
+
+  // Same job twice: the catalog server's second answer replays from the
+  // semantic cache but the body stays byte-identical.
+  for (uint64_t id = 1; id <= 2; ++id) {
+    ASSERT_TRUE(c1.SendRequest(id, RequestBody(kPaperJob)));
+    ASSERT_TRUE(c2.SendRequest(id, RequestBody(kPaperJob)));
+    uint64_t id1 = 0, id2 = 0;
+    ServiceResponse r1, r2;
+    ASSERT_TRUE(c1.ReadResponse(&id1, &r1));
+    ASSERT_TRUE(c2.ReadResponse(&id2, &r2));
+    EXPECT_EQ(r1.status, ResponseStatus::kOk);
+    EXPECT_EQ(r2.status, ResponseStatus::kOk);
+    EXPECT_EQ(r1.body, r2.body);
+    EXPECT_EQ(r1.catalog_epoch, 0u);  // classic server: no catalog
+    EXPECT_GT(r2.catalog_epoch, 0u);
+    EXPECT_EQ(r2.from_semantic_cache, id == 2);
+  }
+
+  const BatchSummary summary = ts_catalog.server->summary();
+  EXPECT_TRUE(summary.catalog_enabled);
+  EXPECT_EQ(summary.catalogs_built, 1);
+  EXPECT_EQ(summary.catalog_semantic_hits, 1);
+  EXPECT_EQ(summary.catalog_semantic_misses, 1);
+  EXPECT_GT(summary.catalog_epoch, 0u);
+}
+
+TEST(ServerTest, SetCatalogServesQueryOnlyRequestsAndSwaps) {
+  ServerOptions options;
+  options.use_catalog = true;
+  TestServer ts(std::move(options));
+  ASSERT_TRUE(ts.started);
+
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+
+  // Install the paper example's view as the default catalog.
+  ASSERT_TRUE(client.SendRequest(
+      1,
+      "{\"type\": \"set_catalog\", \"views\": "
+      "[\"v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z\"]}"));
+  uint64_t id = 0;
+  ServiceResponse ack;
+  ASSERT_TRUE(client.ReadResponse(&id, &ack));
+  EXPECT_EQ(ack.status, ResponseStatus::kOk);
+  EXPECT_EQ(ack.catalog_views, 1);
+  ASSERT_GT(ack.catalog_epoch, 0u);
+
+  // A query-only request runs against the installed catalog and renders
+  // the same block as the full job.
+  std::istringstream batch_in(kPaperJob);
+  std::ostringstream batch_out;
+  RunBatch(batch_in, batch_out);
+  const std::string batch_block =
+      batch_out.str().substr(0, batch_out.str().find("batch: "));
+
+  ASSERT_TRUE(client.SendRequest(
+      2, "{\"query\": \"q(A) :- r(A), s(A,A), A <= 8\"}"));
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.outcome, JobOutcome::kFound);
+  EXPECT_EQ(response.body, batch_block);
+  EXPECT_EQ(response.catalog_epoch, ack.catalog_epoch);
+
+  // Swapping to a different view set bumps the epoch; subsequent
+  // query-only requests land on the new catalog.
+  ASSERT_TRUE(client.SendRequest(
+      3,
+      "{\"type\": \"set_catalog\", \"views\": "
+      "[\"w(A,B) :- t(A,B), A <= B\"]}"));
+  ServiceResponse ack2;
+  ASSERT_TRUE(client.ReadResponse(&id, &ack2));
+  EXPECT_EQ(ack2.status, ResponseStatus::kOk);
+  EXPECT_GT(ack2.catalog_epoch, ack.catalog_epoch);
+
+  ASSERT_TRUE(client.SendRequest(
+      4, "{\"query\": \"q(A) :- r(A), s(A,A), A <= 8\"}"));
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.catalog_epoch, ack2.catalog_epoch);
+  EXPECT_FALSE(response.from_semantic_cache);  // new epoch starts cold
+}
+
+TEST(ServerTest, SetCatalogRejectedWithoutCatalogSupport) {
+  TestServer ts;  // classic server, no --catalog
+  ASSERT_TRUE(ts.started);
+
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendRequest(
+      1, "{\"type\": \"set_catalog\", \"views\": []}"));
+  uint64_t id = 0;
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kBadRequest);
+  EXPECT_NE(response.error.find("--catalog"), std::string::npos);
+
+  // The connection survives; an ordinary job still runs.
+  ASSERT_TRUE(client.SendRequest(2, RequestBody(kPaperJob)));
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.outcome, JobOutcome::kFound);
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace cqac

@@ -22,8 +22,10 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -52,7 +54,7 @@ constexpr char kDefaultLoadJob[] =
 
 void PrintUsage(std::ostream& out) {
   out << "usage: cqacc [--unix PATH | --port N [--host H]]\n"
-         "             [--deadline-ms N] [--echo]\n"
+         "             [--deadline-ms N] [--echo] [--set-catalog FILE]\n"
          "             [--load N [--concurrency C] [--job-file FILE]]\n"
          "             [--help]\n"
          "  --unix PATH      connect to a Unix-domain socket\n"
@@ -60,8 +62,14 @@ void PrintUsage(std::ostream& out) {
          "  --host H         TCP host for --port\n"
          "  --deadline-ms N  attach this deadline to every request\n"
          "  --echo           ask the server to echo job definitions\n"
+         "  --set-catalog FILE\n"
+         "                   first send a set_catalog request installing\n"
+         "                   FILE (a block of `view` directives) as the\n"
+         "                   server's default catalog (needs cqacd\n"
+         "                   --catalog)\n"
          "  --load N         load mode: submit N copies of a fixed job and\n"
-         "                   print a one-line JSON throughput record\n"
+         "                   print a one-line JSON record with throughput\n"
+         "                   and p50/p95/p99 request latency\n"
          "  --concurrency C  connections used in load mode (default 1)\n"
          "  --job-file FILE  job block submitted in load mode (default: a\n"
          "                   built-in two-view job)\n"
@@ -234,7 +242,54 @@ struct LoadTally {
   int64_t deadline_exceeded = 0;
   int64_t rejected = 0;
   int64_t errors = 0;
+  int64_t semantic_cache_hits = 0;
+  std::vector<int64_t> latencies_ns;  // one entry per completed request
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t rank = static_cast<size_t>(
+      std::ceil((p / 100.0) * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+std::string BuildSetCatalogBody(const std::string& views_text) {
+  std::string body = "{\"type\": \"set_catalog\", \"job\": ";
+  AppendJsonString(&body, views_text);
+  body += "}";
+  return body;
+}
+
+/// Sends one set_catalog request over its own connection and prints the
+/// ack to stderr.  False on any failure.
+bool SetCatalog(const Endpoint& endpoint, const std::string& views_text) {
+  std::string error;
+  const int fd = Connect(endpoint, &error);
+  if (fd < 0) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  FrameDecoder decoder;
+  ServiceResponse response;
+  const bool ok = RoundTrip(fd, &decoder, 1, BuildSetCatalogBody(views_text),
+                            &response, &error);
+  ::close(fd);
+  if (!ok) {
+    std::cerr << "error: set_catalog: " << error << "\n";
+    return false;
+  }
+  if (response.status != ResponseStatus::kOk) {
+    std::cerr << "error: set_catalog: "
+              << ResponseStatusName(response.status) << ": "
+              << response.error << "\n";
+    return false;
+  }
+  std::cerr << "cqacc: " << response.body;
+  return true;
+}
 
 }  // namespace
 
@@ -245,6 +300,7 @@ int main(int argc, char** argv) {
   int64_t load = -1;
   int64_t concurrency = 1;
   std::string job_file;
+  std::string set_catalog_file;
 
   auto next_value = [&](int* i, const char* flag) -> const char* {
     if (*i + 1 >= argc) {
@@ -307,6 +363,10 @@ int main(int argc, char** argv) {
       const char* v = next_value(&i, "--job-file");
       if (v == nullptr) return 1;
       job_file = v;
+    } else if (arg == "--set-catalog") {
+      const char* v = next_value(&i, "--set-catalog");
+      if (v == nullptr) return 1;
+      set_catalog_file = v;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
       return 0;
@@ -320,6 +380,18 @@ int main(int argc, char** argv) {
   if (endpoint.unix_path.empty() && endpoint.port < 0) {
     std::cerr << "error: no server: pass --unix PATH or --port N\n";
     return 1;
+  }
+
+  if (!set_catalog_file.empty()) {
+    std::ifstream in(set_catalog_file);
+    if (!in) {
+      std::cerr << "error: cannot read catalog views file '"
+                << set_catalog_file << "'\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!SetCatalog(endpoint, buffer.str())) return 1;
   }
 
   if (load < 0) {
@@ -389,6 +461,7 @@ int main(int argc, char** argv) {
         const int64_t index = next_request.fetch_add(1);
         if (index >= load) break;
         ServiceResponse response;
+        const auto request_start = std::chrono::steady_clock::now();
         if (!RoundTrip(fd, &decoder, index + 1,
                        BuildRequestBody(job_text, index, deadline_ms, echo),
                        &response, &error)) {
@@ -396,6 +469,11 @@ int main(int argc, char** argv) {
           break;
         }
         LoadTally& tally = tallies[w];
+        tally.latencies_ns.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - request_start)
+                .count());
+        if (response.from_semantic_cache) ++tally.semantic_cache_hits;
         switch (response.status) {
           case ResponseStatus::kOk:
             if (response.outcome == JobOutcome::kError) {
@@ -425,12 +503,23 @@ int main(int argc, char** argv) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count();
 
   LoadTally total;
+  std::vector<int64_t> latencies;
   for (const LoadTally& t : tallies) {
     total.ok += t.ok;
     total.deadline_exceeded += t.deadline_exceeded;
     total.rejected += t.rejected;
     total.errors += t.errors;
+    total.semantic_cache_hits += t.semantic_cache_hits;
+    latencies.insert(latencies.end(), t.latencies_ns.begin(),
+                     t.latencies_ns.end());
   }
+  std::sort(latencies.begin(), latencies.end());
+  int64_t latency_sum = 0;
+  for (const int64_t ns : latencies) latency_sum += ns;
+  const int64_t latency_mean =
+      latencies.empty()
+          ? 0
+          : latency_sum / static_cast<int64_t>(latencies.size());
   const int64_t completed =
       total.ok + total.deadline_exceeded + total.rejected + total.errors;
   const double seconds = static_cast<double>(wall_ns) / 1e9;
@@ -440,8 +529,15 @@ int main(int argc, char** argv) {
             << ", \"concurrency\": " << concurrency << ", \"ok\": "
             << total.ok << ", \"deadline_exceeded\": "
             << total.deadline_exceeded << ", \"rejected\": " << total.rejected
-            << ", \"errors\": " << total.errors << ", \"wall_ns\": "
-            << wall_ns << ", \"requests_per_sec\": " << rps << "}\n";
+            << ", \"errors\": " << total.errors
+            << ", \"semantic_cache_hits\": " << total.semantic_cache_hits
+            << ", \"wall_ns\": " << wall_ns
+            << ", \"requests_per_sec\": " << rps
+            << ", \"latency_ns_mean\": " << latency_mean
+            << ", \"latency_ns_p50\": " << Percentile(latencies, 50)
+            << ", \"latency_ns_p95\": " << Percentile(latencies, 95)
+            << ", \"latency_ns_p99\": " << Percentile(latencies, 99)
+            << "}\n";
 
   for (int64_t w = 0; w < concurrency; ++w) {
     if (!failures[w].empty()) {

@@ -20,6 +20,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -34,6 +35,7 @@ namespace {
 void PrintUsage(std::ostream& out) {
   out << "usage: cqacd [--unix PATH] [--port N] [--jobs N]\n"
          "             [--max-inflight N] [--deadline-ms N] [--echo]\n"
+         "             [--catalog] [--catalog-views FILE]\n"
          "             [--stats] [--json] [--metrics] [--trace FILE]\n"
          "             [--help]\n"
          "  --unix PATH      listen on a Unix-domain socket at PATH\n"
@@ -48,6 +50,15 @@ void PrintUsage(std::ostream& out) {
          "                   that do not set one (0 = none)\n"
          "  --echo           echo job definitions in result bodies by\n"
          "                   default (requests can override per job)\n"
+         "  --catalog        compile each view set once into a shared\n"
+         "                   ViewCatalog: plans, memos, and the semantic\n"
+         "                   result cache persist across requests; also\n"
+         "                   enables the set_catalog request\n"
+         "  --catalog-views FILE\n"
+         "                   compile FILE (a block of `view` directives)\n"
+         "                   as the default catalog at startup; query-only\n"
+         "                   requests are served against it (implies\n"
+         "                   --catalog)\n"
          "  --stats          include the Phase-1 breakdown in the exit\n"
          "                   footer\n"
          "  --json           include the one-line JSON summary record in\n"
@@ -153,6 +164,20 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = value;
     } else if (arg == "--echo") {
       options.echo = true;
+    } else if (arg == "--catalog") {
+      options.use_catalog = true;
+    } else if (arg == "--catalog-views") {
+      const char* v = next_value(&i, "--catalog-views");
+      if (v == nullptr) return 1;
+      std::ifstream in(v);
+      if (!in) {
+        std::cerr << "error: cannot read catalog views file '" << v << "'\n";
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      options.catalog_views_text = buffer.str();
+      options.use_catalog = true;
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg == "--json") {

@@ -33,12 +33,18 @@
 namespace {
 
 void PrintUsage(std::ostream& out) {
-  out << "usage: cqacsh [--jobs N] [--serve-batch] [--stats] [--json]\n"
-         "              [--trace FILE] [--metrics] [--help]\n"
+  out << "usage: cqacsh [--jobs N] [--serve-batch] [--catalog] [--stats]\n"
+         "              [--json] [--trace FILE] [--metrics] [--help]\n"
          "  --jobs N       worker threads for rewriting (0 = all cores;\n"
          "                 default: all cores; 1 = serial; max 4096)\n"
          "  --serve-batch  read rewriting jobs from stdin and execute them\n"
          "                 concurrently; otherwise run the interactive shell\n"
+         "  --catalog      with --serve-batch, compile each distinct view\n"
+         "                 set once into a shared ViewCatalog whose plans,\n"
+         "                 memos, and semantic result cache persist across\n"
+         "                 the batch's jobs; results are byte-identical\n"
+         "                 (the interactive shell always uses a session\n"
+         "                 catalog)\n"
          "  --stats        print the Phase-1 breakdown (databases visited /\n"
          "                 pruned / deduped) and the per-phase wall times\n"
          "                 after each rewrite; with --serve-batch,\n"
@@ -79,6 +85,7 @@ bool WriteTraceFile(const std::string& path) {
 int main(int argc, char** argv) {
   int jobs = 0;  // 0 = hardware concurrency.
   bool serve_batch = false;
+  bool use_catalog = false;
   bool print_stats = false;
   bool json_stats = false;
   bool metrics = false;
@@ -88,6 +95,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--serve-batch") {
       serve_batch = true;
+    } else if (arg == "--catalog") {
+      use_catalog = true;
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg == "--json") {
@@ -139,6 +148,7 @@ int main(int argc, char** argv) {
   if (serve_batch) {
     cqac::BatchOptions options;
     options.jobs = jobs;
+    options.use_catalog = use_catalog;
     options.print_stats = print_stats;
     options.json_summary = json_stats;
     options.print_metrics = metrics;

@@ -17,6 +17,14 @@
 # it starts cqacd on a Unix socket and sweeps `cqacc --load` over
 # connection counts 1/2/4/8, recording one JSON record per point in
 # results/BENCH_server_throughput.json.
+#
+# Two more pseudo-benches ride the same harness:
+#   catalog_steady_state  cold (classic cqacd) vs warm (cqacd --catalog,
+#                         semantic cache) request latency on a repeated
+#                         query -> results/BENCH_view_catalog.json
+#   parallel_scaling      jobs=1/2/4 sweep of the serve-batch driver and
+#                         of cqacd worker threads
+#                         -> results/BENCH_parallel_scaling.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,8 +36,34 @@ cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
   benches=(bench_containment bench_canonical bench_homomorphism bench_phase1
-           server_throughput)
+           server_throughput catalog_steady_state parallel_scaling)
 fi
+
+# A 5-relation chain: tens of milliseconds of Phase 1 per request on one
+# core, so the warm (semantic-cache) path is clearly separable from cold.
+write_chain_job() {
+  cat > "$1" <<'EOF'
+view v(A) :- r1(A,B), r2(B,C), r3(C,D), r4(D,E), r5(E,F).
+query q(A) :- r1(A,B), r2(B,C), r3(C,D), r4(D,E), r5(E,F), A <= 8.
+EOF
+}
+
+start_daemon() {  # start_daemon SOCK LOG [extra cqacd args...]
+  local sock="$1" log="$2"
+  shift 2
+  "$build/tools/cqacd" --unix "$sock" "$@" > "$log" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 50); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "error: cqacd did not come up" >&2; return 1; }
+}
+
+stop_daemon() {
+  kill -TERM "$daemon_pid" 2>/dev/null || true
+  wait "$daemon_pid" 2>/dev/null || true
+}
 
 run_server_throughput() {
   local requests=512
@@ -69,13 +103,106 @@ run_server_throughput() {
   cat "$out" | tee "$repo/results/BENCH_server_throughput.txt"
 }
 
+run_catalog_steady_state() {
+  local work sock out job cold warm
+  work="$(mktemp -d)"
+  sock="$work/cqac.sock"
+  job="$work/job.txt"
+  out="$repo/results/BENCH_view_catalog.json"
+  write_chain_job "$job"
+
+  # Cold baseline: a classic server recompiles the views and reruns both
+  # phases on every request.
+  start_daemon "$sock" "$work/cold.out"
+  cold="$("$build/tools/cqacc" --unix "$sock" --load 16 --concurrency 1 \
+            --job-file "$job")"
+  stop_daemon
+  rm -f "$sock"
+
+  # Steady state: cqacd --catalog serves repeats of the same query from
+  # the alpha-normalized semantic cache — only the first request pays the
+  # rewrite; p50 over 64 requests is the warm replay cost.
+  start_daemon "$sock" "$work/warm.out" --catalog
+  warm="$("$build/tools/cqacc" --unix "$sock" --load 64 --concurrency 1 \
+            --job-file "$job")"
+  stop_daemon
+  rm -rf "$work"
+
+  local cold_p50 warm_p50 speedup
+  cold_p50="$(printf '%s' "$cold" | sed -n 's/.*"latency_ns_p50": \([0-9]*\).*/\1/p')"
+  warm_p50="$(printf '%s' "$warm" | sed -n 's/.*"latency_ns_p50": \([0-9]*\).*/\1/p')"
+  speedup="$(awk -v c="$cold_p50" -v w="$warm_p50" \
+               'BEGIN { printf (w > 0 ? "%.1f" : "0"), c / w }')"
+  {
+    echo "{\"bench\": \"catalog_steady_state\","
+    echo " \"commit\": \"$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)\","
+    echo " \"cpus\": $(nproc),"
+    echo " \"job\": \"chain5\","
+    echo " \"cold\": $cold,"
+    echo " \"warm\": $warm,"
+    echo " \"warm_speedup_p50\": $speedup}"
+  } > "$out"
+  cat "$out" | tee "$repo/results/BENCH_view_catalog.txt"
+}
+
+run_parallel_scaling() {
+  local work sock out job stream rec wall_start wall_ns
+  work="$(mktemp -d)"
+  sock="$work/cqac.sock"
+  job="$work/job.txt"
+  stream="$work/stream.txt"
+  out="$repo/results/BENCH_parallel_scaling.json"
+  write_chain_job "$job"
+  : > "$stream"
+  for _ in $(seq 1 8); do
+    cat "$job" >> "$stream"
+    echo >> "$stream"
+  done
+
+  {
+    echo "{\"bench\": \"parallel_scaling\","
+    echo " \"commit\": \"$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)\","
+    echo " \"cpus\": $(nproc),"
+    echo " \"batch_jobs_per_run\": 8,"
+    echo " \"batch_sweep\": ["
+    local first=1
+    for j in 1 2 4; do
+      [ $first -eq 1 ] || echo ","
+      first=0
+      wall_start=$(date +%s%N)
+      "$build/tools/cqacsh" --serve-batch --jobs "$j" \
+        < "$stream" > /dev/null
+      wall_ns=$(( $(date +%s%N) - wall_start ))
+      printf '  {"jobs": %d, "wall_ns": %d}' "$j" "$wall_ns"
+    done
+    echo ""
+    echo " ],"
+    echo " \"server_sweep\": ["
+    first=1
+    for j in 1 2 4; do
+      [ $first -eq 1 ] || echo ","
+      first=0
+      start_daemon "$sock" "$work/cqacd_$j.out" --jobs "$j"
+      rec="$("$build/tools/cqacc" --unix "$sock" --load 32 \
+               --concurrency "$j" --job-file "$job")"
+      stop_daemon
+      rm -f "$sock"
+      printf '  {"jobs": %d, "load": %s}' "$j" "$rec"
+    done
+    echo ""
+    echo "]}"
+  } > "$out"
+  rm -rf "$work"
+  cat "$out" | tee "$repo/results/BENCH_parallel_scaling.txt"
+}
+
 targets=()
 for bench in "${benches[@]}"; do
-  if [ "$bench" = server_throughput ]; then
-    targets+=(cqacd cqacc)
-  else
-    targets+=("$bench")
-  fi
+  case "$bench" in
+    server_throughput|catalog_steady_state) targets+=(cqacd cqacc) ;;
+    parallel_scaling) targets+=(cqacd cqacc cqacsh) ;;
+    *) targets+=("$bench") ;;
+  esac
 done
 cmake --build "$build" --target "${targets[@]}" -j"$(nproc)"
 
@@ -84,10 +211,13 @@ echo "commit: $(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)"
 echo "cpus:   $(nproc)"
 for bench in "${benches[@]}"; do
   echo "=== $bench ==="
-  if [ "$bench" = server_throughput ]; then
-    run_server_throughput
-  else
-    "$build/bench/$bench" --json "$repo/results/$bench.json" \
-      --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
-  fi
+  case "$bench" in
+    server_throughput) run_server_throughput ;;
+    catalog_steady_state) run_catalog_steady_state ;;
+    parallel_scaling) run_parallel_scaling ;;
+    *)
+      "$build/bench/$bench" --json "$repo/results/$bench.json" \
+        --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
+      ;;
+  esac
 done

@@ -82,4 +82,55 @@ grep -q '^batch: 68 jobs' "$work/cqacd.out" || {
   exit 1
 }
 
-echo "server smoke: OK (parity, 8-way load, graceful drain)"
+# 4. Catalog-enabled pass: the same stream served through cqacd
+#    --catalog must stay byte-identical, twice in a row (the second run
+#    replays from the semantic cache), and a set_catalog round trip must
+#    install a default view set for query-only requests.
+sock2="$work/cqac_catalog.sock"
+"$build/tools/cqacd" --unix "$sock2" --catalog > "$work/cqacd_catalog.out" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  [ -S "$sock2" ] && break
+  sleep 0.1
+done
+[ -S "$sock2" ] || { echo "error: cqacd --catalog did not come up" >&2; cat "$work/cqacd_catalog.out" >&2; exit 1; }
+
+for pass in cold warm; do
+  pass_status=0
+  "$build/tools/cqacc" --unix "$sock2" < "$work/jobs.txt" \
+    > "$work/cqacc_catalog_$pass.out" || pass_status=$?
+  if ! diff -u "$work/cqacsh.body" "$work/cqacc_catalog_$pass.out"; then
+    echo "error: catalog $pass responses differ from --serve-batch" >&2
+    exit 1
+  fi
+  if [ "$pass_status" != "$cqacsh_status" ]; then
+    echo "error: catalog $pass exit code $pass_status != $cqacsh_status" >&2
+    exit 1
+  fi
+done
+
+cat > "$work/views.txt" <<'EOF'
+view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z
+EOF
+echo "query q(A) :- r(A), s(A,A), A <= 8" > "$work/query_only.txt"
+"$build/tools/cqacc" --unix "$sock2" --set-catalog "$work/views.txt" \
+  < "$work/query_only.txt" > "$work/query_only.out" 2> "$work/set_catalog.err"
+grep -q 'catalog set: 1 view' "$work/set_catalog.err" || {
+  echo "error: set_catalog ack missing:" >&2
+  cat "$work/set_catalog.err" >&2
+  exit 1
+}
+grep -q 'equivalent rewriting' "$work/query_only.out" || {
+  echo "error: query-only job not served by the default catalog:" >&2
+  cat "$work/query_only.out" >&2
+  exit 1
+}
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || {
+  echo "error: cqacd --catalog exited non-zero on SIGTERM" >&2
+  cat "$work/cqacd_catalog.out" >&2
+  exit 1
+}
+
+echo "server smoke: OK (parity, 8-way load, graceful drain, catalog)"
