@@ -17,6 +17,7 @@
 #include "rewriting/equiv_rewriter.h"
 #include "runtime/memo_cache.h"
 #include "runtime/thread_pool.h"
+#include "testing/alloc_hook.h"
 #include "workload/generator.h"
 
 namespace cqac_bench {
@@ -52,6 +53,23 @@ inline bool g_shared_memo = false;
 inline cqac::MemoCache& SharedMemo() {
   static cqac::MemoCache memo(1 << 16);
   return memo;
+}
+
+/// Publishes heap allocations per iteration for the region `scope` has
+/// been counting (typically the whole benchmark loop).  Every bench
+/// binary carries the counting allocator from testing/alloc_hook.h via
+/// this header; under sanitizer builds counting is unavailable and the
+/// counter is omitted.  The value lands in the console table and, as
+/// `allocs_per_iter`, in the --json trajectory record — the steady-state
+/// claim a number like 0 makes is enforced separately by the
+/// alloc_gate_test perfsmoke gate.
+inline void RecordAllocsPerIter(benchmark::State& state,
+                                const cqac::testing::AllocCounterScope& scope) {
+  if (!cqac::testing::AllocCountingAvailable()) return;
+  if (state.iterations() == 0) return;
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(scope.delta()) /
+      static_cast<double>(state.iterations());
 }
 
 /// Runs the paper's algorithm on `instances_per_point` deterministic
@@ -98,23 +116,36 @@ class JsonTrajectoryReporter : public benchmark::ConsoleReporter {
       : benchmark::ConsoleReporter(isatty(fileno(stdout)) ? OO_ColorTabular
                                                           : OO_Tabular) {}
 
+  struct Result {
+    std::string name;
+    double wall_ms = 0;
+    bool has_allocs = false;
+    double allocs_per_iter = 0;
+  };
+
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
       const double seconds =
           run.iterations > 0 ? run.real_accumulated_time / run.iterations
                              : run.real_accumulated_time;
-      results_.emplace_back(run.benchmark_name(), seconds * 1e3);
+      Result r;
+      r.name = run.benchmark_name();
+      r.wall_ms = seconds * 1e3;
+      if (const auto it = run.counters.find("allocs_per_iter");
+          it != run.counters.end()) {
+        r.has_allocs = true;
+        r.allocs_per_iter = it->second;
+      }
+      results_.push_back(std::move(r));
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
-  const std::vector<std::pair<std::string, double>>& results() const {
-    return results_;
-  }
+  const std::vector<Result>& results() const { return results_; }
 
  private:
-  std::vector<std::pair<std::string, double>> results_;
+  std::vector<Result> results_;
 };
 
 inline std::string JsonEscape(const std::string& s) {
@@ -231,8 +262,12 @@ inline int BenchMain(int argc, char** argv) {
     const auto& results = reporter.results();
     for (size_t i = 0; i < results.size(); ++i) {
       json << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
-           << JsonEscape(results[i].first) << "\", \"wall_ms\": "
-           << results[i].second << "}";
+           << JsonEscape(results[i].name) << "\", \"wall_ms\": "
+           << results[i].wall_ms;
+      if (results[i].has_allocs) {
+        json << ", \"allocs_per_iter\": " << results[i].allocs_per_iter;
+      }
+      json << "}";
     }
     json << "\n  ]\n}\n";
   }

@@ -7,6 +7,7 @@
 #include "containment/homomorphism.h"
 #include "containment/normalization.h"
 #include "engine/canonical.h"
+#include "engine/coded_eval.h"
 #include "engine/evaluate.h"
 
 namespace cqac {
@@ -50,9 +51,21 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
   // Compile both sides once: q1's subgoals freeze into a flat instance per
   // order, q2 runs as a prepared plan against it.  Head arities match, so
   // ComputesTuple's arity precheck cannot fire.
+  //
+  // The plan normally executes on the coded columnar engine: the
+  // dictionary is primed with every value the enumeration can surface,
+  // so each order costs a delta freeze plus an all-integer evaluation
+  // with zero heap allocations.  The row engine remains reachable for
+  // the differential lattice.
   CanonicalFreezer freezer(q1);
   const PreparedQuery prepared(q2);
   PreparedQuery::Scratch scratch;
+  CodedEvaluator coded(&prepared.plan());
+  const bool use_row_engine = internal::RowEngineForced();
+  if (!use_row_engine) {
+    freezer.PrimeDictionary(constants, q1.AllVariables().size());
+    coded.BindTo(&freezer);
+  }
 
   // Prefix-pruned, symmetry-reduced enumeration: swapping two
   // interchangeable q1 variables maps each canonical database to an
@@ -71,7 +84,11 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
           stats->orders_satisfying += multiplicity;
         }
         const FlatInstance& inst = freezer.Freeze(order);
-        if (!prepared.Run(inst, &freezer.frozen_head(), nullptr, &scratch)) {
+        const bool computes =
+            use_row_engine
+                ? prepared.Run(inst, &freezer.frozen_head(), nullptr, &scratch)
+                : coded.Run(freezer, /*match_frozen_head=*/true, nullptr);
+        if (!computes) {
           contained = false;
           return false;  // Counterexample found; stop enumerating.
         }
@@ -240,6 +257,18 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
     prepared.emplace_back(disjunct);
   }
   PreparedQuery::Scratch scratch;
+  // Coded engine per disjunct (evaluators hold plan pointers, so the
+  // prepared vector must not grow past this point).
+  const bool use_row_engine = internal::RowEngineForced();
+  std::vector<CodedEvaluator> coded;
+  if (!use_row_engine) {
+    freezer.PrimeDictionary(constants, q.AllVariables().size());
+    coded.reserve(prepared.size());
+    for (const PreparedQuery& pq : prepared) {
+      coded.emplace_back(&pq.plan());
+      coded.back().BindTo(&freezer);
+    }
+  }
 
   // Same orbit argument as CqacContainedCanonical: "some disjunct
   // computes the frozen head" is a per-order verdict derived from the
@@ -258,11 +287,16 @@ bool CqacContainedInUnion(const ConjunctiveQuery& q, const UnionQuery& u,
         }
         const FlatInstance& inst = freezer.Freeze(order);
         bool some_disjunct_computes = false;
-        for (const PreparedQuery& pq : prepared) {
+        for (size_t i = 0; i < prepared.size(); ++i) {
+          const PreparedQuery& pq = prepared[i];
           if (pq.head_arity() != static_cast<int>(freezer.frozen_head().size())) {
             continue;  // ComputesTuple skips arity-mismatched disjuncts.
           }
-          if (pq.Run(inst, &freezer.frozen_head(), nullptr, &scratch)) {
+          const bool computes =
+              use_row_engine
+                  ? pq.Run(inst, &freezer.frozen_head(), nullptr, &scratch)
+                  : coded[i].Run(freezer, /*match_frozen_head=*/true, nullptr);
+          if (computes) {
             some_disjunct_computes = true;
             break;
           }

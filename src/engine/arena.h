@@ -1,0 +1,140 @@
+#ifndef CQAC_ENGINE_ARENA_H_
+#define CQAC_ENGINE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace cqac {
+
+/// A bump allocator for per-canonical-database scratch.
+///
+/// The evaluation core's working set — selection vectors, flat hash
+/// indexes, variable binding arrays — has the textbook arena lifetime:
+/// carve at the start of a freeze → evaluate cycle, drop everything at
+/// once when the next canonical database arrives.  Reset() rewinds the
+/// bump pointer without releasing memory, so after the first few
+/// databases have grown the arena to its high-water mark, steady-state
+/// evaluation performs zero heap allocations (the property the
+/// `alloc_gate_test` perfsmoke gate asserts).
+///
+/// Only trivially-destructible types may be placed in the arena: Reset
+/// runs no destructors.  Not thread-safe; use one per thread.
+class Arena {
+ public:
+  explicit Arena(size_t initial_bytes = kDefaultInitialBytes) {
+    blocks_.push_back(NewBlock(initial_bytes));
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// `bytes` of storage aligned to `align` (a power of two).  Alignment
+  /// is handled with integer offset arithmetic, never pointer
+  /// over/underflow — the arithmetic ubsan checks in CI care about this.
+  void* Allocate(size_t bytes, size_t align) {
+    Block& block = blocks_[current_];
+    const size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    if (aligned + bytes <= block.size) {
+      offset_ = aligned + bytes;
+      Bump(bytes);
+      return block.data.get() + aligned;
+    }
+    return AllocateSlow(bytes, align);
+  }
+
+  /// An uninitialized array of `n` `T`s.  `T` must be trivially
+  /// destructible (nothing runs at Reset).
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without running destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// A zero-initialized array of `n` `T`s (T must be trivially
+  /// copyable; the bytes are memset).
+  template <typename T>
+  T* AllocateZeroedArray(size_t n) {
+    T* out = AllocateArray<T>(n);
+    std::memset(static_cast<void*>(out), 0, n * sizeof(T));
+    return out;
+  }
+
+  /// Rewinds the bump pointer, keeping capacity.  When the previous
+  /// epoch overflowed into extra blocks, they are coalesced into one
+  /// block covering the observed high-water mark, so the *next* epoch
+  /// bump-allocates from a single contiguous block — after which Reset
+  /// never allocates again until the working set grows.
+  void Reset() {
+    if (blocks_.size() > 1) {
+      const size_t need = RoundUpPow2(high_water_);
+      blocks_.clear();
+      blocks_.push_back(NewBlock(need));
+    }
+    current_ = 0;
+    offset_ = 0;
+    epoch_bytes_ = 0;
+  }
+
+  /// Total bytes handed out since the last Reset (diagnostics).
+  size_t epoch_bytes() const { return epoch_bytes_; }
+
+  /// The largest epoch_bytes observed over the arena's lifetime.
+  size_t high_water() const { return high_water_; }
+
+ private:
+  static constexpr size_t kDefaultInitialBytes = 16 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  static Block NewBlock(size_t size) {
+    return Block{std::make_unique<char[]>(size), size};
+  }
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = kDefaultInitialBytes;
+    while (p < n) p *= 2;
+    return p;
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    // Move to (or create) a block big enough for the request; alignment
+    // from a fresh offset of 0 needs at most align - 1 slack.
+    const size_t need = RoundUpPow2(bytes + align);
+    ++current_;
+    if (current_ == blocks_.size()) blocks_.push_back(NewBlock(need));
+    if (blocks_[current_].size < bytes + align) {
+      blocks_[current_] = NewBlock(need);
+    }
+    offset_ = 0;
+    Block& block = blocks_[current_];
+    const size_t aligned = (offset_ + (align - 1)) & ~(align - 1);
+    offset_ = aligned + bytes;
+    Bump(bytes);
+    return block.data.get() + aligned;
+  }
+
+  void Bump(size_t bytes) {
+    epoch_bytes_ += bytes;
+    if (epoch_bytes_ > high_water_) high_water_ = epoch_bytes_;
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+  size_t offset_ = 0;
+  size_t epoch_bytes_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_ARENA_H_

@@ -31,145 +31,6 @@ uint32_t FlatInstance::FindRelation(const std::string& predicate,
 }
 
 // ---------------------------------------------------------------------------
-// PreparedQuery compilation
-
-PreparedQuery::PreparedQuery(const ConjunctiveQuery& q) {
-  SymbolInterner vars;
-  // Intern every variable up front (head, body, comparisons) so ids cover
-  // comparison-only variables too; first-seen order keeps ids deterministic.
-  for (const Term& t : q.head().args()) {
-    if (t.IsVariable()) vars.Intern(t.name());
-  }
-  for (const Atom& atom : q.body()) {
-    for (const Term& t : atom.args()) {
-      if (t.IsVariable()) vars.Intern(t.name());
-    }
-  }
-  for (const Comparison& c : q.comparisons()) {
-    if (c.lhs().IsVariable()) vars.Intern(c.lhs().name());
-    if (c.rhs().IsVariable()) vars.Intern(c.rhs().name());
-  }
-  num_vars_ = vars.size();
-
-  auto intern_constant = [this](const Rational& value) -> uint32_t {
-    for (uint32_t i = 0; i < constants_.size(); ++i) {
-      if (constants_[i] == value) return i;
-    }
-    constants_.push_back(value);
-    return static_cast<uint32_t>(constants_.size() - 1);
-  };
-
-  // Greedy most-constrained-first subgoal order: next is the subgoal with
-  // the most constant-or-already-bound argument positions (ties to the
-  // lowest original index, matching the string evaluator it replaces).
-  const int n = static_cast<int>(q.body().size());
-  std::vector<char> used(n, 0);
-  std::vector<char> bound(num_vars_, 0);
-  std::vector<int> order;
-  order.reserve(n);
-  for (int step = 0; step < n; ++step) {
-    int best = -1;
-    int best_score = -1;
-    for (int i = 0; i < n; ++i) {
-      if (used[i]) continue;
-      int score = 0;
-      for (const Term& t : q.body()[i].args()) {
-        if (t.IsConstant() || bound[vars.Find(t.name())]) ++score;
-      }
-      if (score > best_score) {
-        best_score = score;
-        best = i;
-      }
-    }
-    used[best] = 1;
-    order.push_back(best);
-    for (const Term& t : q.body()[best].args()) {
-      if (t.IsVariable()) bound[vars.Find(t.name())] = 1;
-    }
-  }
-
-  // Compile each subgoal (in search order) to per-position ops, its undo
-  // list, and its entry-bound column signature for hash indexing.
-  std::fill(bound.begin(), bound.end(), 0);
-  subgoals_.reserve(n);
-  for (const int body_index : order) {
-    const Atom& atom = q.body()[body_index];
-    SubgoalPlan plan;
-    plan.predicate = atom.predicate();
-    plan.arity = atom.arity();
-    plan.ops.reserve(atom.arity());
-    for (int i = 0; i < atom.arity(); ++i) {
-      const Term& t = atom.args()[i];
-      if (t.IsConstant()) {
-        plan.ops.push_back({Op::kConst, intern_constant(t.value())});
-        plan.entry_cols.push_back(static_cast<uint32_t>(i));
-        continue;
-      }
-      const uint32_t v = vars.Find(t.name());
-      if (bound[v]) {
-        plan.ops.push_back({Op::kCheck, v});
-        plan.entry_cols.push_back(static_cast<uint32_t>(i));
-      } else if (std::find(plan.bind_vars.begin(), plan.bind_vars.end(), v) !=
-                 plan.bind_vars.end()) {
-        // Repeated variable within the atom: first occurrence binds, the
-        // rest check — but the value is not known before the row is read,
-        // so this is not an entry column.
-        plan.ops.push_back({Op::kCheck, v});
-      } else {
-        plan.ops.push_back({Op::kBind, v});
-        plan.bind_vars.push_back(v);
-      }
-    }
-    for (const uint32_t v : plan.bind_vars) bound[v] = 1;
-    subgoals_.push_back(std::move(plan));
-  }
-
-  // Comparison triggers: triggers_[d] lists the comparisons that become
-  // fully bound after matching subgoals_[0..d-1]; never-bound comparisons
-  // stay pending for equality propagation at the leaves.
-  auto compile_term = [&vars](const Term& t) {
-    CompiledTerm ct;
-    ct.is_const = t.IsConstant();
-    if (ct.is_const) {
-      ct.value = t.value();
-      ct.var = 0;
-    } else {
-      ct.var = vars.Find(t.name());
-    }
-    return ct;
-  };
-  comparisons_.reserve(q.comparisons().size());
-  for (const Comparison& c : q.comparisons()) {
-    comparisons_.push_back(
-        {compile_term(c.lhs()), compile_term(c.rhs()), c.op()});
-  }
-  triggers_.assign(subgoals_.size() + 1, {});
-  std::fill(bound.begin(), bound.end(), 0);
-  std::vector<char> fired(comparisons_.size(), 0);
-  auto term_bound = [&bound](const CompiledTerm& t) {
-    return t.is_const || bound[t.var];
-  };
-  for (size_t depth = 0; depth <= subgoals_.size(); ++depth) {
-    if (depth > 0) {
-      for (const uint32_t v : subgoals_[depth - 1].bind_vars) bound[v] = 1;
-    }
-    for (size_t c = 0; c < comparisons_.size(); ++c) {
-      if (fired[c]) continue;
-      if (term_bound(comparisons_[c].lhs) && term_bound(comparisons_[c].rhs)) {
-        fired[c] = 1;
-        triggers_[depth].push_back(static_cast<int>(c));
-      }
-    }
-  }
-  for (size_t c = 0; c < fired.size(); ++c) {
-    if (!fired[c]) pending_.push_back(static_cast<int>(c));
-  }
-
-  head_.reserve(q.head().args().size());
-  for (const Term& t : q.head().args()) head_.push_back(compile_term(t));
-}
-
-// ---------------------------------------------------------------------------
 // Per-run setup
 
 namespace {
@@ -183,7 +44,7 @@ inline uint64_t CombineHash(uint64_t h, const Rational& v) {
 
 void PreparedQuery::BuildIndex(size_t depth, Scratch* scratch) const {
   Scratch::DepthState& ds = scratch->depths[depth];
-  const SubgoalPlan& plan = subgoals_[depth];
+  const QueryPlan::Subgoal& plan = plan_.subgoals[depth];
   ds.use_index = false;
   ds.index.clear();
   if (plan.entry_cols.empty() || ds.rows.size() < kIndexGate) return;
@@ -197,26 +58,27 @@ void PreparedQuery::BuildIndex(size_t depth, Scratch* scratch) const {
   ds.use_index = true;
 }
 
-uint64_t PreparedQuery::ProbeHash(const SubgoalPlan& plan,
+uint64_t PreparedQuery::ProbeHash(const QueryPlan::Subgoal& plan,
                                   const Scratch& scratch) const {
   uint64_t h = 0xcbf29ce484222325ULL;
   for (const uint32_t col : plan.entry_cols) {
-    const Op& op = plan.ops[col];
-    h = CombineHash(
-        h, op.kind == Op::kConst ? constants_[op.slot] : scratch.values[op.slot]);
+    const QueryPlan::Op& op = plan.ops[col];
+    h = CombineHash(h, op.kind == QueryPlan::Op::kConst
+                           ? plan_.constants[op.slot]
+                           : scratch.values[op.slot]);
   }
   return h;
 }
 
 bool PreparedQuery::Run(const Database& db, const Tuple* target, Relation* out,
                         Scratch* scratch) const {
-  scratch->depths.resize(subgoals_.size());
-  for (size_t d = 0; d < subgoals_.size(); ++d) {
+  scratch->depths.resize(plan_.subgoals.size());
+  for (size_t d = 0; d < plan_.subgoals.size(); ++d) {
     Scratch::DepthState& ds = scratch->depths[d];
     ds.rows.clear();
-    const Relation& rel = db.Get(subgoals_[d].predicate);
+    const Relation& rel = db.Get(plan_.subgoals[d].predicate);
     for (const Tuple& tuple : rel.tuples()) {
-      if (static_cast<int>(tuple.size()) == subgoals_[d].arity) {
+      if (static_cast<int>(tuple.size()) == plan_.subgoals[d].arity) {
         ds.rows.push_back(tuple.data());
       }
     }
@@ -227,12 +89,12 @@ bool PreparedQuery::Run(const Database& db, const Tuple* target, Relation* out,
 
 bool PreparedQuery::Run(const FlatInstance& inst, const Tuple* target,
                         Relation* out, Scratch* scratch) const {
-  scratch->depths.resize(subgoals_.size());
-  for (size_t d = 0; d < subgoals_.size(); ++d) {
+  scratch->depths.resize(plan_.subgoals.size());
+  for (size_t d = 0; d < plan_.subgoals.size(); ++d) {
     Scratch::DepthState& ds = scratch->depths[d];
     ds.rows.clear();
     const uint32_t rel =
-        inst.FindRelation(subgoals_[d].predicate, subgoals_[d].arity);
+        inst.FindRelation(plan_.subgoals[d].predicate, plan_.subgoals[d].arity);
     if (rel != SymbolInterner::kNotFound) {
       const size_t count = inst.RowCount(rel);
       for (size_t i = 0; i < count; ++i) ds.rows.push_back(inst.Row(rel, i));
@@ -247,10 +109,10 @@ bool PreparedQuery::Run(const FlatInstance& inst, const Tuple* target,
 
 bool PreparedQuery::RunCommon(const Tuple* target, Relation* out,
                               Scratch* scratch) const {
-  scratch->values.resize(num_vars_);
-  scratch->bound.assign(num_vars_, 0);
-  scratch->extra_values.resize(num_vars_);
-  scratch->extra_bound.assign(num_vars_, 0);
+  scratch->values.resize(plan_.num_vars);
+  scratch->bound.assign(plan_.num_vars, 0);
+  scratch->extra_values.resize(plan_.num_vars);
+  scratch->extra_bound.assign(plan_.num_vars, 0);
   scratch->extra_touched.clear();
   scratch->target = target;
   scratch->out = out;
@@ -260,8 +122,8 @@ bool PreparedQuery::RunCommon(const Tuple* target, Relation* out,
 }
 
 bool PreparedQuery::CheckTriggers(size_t depth, const Scratch& scratch) const {
-  for (const int c : triggers_[depth]) {
-    const CompiledComparison& comp = comparisons_[c];
+  for (const int c : plan_.triggers[depth]) {
+    const QueryPlan::ComparisonRef& comp = plan_.comparisons[c];
     const Rational& a =
         comp.lhs.is_const ? comp.lhs.value : scratch.values[comp.lhs.var];
     const Rational& b =
@@ -272,24 +134,24 @@ bool PreparedQuery::CheckTriggers(size_t depth, const Scratch& scratch) const {
 }
 
 bool PreparedQuery::Search(size_t depth, Scratch* scratch) const {
-  if (depth == subgoals_.size()) return EmitHead(scratch);
-  const SubgoalPlan& plan = subgoals_[depth];
+  if (depth == plan_.subgoals.size()) return EmitHead(scratch);
+  const QueryPlan::Subgoal& plan = plan_.subgoals[depth];
   Scratch::DepthState& ds = scratch->depths[depth];
 
   auto try_row = [&](const Rational* row) -> bool {
     bool ok = true;
     for (int i = 0; i < plan.arity && ok; ++i) {
-      const Op& op = plan.ops[i];
+      const QueryPlan::Op& op = plan.ops[i];
       const Rational& v = row[i];
       switch (op.kind) {
-        case Op::kConst:
-          ok = constants_[op.slot] == v;
+        case QueryPlan::Op::kConst:
+          ok = plan_.constants[op.slot] == v;
           break;
-        case Op::kBind:
+        case QueryPlan::Op::kBind:
           scratch->values[op.slot] = v;
           scratch->bound[op.slot] = 1;
           break;
-        case Op::kCheck:
+        case QueryPlan::Op::kCheck:
           ok = scratch->values[op.slot] == v;
           break;
       }
@@ -321,8 +183,8 @@ bool PreparedQuery::Search(size_t depth, Scratch* scratch) const {
 /// Returns false when a pending comparison fails or stays undetermined
 /// (the latter means the query is genuinely unsafe for this assignment).
 bool PreparedQuery::ResolvePending(Scratch* scratch) const {
-  scratch->unresolved = pending_;
-  auto lookup = [this, scratch](const CompiledTerm& t, Rational* out) {
+  scratch->unresolved = plan_.pending;
+  auto lookup = [this, scratch](const QueryPlan::TermRef& t, Rational* out) {
     if (t.is_const) {
       *out = t.value;
       return true;
@@ -341,7 +203,8 @@ bool PreparedQuery::ResolvePending(Scratch* scratch) const {
   while (progress) {
     progress = false;
     for (size_t i = 0; i < scratch->unresolved.size();) {
-      const CompiledComparison& comp = comparisons_[scratch->unresolved[i]];
+      const QueryPlan::ComparisonRef& comp =
+          plan_.comparisons[scratch->unresolved[i]];
       Rational a, b;
       const bool has_a = lookup(comp.lhs, &a);
       const bool has_b = lookup(comp.rhs, &b);
@@ -353,7 +216,7 @@ bool PreparedQuery::ResolvePending(Scratch* scratch) const {
       }
       if (comp.op == CompOp::kEq && (has_a || has_b)) {
         // Bind the undetermined side (necessarily a variable).
-        const CompiledTerm& unbound = has_a ? comp.rhs : comp.lhs;
+        const QueryPlan::TermRef& unbound = has_a ? comp.rhs : comp.lhs;
         scratch->extra_bound[unbound.var] = 1;
         scratch->extra_values[unbound.var] = has_a ? a : b;
         scratch->extra_touched.push_back(unbound.var);
@@ -371,10 +234,10 @@ bool PreparedQuery::EmitHead(Scratch* scratch) const {
   // Reset ResolvePending's equality-derived bindings from the previous leaf.
   for (const uint32_t v : scratch->extra_touched) scratch->extra_bound[v] = 0;
   scratch->extra_touched.clear();
-  if (!pending_.empty() && !ResolvePending(scratch)) return true;
+  if (!plan_.pending.empty() && !ResolvePending(scratch)) return true;
   Tuple& head = scratch->head_row;
   head.clear();
-  for (const CompiledTerm& t : head_) {
+  for (const QueryPlan::TermRef& t : plan_.head) {
     if (t.is_const) {
       head.push_back(t.value);
     } else if (scratch->bound[t.var]) {

@@ -10,6 +10,7 @@
 #include "ast/interner.h"
 #include "ast/query.h"
 #include "engine/database.h"
+#include "engine/query_plan.h"
 
 namespace cqac {
 
@@ -95,10 +96,13 @@ class FlatInstance {
   std::vector<RelationData> relations_;
 };
 
-/// A conjunctive query compiled once for repeated evaluation: interned
-/// variables, greedy most-constrained-first subgoal order, per-position
-/// match ops (constant check / bind / consistency check), comparison
-/// triggers by depth, and bound-column signatures for hash indexing.
+/// The retained row engine over a compiled QueryPlan: evaluates tuple at
+/// a time over `Rational` values, against either a generic `Database` or
+/// a row-major `FlatInstance`.  The coded columnar engine (coded_eval.h)
+/// executes the same plan over dictionary codes and is the production
+/// path for canonical databases; this engine remains the general-purpose
+/// evaluator (arbitrary databases, values outside any dictionary) and the
+/// reference side of the row-vs-columnar differential suite.
 ///
 /// PreparedQuery is immutable after construction and safe to share across
 /// threads; all per-run state lives in a caller-owned Scratch.  Hash
@@ -107,7 +111,7 @@ class FlatInstance {
 /// (canonical databases stay on linear scans).
 class PreparedQuery {
  public:
-  explicit PreparedQuery(const ConjunctiveQuery& q);
+  explicit PreparedQuery(const ConjunctiveQuery& q) : plan_(q) {}
 
   /// Relations smaller than this are scanned; larger ones get a hash index
   /// on the subgoal's bound columns (when it has any).
@@ -143,48 +147,22 @@ class PreparedQuery {
   bool Run(const FlatInstance& inst, const Tuple* target, Relation* out,
            Scratch* scratch) const;
 
-  int head_arity() const { return static_cast<int>(head_.size()); }
+  int head_arity() const { return static_cast<int>(plan_.head.size()); }
+
+  /// The shared compiled plan (also executed by CodedEvaluator).
+  const QueryPlan& plan() const { return plan_; }
 
  private:
-  struct Op {
-    enum Kind : uint8_t { kConst, kBind, kCheck };
-    Kind kind;
-    uint32_t slot;  // constant slot for kConst, var id otherwise
-  };
-  struct SubgoalPlan {
-    std::string predicate;
-    int arity;
-    std::vector<Op> ops;              // one per argument position
-    std::vector<uint32_t> bind_vars;  // vars this subgoal binds (undo list)
-    // Argument positions whose value is known before scanning candidates
-    // (constants and variables bound at entry): the index key signature.
-    std::vector<uint32_t> entry_cols;
-  };
-  struct CompiledTerm {
-    bool is_const;
-    uint32_t var;    // valid when !is_const
-    Rational value;  // valid when is_const
-  };
-  struct CompiledComparison {
-    CompiledTerm lhs, rhs;
-    CompOp op;
-  };
-
   bool RunCommon(const Tuple* target, Relation* out, Scratch* scratch) const;
   void BuildIndex(size_t depth, Scratch* scratch) const;
   bool Search(size_t depth, Scratch* scratch) const;
   bool EmitHead(Scratch* scratch) const;
   bool ResolvePending(Scratch* scratch) const;
   bool CheckTriggers(size_t depth, const Scratch& scratch) const;
-  uint64_t ProbeHash(const SubgoalPlan& plan, const Scratch& scratch) const;
+  uint64_t ProbeHash(const QueryPlan::Subgoal& plan,
+                     const Scratch& scratch) const;
 
-  uint32_t num_vars_ = 0;
-  std::vector<Rational> constants_;          // slot pool for kConst ops
-  std::vector<SubgoalPlan> subgoals_;        // in search order
-  std::vector<std::vector<int>> triggers_;   // by depth, comparison ids
-  std::vector<int> pending_;                 // comparison ids never triggered
-  std::vector<CompiledComparison> comparisons_;
-  std::vector<CompiledTerm> head_;
+  QueryPlan plan_;
 };
 
 }  // namespace cqac

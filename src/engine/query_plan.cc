@@ -1,0 +1,145 @@
+#include "engine/query_plan.h"
+
+#include <algorithm>
+
+#include "ast/interner.h"
+
+namespace cqac {
+
+QueryPlan::QueryPlan(const ConjunctiveQuery& q) {
+  SymbolInterner vars;
+  // Intern every variable up front (head, body, comparisons) so ids cover
+  // comparison-only variables too; first-seen order keeps ids deterministic.
+  for (const Term& t : q.head().args()) {
+    if (t.IsVariable()) vars.Intern(t.name());
+  }
+  for (const Atom& atom : q.body()) {
+    for (const Term& t : atom.args()) {
+      if (t.IsVariable()) vars.Intern(t.name());
+    }
+  }
+  for (const Comparison& c : q.comparisons()) {
+    if (c.lhs().IsVariable()) vars.Intern(c.lhs().name());
+    if (c.rhs().IsVariable()) vars.Intern(c.rhs().name());
+  }
+  num_vars = vars.size();
+
+  auto intern_constant = [this](const Rational& value) -> uint32_t {
+    for (uint32_t i = 0; i < constants.size(); ++i) {
+      if (constants[i] == value) return i;
+    }
+    constants.push_back(value);
+    return static_cast<uint32_t>(constants.size() - 1);
+  };
+
+  // Greedy most-constrained-first subgoal order: next is the subgoal with
+  // the most constant-or-already-bound argument positions (ties to the
+  // lowest original index, matching the string evaluator it replaces).
+  const int n = static_cast<int>(q.body().size());
+  std::vector<char> used(n, 0);
+  std::vector<char> bound(num_vars, 0);
+  std::vector<int> order;
+  order.reserve(n);
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (int i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      int score = 0;
+      for (const Term& t : q.body()[i].args()) {
+        if (t.IsConstant() || bound[vars.Find(t.name())]) ++score;
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    used[best] = 1;
+    order.push_back(best);
+    for (const Term& t : q.body()[best].args()) {
+      if (t.IsVariable()) bound[vars.Find(t.name())] = 1;
+    }
+  }
+
+  // Compile each subgoal (in search order) to per-position ops, its undo
+  // list, and its entry-bound column signature for hash indexing.
+  std::fill(bound.begin(), bound.end(), 0);
+  subgoals.reserve(n);
+  for (const int body_index : order) {
+    const Atom& atom = q.body()[body_index];
+    Subgoal plan;
+    plan.predicate = atom.predicate();
+    plan.arity = atom.arity();
+    plan.ops.reserve(atom.arity());
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.args()[i];
+      if (t.IsConstant()) {
+        plan.ops.push_back({Op::kConst, intern_constant(t.value())});
+        plan.entry_cols.push_back(static_cast<uint32_t>(i));
+        continue;
+      }
+      const uint32_t v = vars.Find(t.name());
+      if (bound[v]) {
+        plan.ops.push_back({Op::kCheck, v});
+        plan.entry_cols.push_back(static_cast<uint32_t>(i));
+      } else if (std::find(plan.bind_vars.begin(), plan.bind_vars.end(), v) !=
+                 plan.bind_vars.end()) {
+        // Repeated variable within the atom: first occurrence binds, the
+        // rest check — but the value is not known before the row is read,
+        // so this is not an entry column.
+        plan.ops.push_back({Op::kCheck, v});
+      } else {
+        plan.ops.push_back({Op::kBind, v});
+        plan.bind_vars.push_back(v);
+      }
+    }
+    for (const uint32_t v : plan.bind_vars) bound[v] = 1;
+    subgoals.push_back(std::move(plan));
+  }
+
+  // Comparison triggers: triggers[d] lists the comparisons that become
+  // fully bound after matching subgoals[0..d-1]; never-bound comparisons
+  // stay pending for equality propagation at the leaves.
+  auto compile_term = [&vars](const Term& t) {
+    TermRef ct;
+    ct.is_const = t.IsConstant();
+    if (ct.is_const) {
+      ct.value = t.value();
+      ct.var = 0;
+    } else {
+      ct.var = vars.Find(t.name());
+    }
+    return ct;
+  };
+  comparisons.reserve(q.comparisons().size());
+  for (const Comparison& c : q.comparisons()) {
+    comparisons.push_back(
+        {compile_term(c.lhs()), compile_term(c.rhs()), c.op()});
+  }
+  triggers.assign(subgoals.size() + 1, {});
+  std::fill(bound.begin(), bound.end(), 0);
+  std::vector<char> fired(comparisons.size(), 0);
+  auto term_bound = [&bound](const TermRef& t) {
+    return t.is_const || bound[t.var];
+  };
+  for (size_t depth = 0; depth <= subgoals.size(); ++depth) {
+    if (depth > 0) {
+      for (const uint32_t v : subgoals[depth - 1].bind_vars) bound[v] = 1;
+    }
+    for (size_t c = 0; c < comparisons.size(); ++c) {
+      if (fired[c]) continue;
+      if (term_bound(comparisons[c].lhs) && term_bound(comparisons[c].rhs)) {
+        fired[c] = 1;
+        triggers[depth].push_back(static_cast<int>(c));
+      }
+    }
+  }
+  for (size_t c = 0; c < fired.size(); ++c) {
+    if (!fired[c]) pending.push_back(static_cast<int>(c));
+  }
+
+  head.reserve(q.head().args().size());
+  for (const Term& t : q.head().args()) head.push_back(compile_term(t));
+}
+
+}  // namespace cqac

@@ -1,0 +1,56 @@
+#include "engine/value_dict.h"
+
+#include <algorithm>
+
+namespace cqac {
+
+bool ValueDictionary::Add(const Rational& v) {
+  if (code_of_.count(v) != 0) return false;
+  if (std::find(staged_.begin(), staged_.end(), v) != staged_.end()) {
+    return false;
+  }
+  staged_.push_back(v);
+  return true;
+}
+
+void ValueDictionary::Rebuild() {
+  if (staged_.empty()) return;
+  values_.insert(values_.end(), staged_.begin(), staged_.end());
+  staged_.clear();
+  std::sort(values_.begin(), values_.end());
+  values_.erase(std::unique(values_.begin(), values_.end()), values_.end());
+  code_of_.clear();
+  code_of_.reserve(values_.size());
+  for (uint32_t i = 0; i < values_.size(); ++i) code_of_.emplace(values_[i], i);
+  ++epoch_;
+}
+
+void SeedCanonicalValuePool(size_t num_vars,
+                            const std::vector<Rational>& constants,
+                            ValueDictionary* dict) {
+  std::vector<Rational> sorted = constants;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  const int64_t v = static_cast<int64_t>(num_vars);
+  if (sorted.empty()) {
+    for (int64_t i = 1; i <= v; ++i) dict->Add(Rational(i));
+    return;
+  }
+  for (const Rational& c : sorted) dict->Add(c);
+  for (int64_t d = 1; d <= v; ++d) {
+    dict->Add(sorted.front() - Rational(d));
+    dict->Add(sorted.back() + Rational(d));
+  }
+  for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+    const Rational& lo = sorted[k];
+    const Rational span = sorted[k + 1] - lo;
+    for (int64_t gap = 1; gap <= v; ++gap) {
+      for (int64_t j = 1; j <= gap; ++j) {
+        dict->Add(lo + span * Rational(j, gap + 1));
+      }
+    }
+  }
+}
+
+}  // namespace cqac

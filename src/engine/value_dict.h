@@ -1,0 +1,97 @@
+#ifndef CQAC_ENGINE_VALUE_DICT_H_
+#define CQAC_ENGINE_VALUE_DICT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/value.h"
+
+namespace cqac {
+
+/// Interns `Rational`s to dense, order-preserving `uint32_t` codes.
+///
+/// Canonical-database values come from a tiny pool — query constants,
+/// evenly spaced rationals between adjacent constants, and integers just
+/// outside the constant range (TotalOrder::BlockValues) — so a whole
+/// rewrite run touches at most a few hundred distinct values.  Coding
+/// them as their rank in the sorted pool turns every hot-loop operation
+/// on 16-byte `Rational`s (cross-multiplying compares, two-word hashes)
+/// into an integer op on a 4-byte code:
+///
+///   v1 < v2   ⟺  Code(v1) < Code(v2)          (all CompOps likewise)
+///   row1 < row2 lexicographically  ⟺  coded rows compare the same way
+///
+/// The second property is what lets coded evaluation decode a sorted
+/// set of result rows into a `Relation` with identical contents and
+/// iteration order to the row engine's.
+///
+/// Mutation is staged: `Add` collects values, `Rebuild` re-ranks.  A
+/// rebuild renumbers existing codes (rank insertion shifts neighbours),
+/// so every cached code is invalidated — consumers key their caches on
+/// `epoch()`.  Seeding the dictionary with the full reachable pool
+/// (SeedCanonicalValuePool) makes rebuilds a cold-start event only.
+class ValueDictionary {
+ public:
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  /// Stages `v` for the next Rebuild.  Returns true when `v` is new
+  /// (neither built nor already staged).
+  bool Add(const Rational& v);
+
+  /// Folds staged values into the sorted pool and reassigns rank codes.
+  /// Bumps epoch() iff the pool actually changed.
+  void Rebuild();
+
+  /// The code of `v`, or kNotFound when `v` is not in the built pool.
+  /// (Staged-but-not-rebuilt values are not findable.)
+  uint32_t Find(const Rational& v) const {
+    const auto it = code_of_.find(v);
+    return it == code_of_.end() ? kNotFound : it->second;
+  }
+
+  /// The value of a built code (must be < size()).
+  const Rational& Value(uint32_t code) const { return values_[code]; }
+
+  /// Number of built codes; valid codes are [0, size()).
+  size_t size() const { return values_.size(); }
+
+  /// True when Add staged something Rebuild has not folded in yet.
+  bool has_staged() const { return !staged_.empty(); }
+
+  /// Bumped by every Rebuild that changed the pool; cache key for any
+  /// consumer holding codes.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::vector<Rational> values_;  // sorted ascending; code = index
+  std::unordered_map<Rational, uint32_t> code_of_;
+  std::vector<Rational> staged_;
+  uint64_t epoch_ = 0;
+};
+
+/// Stages into `dict` every value that TotalOrder::BlockValues can emit
+/// for any total order over at most `num_vars` variable blocks and
+/// exactly the given constants (each always a block of its own):
+///
+///   - the constants themselves;
+///   - integers c_first − d and c_last + d for d = 1..num_vars (blocks
+///     outside the constant range);
+///   - for each adjacent constant pair (lo, hi) and each possible gap
+///     size g = 1..num_vars, the evenly spaced values
+///     lo + (hi − lo)·j/(g+1) for j = 1..g;
+///   - with no constants at all, the integers 1..num_vars.
+///
+/// Calling this (plus Rebuild) before the first freeze means no order can
+/// ever surface a value outside the pool, so the dictionary never
+/// rebuilds mid-run — the steady-state zero-allocation property of the
+/// coded path depends on it.  `constants` need not be sorted or unique.
+/// The pool is O(num_vars² · |constants|), a few hundred values for
+/// realistic queries.
+void SeedCanonicalValuePool(size_t num_vars,
+                            const std::vector<Rational>& constants,
+                            ValueDictionary* dict);
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_VALUE_DICT_H_

@@ -11,6 +11,7 @@
 #include "constraints/orders.h"
 #include "containment/cqac_containment.h"
 #include "engine/canonical.h"
+#include "engine/coded_eval.h"
 #include "engine/evaluate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -254,9 +255,13 @@ static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
     std::optional<CanonicalFreezer> freezer;
     std::optional<ViewTupleEvaluator> evaluator;
     std::optional<FrozenTupleMatcher> matcher;
+    // Coded keep-test over work.prepared_query's plan; only valid while
+    // work_id matches (the plan pointer dies with the RewriteWork).
+    std::optional<CodedEvaluator> coded;
     PreparedQuery::Scratch scratch;
   };
   static thread_local Phase1Cache cache;
+  const bool use_row_engine = internal::RowEngineForced();
   if (cache.work_id != work.work_id) {
     cache.freezer.emplace(work.query);
     cache.evaluator.emplace(work.views);
@@ -264,6 +269,16 @@ static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
     mcd_tuples.reserve(work.mcds.size());
     for (const Mcd& mcd : work.mcds) mcd_tuples.push_back(mcd.view_tuple);
     cache.matcher.emplace(std::move(mcd_tuples), *cache.freezer);
+    cache.coded.reset();
+    if (!use_row_engine) {
+      // Prime with the run's merged constants (the same set the order
+      // enumerator uses): no order can then surface an unseen value, so
+      // steady-state keep-tests allocate nothing.
+      cache.freezer->PrimeDictionary(work.constants,
+                                     work.query.AllVariables().size());
+      cache.coded.emplace(&work.prepared_query.plan());
+      cache.coded->BindTo(&*cache.freezer);
+    }
     cache.work_id = work.work_id;
   }
   bool computes_head;
@@ -271,8 +286,12 @@ static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
     CQAC_TRACE_SPAN("phase1.freeze");
     const int64_t freeze_t0 = NowNs();
     const FlatInstance& inst = cache.freezer->Freeze(order);
-    computes_head = work.prepared_query.Run(
-        inst, &cache.freezer->frozen_head(), nullptr, &cache.scratch);
+    computes_head =
+        (use_row_engine || !cache.coded.has_value())
+            ? work.prepared_query.Run(inst, &cache.freezer->frozen_head(),
+                                      nullptr, &cache.scratch)
+            : cache.coded->Run(*cache.freezer, /*match_frozen_head=*/true,
+                               nullptr);
     out.stats.freeze_ns += NowNs() - freeze_t0;
   }
   if (!computes_head) {

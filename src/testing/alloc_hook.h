@@ -1,0 +1,99 @@
+#ifndef CQAC_TESTING_ALLOC_HOOK_H_
+#define CQAC_TESTING_ALLOC_HOOK_H_
+
+/// A heap-allocation counter for perf gates and bench telemetry.
+///
+/// Including this header REPLACES the program's global operator new /
+/// operator delete with malloc/free-backed versions that bump an atomic
+/// counter on every allocation.  Because replacement operators must be
+/// defined exactly once per program, include this from exactly one
+/// translation unit per binary — in practice the bench or test main TU
+/// (bench_common.h pulls it into every bench binary; alloc_gate_test.cc
+/// into the gate).  It must never be included from a TU that is compiled
+/// into a library.
+///
+/// Under sanitizer builds (-DCQAC_SANITIZE=...) the sanitizer runtime
+/// owns the allocator and interposing would break its bookkeeping, so
+/// the replacement compiles out and AllocCountingAvailable() reports
+/// false; consumers skip their assertions.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace cqac {
+namespace testing {
+
+namespace alloc_internal {
+inline std::atomic<int64_t> g_allocations{0};
+}  // namespace alloc_internal
+
+/// True when the counting allocator is live in this binary.
+inline bool AllocCountingAvailable() {
+#ifdef CQAC_SANITIZER_BUILD
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Heap allocations observed so far (monotone; zero when unavailable).
+inline int64_t AllocCount() {
+  return alloc_internal::g_allocations.load(std::memory_order_relaxed);
+}
+
+/// Allocations since construction — wrap the region under test.
+class AllocCounterScope {
+ public:
+  AllocCounterScope() : start_(AllocCount()) {}
+  int64_t delta() const { return AllocCount() - start_; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace testing
+}  // namespace cqac
+
+#ifndef CQAC_SANITIZER_BUILD
+
+// GCC flags free() inside a replaced operator delete as a mismatched
+// pair; malloc-backed replacement news make it exactly right.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  cqac::testing::alloc_internal::g_allocations.fetch_add(
+      1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  cqac::testing::alloc_internal::g_allocations.fetch_add(
+      1, std::memory_order_relaxed);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#pragma GCC diagnostic pop
+
+#endif  // CQAC_SANITIZER_BUILD
+
+#endif  // CQAC_TESTING_ALLOC_HOOK_H_

@@ -4,6 +4,7 @@
 
 #include "catalog/view_catalog.h"
 #include "containment/homomorphism.h"
+#include "engine/coded_eval.h"
 #include "runtime/memo_cache.h"
 
 namespace cqac {
@@ -16,6 +17,7 @@ std::string LatticeConfig::Name() const {
   if (memo_cache) out << " memo";
   if (legacy_orders) out << " legacy-orders";
   if (legacy_homomorphism) out << " legacy-homomorphism";
+  if (row_engine) out << " row-engine";
   if (verify) out << " verify";
   if (use_catalog) out << " catalog";
   return out.str();
@@ -54,6 +56,14 @@ std::vector<LatticeConfig> FullConfigLattice() {
     hom.jobs = jobs;
     hom.legacy_homomorphism = true;
     lattice.push_back(hom);
+    // The columnar engine is the production default, so the plain
+    // jobs=1 / jobs=4 points above already exercise columnar and
+    // columnar_parallel; these force the retained row engine under the
+    // same schedulers, pitting the two engines per input.
+    LatticeConfig row;
+    row.jobs = jobs;
+    row.row_engine = true;
+    lattice.push_back(row);
   }
   LatticeConfig both_legacy;  // the two legacy engines interacting
   both_legacy.legacy_orders = true;
@@ -86,6 +96,9 @@ std::vector<LatticeConfig> SmokeConfigLattice() {
   legacy.legacy_orders = true;
   legacy.legacy_homomorphism = true;
   lattice.push_back(legacy);
+  LatticeConfig row;  // retained row engine vs the columnar baseline
+  row.row_engine = true;
+  lattice.push_back(row);
   LatticeConfig verify;
   verify.verify = true;
   lattice.push_back(verify);
@@ -152,14 +165,17 @@ RunSignature SignatureOf(const RewriteResult& result) {
 
 ScopedEngineSelection::ScopedEngineSelection(const LatticeConfig& config)
     : saved_orders_(internal::SatisfyingOrderFallbackForcedForTest()),
-      saved_homomorphism_(internal::LegacyContainmentMappingForcedForTest()) {
+      saved_homomorphism_(internal::LegacyContainmentMappingForcedForTest()),
+      saved_row_engine_(internal::RowEngineForced()) {
   internal::ForceSatisfyingOrderFallbackForTest(config.legacy_orders);
   internal::ForceLegacyContainmentMappingForTest(config.legacy_homomorphism);
+  internal::ForceRowEngineForTest(config.row_engine);
 }
 
 ScopedEngineSelection::~ScopedEngineSelection() {
   internal::ForceSatisfyingOrderFallbackForTest(saved_orders_);
   internal::ForceLegacyContainmentMappingForTest(saved_homomorphism_);
+  internal::ForceRowEngineForTest(saved_row_engine_);
 }
 
 RewriteResult RunWithConfig(const FuzzCase& c, const LatticeConfig& config) {

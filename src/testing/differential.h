@@ -33,6 +33,13 @@ struct LatticeConfig {
   /// search (internal::ForceLegacyContainmentMappingForTest).
   bool legacy_homomorphism = false;
 
+  /// Route canonical-database evaluation through the retained row engine
+  /// (internal::ForceRowEngineForTest) instead of the coded columnar
+  /// engine that is the production default.  The default points ARE the
+  /// lattice's columnar / columnar_parallel coverage; these points supply
+  /// the row side of the diff.
+  bool row_engine = false;
+
   /// RewriteOptions::verify — found rewritings are independently
   /// re-checked; the driver requires verified == true whenever this is on.
   bool verify = false;
@@ -110,6 +117,7 @@ class ScopedEngineSelection {
  private:
   bool saved_orders_;
   bool saved_homomorphism_;
+  bool saved_row_engine_;
 };
 
 /// Runs one lattice point on one case.

@@ -1,0 +1,231 @@
+// Differential suite for the coded columnar engine: every verdict,
+// counter, and collected relation it produces must be byte-identical to
+// the retained row engine's over the same compiled plan.
+//
+// Three tiers:
+//   1. rewriter-level lattice sweep over the full persistent corpus,
+//      pitting columnar vs row under both schedulers;
+//   2. containment verdict + counter parity on >= 500 generated query
+//      pairs (the engines share the enumeration, so any divergence in
+//      orders_enumerated means a per-order verdict flipped);
+//   3. collect-mode parity: per canonical database, the decoded columnar
+//      output relation must equal the row engine's, tuple for tuple.
+//
+// Runs under the tsan label too: the parallel lattice points exercise the
+// engine switch against the work-stealing driver.
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "constraints/orders.h"
+#include "containment/cqac_containment.h"
+#include "engine/canonical.h"
+#include "engine/coded_eval.h"
+#include "engine/evaluate.h"
+#include "parser/parser.h"
+#include "testing/corpus.h"
+#include "testing/differential.h"
+
+namespace cqac {
+namespace {
+
+using testing::CorpusEntry;
+using testing::DifferentialReport;
+using testing::LatticeConfig;
+using testing::LoadCorpusDir;
+using testing::RunConfigLattice;
+
+/// The engine-axis lattice: columnar (the production default) and the
+/// retained row engine, each under the serial and parallel drivers.  The
+/// serial columnar point is the baseline every other point diffs against.
+std::vector<LatticeConfig> EngineLattice() {
+  std::vector<LatticeConfig> lattice;
+  lattice.push_back(LatticeConfig{});  // columnar, serial (baseline)
+  LatticeConfig columnar_parallel;
+  columnar_parallel.jobs = 4;
+  lattice.push_back(columnar_parallel);
+  LatticeConfig row;
+  row.row_engine = true;
+  lattice.push_back(row);
+  LatticeConfig row_parallel;
+  row_parallel.row_engine = true;
+  row_parallel.jobs = 4;
+  lattice.push_back(row_parallel);
+  return lattice;
+}
+
+TEST(ColumnarDifferentialTest, FullCorpusRowVsColumnarLattice) {
+  std::string error;
+  const auto corpus = LoadCorpusDir(CQAC_CORPUS_DIR, &error);
+  ASSERT_TRUE(corpus.has_value()) << error;
+  ASSERT_FALSE(corpus->empty());
+  const std::vector<LatticeConfig> lattice = EngineLattice();
+  for (const CorpusEntry& entry : *corpus) {
+    const DifferentialReport report = RunConfigLattice(entry.c, lattice);
+    EXPECT_TRUE(report.ok) << entry.name << ": " << report.divergent_config
+                           << "\n" << report.failure;
+  }
+}
+
+/// Deterministic random CQAC rules over a small shared vocabulary.  Kept
+/// tiny on purpose: with <= 3 variables and <= 2 distinct constants the
+/// order enumeration stays small, so 500+ pairs run in seconds while
+/// still hitting every operator, constant pinning in subgoals, repeated
+/// variables, boolean heads, and comparison-only variables.
+class QueryGen {
+ public:
+  explicit QueryGen(uint32_t seed) : rng_(seed) {}
+
+  /// One random rule with the requested head arity.  Head variables are
+  /// drawn from the body so the rule is safe.
+  ConjunctiveQuery Rule(int head_arity) {
+    static const char* kVars[] = {"X", "Y", "Z"};
+    static const char* kConsts[] = {"2", "5"};
+    static const char* kOps[] = {"<", "<=", "=", "!=", ">=", ">"};
+    // (predicate, arity) vocabulary shared by both sides of a pair.
+    static const std::pair<const char*, int> kPreds[] = {
+        {"p", 2}, {"r", 1}, {"s", 2}};
+
+    std::vector<std::string> body_vars;
+    std::ostringstream body;
+    const int num_subgoals = 1 + Pick(3);
+    for (int g = 0; g < num_subgoals; ++g) {
+      const auto& [pred, arity] = kPreds[Pick(3)];
+      if (g > 0) body << ", ";
+      body << pred << "(";
+      for (int a = 0; a < arity; ++a) {
+        if (a > 0) body << ",";
+        if (Pick(5) == 0) {
+          body << kConsts[Pick(2)];
+        } else {
+          const char* v = kVars[Pick(3)];
+          body_vars.push_back(v);
+          body << v;
+        }
+      }
+      body << ")";
+    }
+    std::sort(body_vars.begin(), body_vars.end());
+    body_vars.erase(std::unique(body_vars.begin(), body_vars.end()),
+                    body_vars.end());
+
+    const int num_comparisons = Pick(3);
+    for (int c = 0; c < num_comparisons; ++c) {
+      // Left side a variable (possibly comparison-only), right side a
+      // variable or a constant.
+      body << ", " << kVars[Pick(3)] << " " << kOps[Pick(6)] << " ";
+      if (Pick(2) == 0) {
+        body << kConsts[Pick(2)];
+      } else {
+        body << kVars[Pick(3)];
+      }
+    }
+
+    std::ostringstream rule;
+    rule << "q(";
+    for (int h = 0; h < head_arity; ++h) {
+      if (h > 0) rule << ",";
+      if (body_vars.empty()) {
+        rule << kConsts[Pick(2)];
+      } else {
+        rule << body_vars[Pick(static_cast<int>(body_vars.size()))];
+      }
+    }
+    rule << ") :- " << body.str();
+    return Parser::MustParseRule(rule.str());
+  }
+
+ private:
+  int Pick(int n) {
+    return static_cast<int>(rng_() % static_cast<uint32_t>(n));
+  }
+
+  std::mt19937 rng_;
+};
+
+/// Runs CqacContainedCanonical under one engine and returns (verdict,
+/// stats).
+std::pair<bool, ContainmentStats> ContainUnder(const ConjunctiveQuery& q1,
+                                               const ConjunctiveQuery& q2,
+                                               bool row_engine) {
+  const bool saved = internal::RowEngineForced();
+  internal::ForceRowEngineForTest(row_engine);
+  ContainmentStats stats;
+  const bool verdict = CqacContainedCanonical(q1, q2, &stats);
+  internal::ForceRowEngineForTest(saved);
+  return {verdict, stats};
+}
+
+TEST(ColumnarDifferentialTest, GeneratedPairsVerdictAndCounterParity) {
+  QueryGen gen(/*seed=*/20060331);
+  constexpr int kPairs = 500;
+  for (int i = 0; i < kPairs; ++i) {
+    const int head_arity = i % 3 == 0 ? 0 : 1;
+    const ConjunctiveQuery q1 = gen.Rule(head_arity);
+    const ConjunctiveQuery q2 = gen.Rule(head_arity);
+    const auto [row_verdict, row_stats] = ContainUnder(q1, q2, true);
+    const auto [col_verdict, col_stats] = ContainUnder(q1, q2, false);
+    ASSERT_EQ(row_verdict, col_verdict)
+        << "pair " << i << "\n  q1: " << q1.ToString()
+        << "\n  q2: " << q2.ToString();
+    // Identical per-order verdicts imply identical early-exit points, so
+    // every enumeration counter must match exactly.
+    ASSERT_EQ(row_stats.orders_enumerated, col_stats.orders_enumerated)
+        << "pair " << i << "\n  q1: " << q1.ToString()
+        << "\n  q2: " << q2.ToString();
+    ASSERT_EQ(row_stats.orders_satisfying, col_stats.orders_satisfying)
+        << "pair " << i;
+    ASSERT_EQ(row_stats.nodes_visited, col_stats.nodes_visited) << "pair " << i;
+    ASSERT_EQ(row_stats.nodes_pruned, col_stats.nodes_pruned) << "pair " << i;
+  }
+}
+
+TEST(ColumnarDifferentialTest, GeneratedPairsCollectModeParity) {
+  QueryGen gen(/*seed=*/8671);
+  constexpr int kPairs = 120;
+  for (int i = 0; i < kPairs; ++i) {
+    const ConjunctiveQuery q1 = gen.Rule(1);
+    const ConjunctiveQuery q2 = gen.Rule(1);
+
+    std::vector<Rational> constants = q1.Constants();
+    for (const Rational& c : q2.Constants()) {
+      if (std::find(constants.begin(), constants.end(), c) ==
+          constants.end()) {
+        constants.push_back(c);
+      }
+    }
+
+    CanonicalFreezer freezer(q1);
+    const PreparedQuery prepared(q2);
+    PreparedQuery::Scratch scratch;
+    CodedEvaluator coded(&prepared.plan());
+    freezer.PrimeDictionary(constants, q1.AllVariables().size());
+    coded.BindTo(&freezer);
+
+    int orders_checked = 0;
+    ForEachSatisfyingOrderPruned(
+        q1.AllVariables(), constants, q1.comparisons(), OrderSymmetry{},
+        [&](const TotalOrder& order, int64_t) {
+          const FlatInstance& inst = freezer.Freeze(order);
+          Relation row_out;
+          Relation col_out;
+          prepared.Run(inst, nullptr, &row_out, &scratch);
+          coded.Run(freezer, /*match_frozen_head=*/false, &col_out);
+          EXPECT_EQ(row_out.tuples(), col_out.tuples())
+              << "pair " << i << " order " << orders_checked
+              << "\n  q1: " << q1.ToString() << "\n  q2: " << q2.ToString();
+          return ++orders_checked < 40;  // cap per pair, delta-freeze path
+        });
+    // Satisfying orders exist for satisfiable q1; unsatisfiable q1 rules
+    // simply contribute zero databases, which is fine — the pair still
+    // exercised freezer construction and binding.
+  }
+}
+
+}  // namespace
+}  // namespace cqac

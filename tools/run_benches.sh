@@ -25,6 +25,10 @@
 #   parallel_scaling      jobs=1/2/4 sweep of the serve-batch driver and
 #                         of cqacd worker threads
 #                         -> results/BENCH_parallel_scaling.json
+#
+# `columnar_engine` is the bench_columnar binary (row vs coded columnar
+# engine) recorded under the trajectory name
+# results/BENCH_columnar_engine.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,7 +40,8 @@ cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
   benches=(bench_containment bench_canonical bench_homomorphism bench_phase1
-           server_throughput catalog_steady_state parallel_scaling)
+           columnar_engine server_throughput catalog_steady_state
+           parallel_scaling)
 fi
 
 # A 5-relation chain: tens of milliseconds of Phase 1 per request on one
@@ -163,6 +168,15 @@ run_parallel_scaling() {
     echo "{\"bench\": \"parallel_scaling\","
     echo " \"commit\": \"$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)\","
     echo " \"cpus\": $(nproc),"
+    # Scaling numbers from a single-core host cannot show jobs>1 speedup;
+    # flag them so trajectory consumers don't read flat sweeps as a
+    # regression.
+    if [ "$(nproc)" -le 1 ]; then
+      echo " \"single_core\": true,"
+      echo " \"caveat\": \"measured on a single-core host; jobs>1 cannot speed up\","
+    else
+      echo " \"single_core\": false,"
+    fi
     echo " \"batch_jobs_per_run\": 8,"
     echo " \"batch_sweep\": ["
     local first=1
@@ -201,6 +215,7 @@ for bench in "${benches[@]}"; do
   case "$bench" in
     server_throughput|catalog_steady_state) targets+=(cqacd cqacc) ;;
     parallel_scaling) targets+=(cqacd cqacc cqacsh) ;;
+    columnar_engine) targets+=(bench_columnar) ;;
     *) targets+=("$bench") ;;
   esac
 done
@@ -215,6 +230,12 @@ for bench in "${benches[@]}"; do
     server_throughput) run_server_throughput ;;
     catalog_steady_state) run_catalog_steady_state ;;
     parallel_scaling) run_parallel_scaling ;;
+    columnar_engine)
+      "$build/bench/bench_columnar" \
+        --json "$repo/results/BENCH_columnar_engine.json" \
+        --benchmark_color=false 2>&1 \
+        | tee "$repo/results/BENCH_columnar_engine.txt"
+      ;;
     *)
       "$build/bench/$bench" --json "$repo/results/$bench.json" \
         --benchmark_color=false 2>&1 | tee "$repo/results/$bench.txt"
