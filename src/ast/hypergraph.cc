@@ -21,21 +21,26 @@ std::vector<std::set<std::string>> EdgeSets(const ConjunctiveQuery& q) {
 
 }  // namespace
 
-std::vector<int> GyoEliminationOrder(const ConjunctiveQuery& q) {
+namespace {
+
+/// The GYO reduction, recording per ear the live edge that witnessed it
+/// (covered its shared variables), or -1 when every variable was private.
+/// Returns an empty order when the reduction gets stuck (cyclic query).
+JoinForest GyoReduce(const ConjunctiveQuery& q) {
   std::vector<std::set<std::string>> edges = EdgeSets(q);
   const int n = static_cast<int>(edges.size());
   std::vector<bool> removed(n, false);
-  std::vector<int> order;
+  JoinForest forest;
+  forest.parent.assign(n, -1);
 
   bool progress = true;
-  while (progress && static_cast<int>(order.size()) < n) {
+  while (progress && static_cast<int>(forest.elimination_order.size()) < n) {
     progress = false;
     for (int i = 0; i < n; ++i) {
       if (removed[i]) continue;
-      // Count, per variable of edge i, how it is shared.
       // i is an ear iff every variable is private (occurs in no other
       // live edge) or the set of its shared variables is contained in one
-      // single other live edge.
+      // single other live edge — which becomes its parent in the forest.
       std::set<std::string> shared;
       for (const std::string& v : edges[i]) {
         for (int j = 0; j < n; ++j) {
@@ -47,6 +52,7 @@ std::vector<int> GyoEliminationOrder(const ConjunctiveQuery& q) {
         }
       }
       bool is_ear = shared.empty();
+      int witness = -1;
       if (!is_ear) {
         for (int j = 0; j < n && !is_ear; ++j) {
           if (j == i || removed[j]) continue;
@@ -57,19 +63,33 @@ std::vector<int> GyoEliminationOrder(const ConjunctiveQuery& q) {
               break;
             }
           }
-          if (covered) is_ear = true;
+          if (covered) {
+            is_ear = true;
+            witness = j;
+          }
         }
       }
       if (is_ear) {
         removed[i] = true;
-        order.push_back(i);
+        forest.parent[i] = witness;
+        forest.elimination_order.push_back(i);
         progress = true;
       }
     }
   }
-  if (static_cast<int>(order.size()) < n) return {};  // Cyclic.
-  return order;
+  if (static_cast<int>(forest.elimination_order.size()) < n) {
+    return JoinForest{};  // Cyclic.
+  }
+  return forest;
 }
+
+}  // namespace
+
+std::vector<int> GyoEliminationOrder(const ConjunctiveQuery& q) {
+  return GyoReduce(q).elimination_order;
+}
+
+JoinForest GyoJoinForest(const ConjunctiveQuery& q) { return GyoReduce(q); }
 
 bool IsAcyclic(const ConjunctiveQuery& q) {
   if (q.body().empty()) return true;

@@ -25,6 +25,11 @@ std::string PlanSignature(const RewriteOptions& o) {
   sig += o.verify ? 'V' : 'v';
   sig += o.coalesce_output ? 'C' : 'c';
   sig += o.minimize_output ? 'M' : 'm';
+  // The execution tier is resolved at PrepareRewriteWork time and baked
+  // into the plan (grid cache, acyclic plan), so plans compiled under
+  // different forced tiers must never alias.
+  sig += 'T';
+  sig += std::to_string(o.force_tier);
   return sig;
 }
 
@@ -90,6 +95,8 @@ struct ViewCatalog::CatalogPlan {
     o.cancel = nullptr;
     o.max_canonical_databases = -1;
     o.explain = false;  // explain bypasses the catalog entirely
+    // force_tier stays: the tier is part of the plan signature and the
+    // compiled work must reflect it.
     return o;
   }
 
@@ -116,6 +123,8 @@ struct ViewCatalog::SemanticEntry {
   bool verified = false;
   std::string failure_reason;
   RewriteStats stats;
+  int tier = 0;  // the original run's routing, replayed on a hit
+  std::string tier_reason;
 };
 
 ViewCatalog::ViewCatalog(ViewSet views, CatalogOptions options)
@@ -220,6 +229,8 @@ std::optional<RewriteResult> ViewCatalog::ProbeSemantic(
   result.outcome = entry->outcome;
   result.verified = entry->verified;
   result.stats = entry->stats;
+  result.tier = entry->tier;
+  result.tier_reason = entry->tier_reason;
 
   if (entry->query_text == query.ToString()) {
     // The very same query: replay verbatim.
@@ -276,6 +287,8 @@ void ViewCatalog::StoreSemantic(const std::string& key,
   entry->verified = result.verified;
   entry->failure_reason = result.failure_reason;
   entry->stats = result.stats;
+  entry->tier = result.tier;
+  entry->tier_reason = result.tier_reason;
   {
     std::set<std::string> own(entry->vars.begin(), entry->vars.end());
     std::set<std::string> extra;
@@ -319,6 +332,9 @@ RewriteResult ViewCatalog::Rewrite(const ConjunctiveQuery& query,
   if (!AcSolver::IsSatisfiable(query.comparisons())) {
     RewriteResult result;
     result.outcome = RewriteOutcome::kRewritingFound;
+    result.tier = 0;
+    result.tier_reason =
+        "query comparisons unsatisfiable; the rewriting is the empty union";
     if (options.verify) {
       result.verified = RewritingIsEquivalent(query, result.rewriting, views_);
     }

@@ -9,6 +9,7 @@
 #include "engine/canonical.h"
 #include "engine/coded_eval.h"
 #include "engine/evaluate.h"
+#include "engine/jointree.h"
 
 namespace cqac {
 
@@ -41,7 +42,8 @@ Substitution CollapseByOrder(const TotalOrder& order) {
 
 bool CqacContainedCanonical(const ConjunctiveQuery& q1,
                             const ConjunctiveQuery& q2,
-                            ContainmentStats* stats) {
+                            ContainmentStats* stats,
+                            const AcyclicPlan* q2_plan) {
   if (!AcSolver::IsSatisfiable(q1.comparisons())) return true;  // q1 empty.
   if (q1.head().arity() != q2.head().arity()) return false;
 
@@ -76,6 +78,7 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
 
   bool contained = true;
   OrderEnumerationStats enum_stats;
+  AcyclicPlan::Scratch jointree_scratch;
   ForEachSatisfyingOrderPruned(
       q1.AllVariables(), constants, q1.comparisons(), symmetry,
       [&](const TotalOrder& order, int64_t multiplicity) {
@@ -85,9 +88,13 @@ bool CqacContainedCanonical(const ConjunctiveQuery& q1,
         }
         const FlatInstance& inst = freezer.Freeze(order);
         const bool computes =
-            use_row_engine
-                ? prepared.Run(inst, &freezer.frozen_head(), nullptr, &scratch)
-                : coded.Run(freezer, /*match_frozen_head=*/true, nullptr);
+            q2_plan != nullptr
+                ? q2_plan->Run(inst, freezer.frozen_head(), &jointree_scratch)
+                : (use_row_engine
+                       ? prepared.Run(inst, &freezer.frozen_head(), nullptr,
+                                      &scratch)
+                       : coded.Run(freezer, /*match_frozen_head=*/true,
+                                   nullptr));
         if (!computes) {
           contained = false;
           return false;  // Counterexample found; stop enumerating.

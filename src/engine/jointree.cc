@@ -1,0 +1,185 @@
+#include "engine/jointree.h"
+
+#include <unordered_map>
+
+#include "ast/hypergraph.h"
+#include "ast/interner.h"
+
+namespace cqac {
+
+namespace {
+
+/// Row filter shared by the candidate pass: constants, head-bound
+/// variables, and within-atom repeats.
+bool RowMatches(const AcyclicPlan::PlanAtom& atom, const Rational* row,
+                const AcyclicPlan::Scratch& scratch) {
+  for (int p = 0; p < atom.arity; ++p) {
+    const AcyclicPlan::PlanTerm& t = atom.terms[p];
+    if (t.is_const) {
+      if (!(row[p] == t.value)) return false;
+    } else if (scratch.bound[t.var] != 0) {
+      if (!(row[p] == scratch.values[t.var])) return false;
+    }
+  }
+  for (const auto& [a, b] : atom.repeats) {
+    if (!(row[a] == row[b])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<AcyclicPlan> AcyclicPlanFor(const ConjunctiveQuery& q) {
+  if (!q.comparisons().empty()) return std::nullopt;
+  if (q.body().empty()) return std::nullopt;
+  const JoinForest forest = GyoJoinForest(q);
+  if (forest.elimination_order.empty()) return std::nullopt;  // cyclic
+
+  AcyclicPlan plan;
+  plan.order = forest.elimination_order;
+  plan.parent = forest.parent;
+
+  std::unordered_map<std::string, int> var_index;
+  auto index_of = [&](const std::string& name) {
+    const auto [it, inserted] =
+        var_index.emplace(name, static_cast<int>(var_index.size()));
+    return it->second;
+  };
+
+  plan.atoms.reserve(q.body().size());
+  for (const Atom& a : q.body()) {
+    AcyclicPlan::PlanAtom atom;
+    atom.predicate = a.predicate();
+    atom.arity = static_cast<int>(a.args().size());
+    std::unordered_map<int, int> first_pos;  // var index -> first position
+    for (int p = 0; p < atom.arity; ++p) {
+      const Term& t = a.args()[p];
+      AcyclicPlan::PlanTerm term;
+      if (t.IsVariable()) {
+        term.var = index_of(t.name());
+        const auto [it, inserted] = first_pos.emplace(term.var, p);
+        if (!inserted) atom.repeats.emplace_back(it->second, p);
+      } else {
+        term.is_const = true;
+        term.value = t.value();
+      }
+      atom.terms.push_back(std::move(term));
+    }
+    plan.atoms.push_back(std::move(atom));
+  }
+
+  // Join positions: the first occurrence of every variable the child and
+  // its parent share.  Repeated occurrences are already pinned equal by
+  // `repeats`, so one position per variable per side suffices.
+  plan.join_positions.resize(plan.atoms.size());
+  for (size_t i = 0; i < plan.atoms.size(); ++i) {
+    const int j = plan.parent[i];
+    if (j < 0) continue;
+    std::unordered_map<int, int> parent_pos;
+    for (int p = 0; p < plan.atoms[j].arity; ++p) {
+      const AcyclicPlan::PlanTerm& t = plan.atoms[j].terms[p];
+      if (!t.is_const) parent_pos.emplace(t.var, p);
+    }
+    std::unordered_map<int, int> taken;
+    for (int p = 0; p < plan.atoms[i].arity; ++p) {
+      const AcyclicPlan::PlanTerm& t = plan.atoms[i].terms[p];
+      if (t.is_const) continue;
+      const auto it = parent_pos.find(t.var);
+      if (it == parent_pos.end()) continue;
+      if (!taken.emplace(t.var, p).second) continue;  // first occurrence only
+      plan.join_positions[i].emplace_back(p, it->second);
+    }
+  }
+
+  for (const Term& t : q.head().args()) {
+    AcyclicPlan::PlanTerm term;
+    if (t.IsVariable()) {
+      // Safe queries put every head variable in the body, so the index
+      // already exists; index_of also covers the (unsafe) stray case.
+      term.var = index_of(t.name());
+    } else {
+      term.is_const = true;
+      term.value = t.value();
+    }
+    plan.head.push_back(std::move(term));
+  }
+  plan.num_vars = static_cast<int>(var_index.size());
+  return plan;
+}
+
+bool AcyclicPlan::Run(const FlatInstance& inst, const Tuple& frozen_head,
+                      Scratch* scratch) const {
+  if (frozen_head.size() != head.size()) return false;
+  scratch->bound.assign(static_cast<size_t>(num_vars), 0);
+  scratch->values.resize(static_cast<size_t>(num_vars));
+  for (size_t p = 0; p < head.size(); ++p) {
+    const PlanTerm& t = head[p];
+    if (t.is_const) {
+      if (!(frozen_head[p] == t.value)) return false;
+    } else if (scratch->bound[t.var] != 0) {
+      if (!(scratch->values[t.var] == frozen_head[p])) return false;
+    } else {
+      scratch->bound[t.var] = 1;
+      scratch->values[t.var] = frozen_head[p];
+    }
+  }
+
+  scratch->candidates.resize(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const PlanAtom& atom = atoms[i];
+    std::vector<uint32_t>& cand = scratch->candidates[i];
+    cand.clear();
+    const uint32_t rel = inst.FindRelation(atom.predicate, atom.arity);
+    if (rel == SymbolInterner::kNotFound) return false;
+    const size_t rows = inst.RowCount(rel);
+    for (size_t r = 0; r < rows; ++r) {
+      if (atom.arity == 0 || RowMatches(atom, inst.Row(rel, r), *scratch)) {
+        cand.push_back(static_cast<uint32_t>(r));
+      }
+    }
+    if (cand.empty()) return false;
+  }
+
+  // Bottom-up semi-join sweep: every atom precedes its parent in `order`,
+  // so by the time i reduces parent[i], i's own candidate set has already
+  // been reduced by all of i's children.  A root emptied by its children
+  // (or any atom emptied at all) kills the component, hence the query.
+  for (const int i : order) {
+    const int j = parent[i];
+    if (j < 0) continue;
+    const PlanAtom& parent_atom = atoms[j];
+    const uint32_t parent_rel =
+        inst.FindRelation(parent_atom.predicate, parent_atom.arity);
+    const PlanAtom& child_atom = atoms[i];
+    const uint32_t child_rel =
+        inst.FindRelation(child_atom.predicate, child_atom.arity);
+    const std::vector<std::pair<int, int>>& positions = join_positions[i];
+    std::vector<uint32_t>& parent_cand = scratch->candidates[j];
+    const std::vector<uint32_t>& child_cand = scratch->candidates[i];
+    scratch->filtered.clear();
+    for (const uint32_t pr : parent_cand) {
+      const Rational* parent_row = inst.Row(parent_rel, pr);
+      bool supported = false;
+      for (const uint32_t cr : child_cand) {
+        const Rational* child_row = inst.Row(child_rel, cr);
+        bool agrees = true;
+        for (const auto& [cp, pp] : positions) {
+          if (!(child_row[cp] == parent_row[pp])) {
+            agrees = false;
+            break;
+          }
+        }
+        if (agrees) {
+          supported = true;
+          break;
+        }
+      }
+      if (supported) scratch->filtered.push_back(pr);
+    }
+    parent_cand.swap(scratch->filtered);
+    if (parent_cand.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace cqac

@@ -1,0 +1,87 @@
+#ifndef CQAC_ENGINE_JOINTREE_H_
+#define CQAC_ENGINE_JOINTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/query.h"
+#include "engine/database.h"
+#include "engine/evaluate.h"
+
+namespace cqac {
+
+/// A Yannakakis-style boolean evaluator for acyclic comparison-free
+/// queries, compiled once per query and reusable across canonical
+/// databases.  Where PreparedQuery answers "does `q` compute this head
+/// tuple on this instance?" by backtracking over a join order, this plan
+/// answers the same question by (1) binding the head variables from the
+/// target tuple, (2) filtering each atom's relation down to the rows
+/// consistent with those bindings, the atom's constants, and its repeated
+/// variables, then (3) running a bottom-up semi-join sweep along a GYO
+/// join forest (ast/hypergraph.h).  For alpha-acyclic queries the sweep
+/// is complete: every root retaining a row is equivalent to the existence
+/// of a satisfying assignment, so the verdict is identical to the general
+/// search — in time linear in the instance per atom pair instead of
+/// exponential in the join width.
+///
+/// This is the T2 execution engine of the structure-aware tier router
+/// (rewriting/structure.h): both the Phase-1 keep test and the per-order
+/// evaluation inside CqacContainedCanonical accept one of these in place
+/// of the general evaluator, and must produce byte-identical verdicts.
+struct AcyclicPlan {
+  struct PlanTerm {
+    bool is_const = false;
+    int var = -1;    // variable index when !is_const
+    Rational value;  // constant value when is_const
+  };
+
+  struct PlanAtom {
+    std::string predicate;
+    int arity = 0;
+    std::vector<PlanTerm> terms;
+    /// Position pairs that must hold equal values because the same
+    /// variable occupies both (first occurrence vs each repeat).
+    std::vector<std::pair<int, int>> repeats;
+  };
+
+  /// Reusable per-thread evaluation state; Run never touches plan state,
+  /// so one immutable plan may be shared across threads, each with its
+  /// own scratch.
+  struct Scratch {
+    std::vector<char> bound;           // var index -> bound by the head?
+    std::vector<Rational> values;      // var index -> bound value
+    std::vector<std::vector<uint32_t>> candidates;  // atom -> row indices
+    std::vector<uint32_t> filtered;    // semi-join survivor buffer
+  };
+
+  std::vector<PlanAtom> atoms;
+  /// GYO elimination order (children strictly before parents) and parent
+  /// links; parent[i] == -1 marks the root of a connected component.
+  std::vector<int> order;
+  std::vector<int> parent;
+  /// For every non-root atom i: (position in i, position in parent[i])
+  /// for each variable the two atoms share.
+  std::vector<std::vector<std::pair<int, int>>> join_positions;
+  /// The head template: one term per head position.
+  std::vector<PlanTerm> head;
+  int num_vars = 0;
+
+  /// True iff the compiled query computes `frozen_head` on `inst` — the
+  /// same verdict PreparedQuery::Run(inst, &frozen_head, ...) returns.
+  /// Atoms whose relation is absent from `inst` can never match.
+  bool Run(const FlatInstance& inst, const Tuple& frozen_head,
+           Scratch* scratch) const;
+};
+
+/// Compiles `q` into an AcyclicPlan, or nullopt when the plan's
+/// completeness argument does not apply: `q` has comparisons (selections
+/// the semi-join sweep does not model), a cyclic hypergraph (no join
+/// forest exists), or an empty body.
+std::optional<AcyclicPlan> AcyclicPlanFor(const ConjunctiveQuery& q);
+
+}  // namespace cqac
+
+#endif  // CQAC_ENGINE_JOINTREE_H_

@@ -126,6 +126,9 @@ void RewriteStats::Merge(const RewriteStats& other) {
   phase2_orders += other.phase2_orders;
   phase1_memo_hits += other.phase1_memo_hits;
   phase1_memo_misses += other.phase1_memo_misses;
+  tier1_grid_hits += other.tier1_grid_hits;
+  tier1_grid_misses += other.tier1_grid_misses;
+  tier2_jointree_evals += other.tier2_jointree_evals;
   enumeration_ns += other.enumeration_ns;
   freeze_ns += other.freeze_ns;
   phase1_ns += other.phase1_ns;
@@ -144,6 +147,9 @@ void RecordRewriteMetrics(const RewriteStats& stats) {
   registry.counter("rewrite.phase2_orders").Add(stats.phase2_orders);
   registry.counter("phase1_memo.hits").Add(stats.phase1_memo_hits);
   registry.counter("phase1_memo.misses").Add(stats.phase1_memo_misses);
+  registry.counter("tier1_grid.hits").Add(stats.tier1_grid_hits);
+  registry.counter("tier1_grid.misses").Add(stats.tier1_grid_misses);
+  registry.counter("tier2.jointree_evals").Add(stats.tier2_jointree_evals);
 }
 
 RewriteWork PrepareRewriteWork(const ConjunctiveQuery& query,
@@ -190,6 +196,29 @@ RewriteWork PrepareRewriteWork(
           work.constants.end()) {
         work.constants.push_back(c);
       }
+    }
+  }
+
+  // Route the run to an execution tier before Phase 1.  The classifier is
+  // purely structural (no data); forcing (options.force_tier) applies
+  // only when the forced tier's eligibility holds.
+  {
+    CQAC_TRACE_SPAN("structure.tier");
+    work.tier = ResolveTier(ClassifyStructure(query, views), options.force_tier);
+    if (work.tier.tier != ExecutionTier::kGeneral) {
+      work.grid_cache =
+          std::make_shared<GridVerdictCache>(query.AllVariables());
+    }
+    if (work.tier.tier == ExecutionTier::kAcyclic) {
+      if (std::optional<AcyclicPlan> plan = AcyclicPlanFor(query)) {
+        work.acyclic_plan =
+            std::make_shared<const AcyclicPlan>(*std::move(plan));
+      }
+    }
+    if (obs::MetricsActive()) {
+      obs::MetricsRegistry::Global()
+          .counter(std::string("rewrite.tier.") + TierName(work.tier.tier))
+          .Add(1);
     }
   }
 
@@ -259,6 +288,8 @@ static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
     // work_id matches (the plan pointer dies with the RewriteWork).
     std::optional<CodedEvaluator> coded;
     PreparedQuery::Scratch scratch;
+    AcyclicPlan::Scratch jointree;
+    std::string grid_key;
   };
   static thread_local Phase1Cache cache;
   const bool use_row_engine = internal::RowEngineForced();
@@ -282,16 +313,49 @@ static DatabaseOutcome ProcessCanonicalDatabaseImpl(const RewriteWork& work,
     cache.work_id = work.work_id;
   }
   bool computes_head;
+  bool grid_miss = false;
   {
     CQAC_TRACE_SPAN("phase1.freeze");
     const int64_t freeze_t0 = NowNs();
+    // T1/T2 grid cache: the keep verdict is a pure function of the
+    // order's grid class (soundness argument at GridVerdictCache), so a
+    // cached skip needs neither the freeze nor the evaluation, and a
+    // cached keep still freezes (downstream steps read the instance) but
+    // skips the evaluation.  Explain runs bypass the cache, like the
+    // Phase-1 memo, so every database's trace stays complete.
+    std::optional<bool> cached;
+    const bool use_grid = work.grid_cache != nullptr && !options.explain;
+    if (use_grid) {
+      work.grid_cache->BuildKey(order, &cache.grid_key);
+      cached = work.grid_cache->Get(cache.grid_key);
+      if (cached.has_value()) {
+        ++out.stats.tier1_grid_hits;
+      } else {
+        grid_miss = true;
+        ++out.stats.tier1_grid_misses;
+      }
+      if (cached.has_value() && !*cached) {
+        out.stats.freeze_ns += NowNs() - freeze_t0;
+        out.status = DatabaseOutcome::Status::kSkipped;
+        return out;
+      }
+    }
     const FlatInstance& inst = cache.freezer->Freeze(order);
-    computes_head =
-        (use_row_engine || !cache.coded.has_value())
-            ? work.prepared_query.Run(inst, &cache.freezer->frozen_head(),
-                                      nullptr, &cache.scratch)
-            : cache.coded->Run(*cache.freezer, /*match_frozen_head=*/true,
-                               nullptr);
+    if (cached.has_value()) {
+      computes_head = true;  // A cached keep verdict; skip the evaluation.
+    } else if (work.acyclic_plan != nullptr) {
+      computes_head = work.acyclic_plan->Run(
+          inst, cache.freezer->frozen_head(), &cache.jointree);
+      ++out.stats.tier2_jointree_evals;
+    } else {
+      computes_head =
+          (use_row_engine || !cache.coded.has_value())
+              ? work.prepared_query.Run(inst, &cache.freezer->frozen_head(),
+                                        nullptr, &cache.scratch)
+              : cache.coded->Run(*cache.freezer, /*match_frozen_head=*/true,
+                                 nullptr);
+    }
+    if (grid_miss) work.grid_cache->Put(cache.grid_key, computes_head);
     out.stats.freeze_ns += NowNs() - freeze_t0;
   }
   if (!computes_head) {
@@ -542,7 +606,8 @@ static Phase2Outcome CheckExpansionContainedImpl(const RewriteWork& work,
   }
   ContainmentStats cstats;
   Phase2Outcome out;
-  out.contained = CqacContainedCanonical(expansion, work.query, &cstats);
+  out.contained = CqacContainedCanonical(expansion, work.query, &cstats,
+                                         work.acyclic_plan.get());
   out.orders_enumerated = cstats.orders_enumerated;
   if (memo != nullptr) memo->Put(key, out.contained);
   return out;
@@ -641,6 +706,8 @@ RewriteResult RunPreparedRewriteSerial(const RewriteWork& work,
   RewriteResult result;
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
+  result.tier = static_cast<int>(work.tier.tier);
+  result.tier_reason = work.tier.reason;
 
   const bool explain = work.options.explain;
 
@@ -770,6 +837,9 @@ RewriteResult EquivalentRewriter::RunSerial() {
   if (!AcSolver::IsSatisfiable(query_.comparisons())) {
     RewriteResult result;
     result.outcome = RewriteOutcome::kRewritingFound;
+    result.tier = 0;
+    result.tier_reason =
+        "query comparisons unsatisfiable; the rewriting is the empty union";
     if (options_.verify) {
       result.verified =
           RewritingIsEquivalent(query_, result.rewriting, views_);

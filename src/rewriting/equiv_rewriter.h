@@ -2,6 +2,7 @@
 #define CQAC_REWRITING_EQUIV_REWRITER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -10,8 +11,10 @@
 #include "ast/query.h"
 #include "constraints/orders.h"
 #include "engine/evaluate.h"
+#include "engine/jointree.h"
 #include "rewriting/explain.h"
 #include "rewriting/minicon.h"
+#include "rewriting/structure.h"
 #include "rewriting/view_set.h"
 #include "runtime/cancellation.h"
 
@@ -94,6 +97,16 @@ struct RewriteOptions {
   /// runtime/parallel_rewriter.h).
   int jobs = 1;
 
+  /// Pins the execution tier chosen by the structural classifier
+  /// (rewriting/structure.h): -1 (the default) routes automatically; 0, 1
+  /// or 2 force that tier *when its eligibility precondition holds* and
+  /// fall back to the general path otherwise, so a forced sweep over an
+  /// arbitrary corpus stays sound.  A testing hook — tiers are
+  /// byte-compatible on results, so forcing only changes speed and the
+  /// tier/tier_reason surfaced in stats.  Part of the catalog plan
+  /// signature: plans compiled under different forced tiers never alias.
+  int force_tier = -1;
+
   /// Cooperative cancellation (runtime/cancellation.h), the mechanism
   /// behind per-request deadlines in the rewrite service.  When non-null,
   /// both drivers poll the token at canonical-database and Phase-2
@@ -123,6 +136,14 @@ struct RewriteStats {
   int64_t phase1_memo_hits = 0;          // databases served from the memo
   int64_t phase1_memo_misses = 0;        // databases computed in full
 
+  // Tier-engine counters (rewriting/structure.h).  The T1/T2 grid
+  // hit/miss split is schedule-dependent under the parallel driver (like
+  // the phase1_memo split) and excluded from differential signatures;
+  // all three are zero on a T0 run.
+  int64_t tier1_grid_hits = 0;       // keep verdicts replayed from the cache
+  int64_t tier1_grid_misses = 0;     // grid classes evaluated in full
+  int64_t tier2_jointree_evals = 0;  // keep tests run on the AcyclicPlan
+
   // Per-phase wall time, in nanoseconds of std::chrono::steady_clock.
   // Accumulated element-wise through Merge like every other field, so the
   // serial and parallel paths aggregate them identically — the *values*
@@ -146,7 +167,11 @@ struct RewriteStats {
 /// meaning change; the record shapes are documented in docs/SYNTAX.md.
 /// v3: per-rewrite records gained `semantic_cache_hit`, batch records the
 /// `catalog_*` counter block (catalog/view_catalog.h).
-inline constexpr int kStatsJsonSchemaVersion = 3;
+/// v4: per-rewrite records gained `tier` / `tier_reason` and the per-tier
+/// counters `tier1_grid_hits` / `tier1_grid_misses` /
+/// `tier2_jointree_evals`; batch records aggregate the same counters
+/// (rewriting/structure.h).
+inline constexpr int kStatsJsonSchemaVersion = 4;
 
 enum class RewriteOutcome {
   kRewritingFound,
@@ -183,6 +208,12 @@ struct RewriteResult {
   /// Epoch of the catalog that produced this result; 0 when the run did
   /// not go through a catalog.
   uint64_t catalog_epoch = 0;
+
+  /// The execution tier the run was routed to (0 = general, 1 =
+  /// semi-interval, 2 = acyclic core) and the classifier's explanation.
+  /// Purely observational: tiers are byte-compatible on everything above.
+  int tier = 0;
+  std::string tier_reason;
 };
 
 // ---------------------------------------------------------------------------
@@ -232,6 +263,18 @@ struct RewriteWork {
   std::vector<int> mcd_dup_of;  // i -> least j with an equal view tuple
   std::vector<int> mcd_rank;    // i -> rank of its tuple among distinct ones
   std::vector<char> mcd_folds;  // i * |mcds| + j -> tuple i folds onto j
+
+  /// The structural routing decision for this (query, views, options)
+  /// triple, resolved against options.force_tier (rewriting/structure.h).
+  TierDecision tier;
+
+  /// T1/T2 only: keep-test verdicts keyed by grid class, shared by all
+  /// workers of a run and, through a catalog plan, across requests.
+  std::shared_ptr<GridVerdictCache> grid_cache;
+
+  /// T2 only: the compiled join-tree evaluator replacing the general
+  /// keep-test and Phase-2 per-order evaluation (engine/jointree.h).
+  std::shared_ptr<const AcyclicPlan> acyclic_plan;
 };
 
 /// Builds the shared setup.  Deterministic for fixed inputs.

@@ -107,6 +107,8 @@ RewriteResult ParallelRewritePreparedImpl(const RewriteWork& work,
 
   result.stats.v0_variants = static_cast<int64_t>(work.v0_variants.size());
   result.stats.mcds_formed = static_cast<int64_t>(work.mcds.size());
+  result.tier = static_cast<int>(work.tier.tier);
+  result.tier_reason = work.tier.reason;
 
   // One Phase-1 memo per run unless the caller passed a catalog-scoped
   // one, shared by every worker (sharded; first writer wins).  Which
@@ -396,6 +398,9 @@ RewriteResult ParallelRewriteImpl(const ConjunctiveQuery& query,
   if (!AcSolver::IsSatisfiable(query.comparisons())) {
     RewriteResult result;
     result.outcome = RewriteOutcome::kRewritingFound;
+    result.tier = 0;
+    result.tier_reason =
+        "query comparisons unsatisfiable; the rewriting is the empty union";
     if (options.verify) {
       result.verified = RewritingIsEquivalent(query, result.rewriting, views);
     }

@@ -20,6 +20,7 @@ std::string LatticeConfig::Name() const {
   if (row_engine) out << " row-engine";
   if (verify) out << " verify";
   if (use_catalog) out << " catalog";
+  if (force_tier >= 0) out << " tier" << force_tier;
   return out.str();
 }
 
@@ -28,6 +29,7 @@ RewriteOptions LatticeConfig::ToOptions() const {
   options.jobs = jobs;
   options.phase1_dedup = phase1_dedup;
   options.verify = verify;
+  options.force_tier = force_tier;
   return options;
 }
 
@@ -79,6 +81,23 @@ std::vector<LatticeConfig> FullConfigLattice() {
   catalog_parallel.use_catalog = true;
   catalog_parallel.jobs = 4;
   lattice.push_back(catalog_parallel);
+  // Tier lattice (rewriting/structure.h): forced-general anchor plus each
+  // fast tier, serial and (for the grid cache, whose sharing is
+  // schedule-dependent) parallel.  Ineligible inputs fall back to the
+  // general path, so every point is sound on every case.
+  LatticeConfig tier0;
+  tier0.force_tier = 0;
+  lattice.push_back(tier0);
+  LatticeConfig tier1;
+  tier1.force_tier = 1;
+  lattice.push_back(tier1);
+  LatticeConfig tier1_parallel;
+  tier1_parallel.force_tier = 1;
+  tier1_parallel.jobs = 4;
+  lattice.push_back(tier1_parallel);
+  LatticeConfig tier2;
+  tier2.force_tier = 2;
+  lattice.push_back(tier2);
   return lattice;
 }
 
@@ -105,6 +124,12 @@ std::vector<LatticeConfig> SmokeConfigLattice() {
   LatticeConfig catalog;
   catalog.use_catalog = true;
   lattice.push_back(catalog);
+  LatticeConfig tier1;  // grid-cache tier vs the auto-routed baseline
+  tier1.force_tier = 1;
+  lattice.push_back(tier1);
+  LatticeConfig tier2;  // join-tree tier (general fallback when cyclic)
+  tier2.force_tier = 2;
+  lattice.push_back(tier2);
   return lattice;
 }
 

@@ -187,12 +187,14 @@ TEST(ShellTest, RewriteJsonFlagEmitsCounterRecord) {
       "view v(Y,Z) :- r(X), s(Y,Z), Y <= X, X <= Z.\n"
       "query q(A) :- r(A), s(A,A), A <= 8.\n"
       "rewrite json\n");
-  EXPECT_NE(out.find("{\"schema_version\": 3, \"outcome\": \"found\""),
+  EXPECT_NE(out.find("{\"schema_version\": 4, \"outcome\": \"found\""),
             std::string::npos);
   EXPECT_NE(out.find("\"phase1_memo_hits\": "), std::string::npos);
   EXPECT_NE(out.find("\"phase1_memo_misses\": "), std::string::npos);
   EXPECT_NE(out.find("\"phase1_ns\": "), std::string::npos);
   EXPECT_NE(out.find("\"phase2_ns\": "), std::string::npos);
+  EXPECT_NE(out.find("\"tier\": "), std::string::npos);
+  EXPECT_NE(out.find("\"tier_reason\": \""), std::string::npos);
 }
 
 TEST(ShellTest, ClearResetsState) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "runtime/memo_cache.h"
+#include "rewriting/structure.h"
 #include "testing/corpus.h"
 #include "testing/differential.h"
 #include "testing/mutators.h"
@@ -54,6 +55,8 @@ struct FuzzFlags {
   std::string inject_fault = "none";
   int jobs = 4;            // thread count of the parallel lattice points
   int dump_workloads = 0;  // corpus-seeding mode: emit N cases and exit
+  bool tiers = false;      // draw tier-targeted workloads (semi-interval /
+                           // acyclic) instead of the general mix
   bool verbose = false;
 };
 
@@ -75,6 +78,10 @@ void Usage() {
       "                      fuzzer must then find and shrink a divergence\n"
       "  --dump-workloads N  print N generated cases as corpus files to\n"
       "                      --out and exit (corpus seeding helper)\n"
+      "  --tiers             alternate semi-interval-only and acyclic-only\n"
+      "                      workloads so the generated stream targets the\n"
+      "                      fast execution tiers (the lattice's forced-tier\n"
+      "                      points then diff them against the general path)\n"
       "  --verbose           per-case progress\n");
 }
 
@@ -140,6 +147,8 @@ std::optional<FuzzFlags> ParseFlags(int argc, char** argv) {
     } else if (arg == "--dump-workloads") {
       if ((v = value(i)) == nullptr) return std::nullopt;
       flags.dump_workloads = std::atoi(v);
+    } else if (arg == "--tiers") {
+      flags.tiers = true;
     } else if (arg == "--verbose") {
       flags.verbose = true;
     } else {
@@ -154,7 +163,7 @@ std::optional<FuzzFlags> ParseFlags(int argc, char** argv) {
 /// `variables + constants <= 7` keeps the oracle's order enumeration (and
 /// the rewriter's own Phase 1) within budget — 7 terms is under 50k
 /// orders.
-WorkloadConfig DrawConfig(std::mt19937_64& meta) {
+WorkloadConfig DrawConfig(std::mt19937_64& meta, bool tiers) {
   WorkloadConfig config;
   config.num_variables = PortableUniformInt(meta, 2, 4);
   config.num_constants =
@@ -165,6 +174,17 @@ WorkloadConfig DrawConfig(std::mt19937_64& meta) {
   config.num_views = PortableUniformInt(meta, 1, 4);
   config.view_subgoals = PortableUniformInt(meta, 1, 2);
   config.distractor_fraction = 0.25;
+  if (tiers) {
+    // Alternate between the two fast-tier shapes so the forced-tier
+    // lattice points exercise their specialized paths rather than the
+    // general fallback.
+    if (PortableUniformInt(meta, 0, 1) == 0) {
+      config.semi_interval_only = true;
+      config.num_constants = std::max(1, config.num_constants);
+    } else {
+      config.acyclic_only = true;
+    }
+  }
   config.seed = meta();
   return config;
 }
@@ -250,6 +270,12 @@ class Fuzzer {
     } else {
       note += "; not shrunk (failure needs its original context)";
     }
+    // Record where the classifier routes the repro so a misrouting tier
+    // is visible in the regression file itself.
+    const TierDecision routed = ClassifyStructure(shrunk.query, shrunk.views);
+    note += "; classifier routes it to ";
+    note += TierName(routed.tier);
+    note += " (" + routed.reason + ")";
     std::error_code ec;
     std::filesystem::create_directories(flags_.out_dir, ec);
     const std::string path = flags_.out_dir + "/finding-" +
@@ -340,7 +366,7 @@ class Fuzzer {
     }
     for (int64_t iter = 0; iter < per_seed_iterations && !TimeUp(); ++iter) {
       for (size_t i = 0; i < num_seeds && !TimeUp(); ++i) {
-        const WorkloadConfig config = DrawConfig(metas[i]);
+        const WorkloadConfig config = DrawConfig(metas[i], flags_.tiers);
         WorkloadGenerator generator(config);
         const WorkloadInstance instance = generator.Generate();
         const std::string origin = "seed " +
@@ -371,7 +397,7 @@ class Fuzzer {
     std::filesystem::create_directories(flags_.out_dir, ec);
     std::mt19937_64 meta(flags_.seed_lo);
     for (int i = 0; i < flags_.dump_workloads; ++i) {
-      const WorkloadConfig config = DrawConfig(meta);
+      const WorkloadConfig config = DrawConfig(meta, flags_.tiers);
       WorkloadGenerator generator(config);
       const WorkloadInstance instance = generator.Generate();
       char name[64];

@@ -29,6 +29,11 @@
 # `columnar_engine` is the bench_columnar binary (row vs coded columnar
 # engine) recorded under the trajectory name
 # results/BENCH_columnar_engine.json.
+#
+# `tiered_execution` is the bench_tiers binary (forced tier 0 vs the
+# semi-interval grid cache and the acyclic join-tree engine, with
+# embedded output-equality checks) recorded under
+# results/BENCH_tiered_execution.json.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,8 +45,8 @@ cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
   benches=(bench_containment bench_canonical bench_homomorphism bench_phase1
-           columnar_engine server_throughput catalog_steady_state
-           parallel_scaling)
+           columnar_engine tiered_execution server_throughput
+           catalog_steady_state parallel_scaling)
 fi
 
 # A 5-relation chain: tens of milliseconds of Phase 1 per request on one
@@ -216,6 +221,7 @@ for bench in "${benches[@]}"; do
     server_throughput|catalog_steady_state) targets+=(cqacd cqacc) ;;
     parallel_scaling) targets+=(cqacd cqacc cqacsh) ;;
     columnar_engine) targets+=(bench_columnar) ;;
+    tiered_execution) targets+=(bench_tiers) ;;
     *) targets+=("$bench") ;;
   esac
 done
@@ -235,6 +241,12 @@ for bench in "${benches[@]}"; do
         --json "$repo/results/BENCH_columnar_engine.json" \
         --benchmark_color=false 2>&1 \
         | tee "$repo/results/BENCH_columnar_engine.txt"
+      ;;
+    tiered_execution)
+      "$build/bench/bench_tiers" \
+        --json "$repo/results/BENCH_tiered_execution.json" \
+        --benchmark_color=false 2>&1 \
+        | tee "$repo/results/BENCH_tiered_execution.txt"
       ;;
     *)
       "$build/bench/$bench" --json "$repo/results/$bench.json" \
