@@ -14,10 +14,12 @@
 // The tier1-vs-tier0 ratio of the SemiInterval rows is the acceptance
 // number recorded in results/BENCH_tiered_execution.json.
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "obs/request_context.h"
 #include "benchmark/benchmark.h"
 #include "constraints/orders.h"
 #include "engine/canonical.h"
@@ -245,4 +247,15 @@ BENCHMARK(BM_AcyclicRewrite)->Arg(0)->Arg(2)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-CQAC_BENCH_MAIN();
+int main(int argc, char** argv) {
+  // CQAC_TELEMETRY=1: bind a request scope for the whole run so every
+  // span site records into the flight recorder, exactly as it would
+  // inside a served request.  This is the telemetry-on side of the
+  // overhead gate in tools/run_benches.sh (`telemetry_overhead`), whose
+  // baseline is a separate -DCQAC_TRACING=OFF build of this binary.
+  const char* telemetry = std::getenv("CQAC_TELEMETRY");
+  if (telemetry != nullptr && telemetry[0] == '1') {
+    static const cqac::obs::RequestScope scope(cqac::obs::GenerateTraceId());
+  }
+  return cqac_bench::BenchMain(argc, argv);
+}

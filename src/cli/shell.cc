@@ -9,6 +9,7 @@
 #include "containment/cqac_containment.h"
 #include "engine/evaluate.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "parser/parser.h"
 #include "rewriting/contained_rewriter.h"
 #include "rewriting/equiv_rewriter.h"
@@ -177,6 +178,10 @@ void Shell::CmdRewrite(const std::string& args) {
   if (catalog_ == nullptr) {
     catalog_ = std::make_shared<ViewCatalog>(views_);
   }
+  // Every rewrite runs under its own trace id, so its spans land in the
+  // flight recorder and its --json record is joinable against telemetry.
+  const obs::TraceId trace_id = obs::GenerateTraceId();
+  const obs::RequestScope trace_scope(trace_id);
   const RewriteResult result = catalog_->Rewrite(*query_, options);
   switch (result.outcome) {
     case RewriteOutcome::kRewritingFound:
@@ -243,6 +248,7 @@ void Shell::CmdRewrite(const std::string& args) {
          << result.stats.kept_canonical_databases
          << ", \"mcds_formed\": " << result.stats.mcds_formed
          << ", \"phase2_checks\": " << result.stats.phase2_checks
+         << ", \"phase2_orders\": " << result.stats.phase2_orders
          << ", \"phase1_memo_hits\": " << result.stats.phase1_memo_hits
          << ", \"phase1_memo_misses\": " << result.stats.phase1_memo_misses
          << ", \"tier\": " << result.tier
@@ -255,7 +261,8 @@ void Shell::CmdRewrite(const std::string& args) {
          << ", \"phase1_ns\": " << result.stats.phase1_ns
          << ", \"phase2_ns\": " << result.stats.phase2_ns
          << ", \"semantic_cache_hit\": " << (result.from_semantic_cache ? 1 : 0)
-         << ", \"catalog_epoch\": " << result.catalog_epoch << "}\n";
+         << ", \"catalog_epoch\": " << result.catalog_epoch
+         << ", \"trace_id\": \"" << obs::TraceIdHex(trace_id) << "\"}\n";
   }
   if (explain) out_ << TableauToString(result.trace);
 }

@@ -1,0 +1,242 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace cqac {
+namespace obs {
+
+namespace {
+
+/// One ring slot.  All fields are relaxed atomics bracketed by an odd/even
+/// `version` seqlock, so the single-producer writes and the collector's
+/// reads are race-free under the memory model (torn snapshots are detected
+/// by the version check and skipped, never observed as values).
+struct FlightSlot {
+  std::atomic<uint32_t> version{0};  // odd while the producer is writing
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> dur_ns{0};
+  std::atomic<uint64_t> trace_hi{0};
+  std::atomic<uint64_t> trace_lo{0};
+};
+
+void WriteSlot(FlightSlot& slot, const char* name, int64_t start_ns,
+               int64_t dur_ns, const TraceId& trace) {
+  const uint32_t v = slot.version.load(std::memory_order_relaxed);
+  slot.version.store(v + 1, std::memory_order_release);  // odd: writing
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.trace_hi.store(trace.hi, std::memory_order_relaxed);
+  slot.trace_lo.store(trace.lo, std::memory_order_relaxed);
+  slot.version.store(v + 2, std::memory_order_release);  // even: stable
+}
+
+/// One thread's rings.  Single producer (the owning thread); each position
+/// counter counts pushes forever, so `pos - capacity` is that region's
+/// overwrite count and its retained window is [max(0, pos - cap), pos).
+///
+/// Retention is head+tail: the first kFlightHeadPerTrace events of each
+/// request go to the small `head_slots` region (its own mini-ring rotating
+/// over recent requests' heads), the rest to the main `slots` ring.  The
+/// per-trace routing state is producer-private; it is atomic only so
+/// ResetFlightRecorderForTest can clear it from another thread.
+struct FlightRing {
+  explicit FlightRing(uint32_t id) : tid(id) {}
+
+  const uint32_t tid;
+  std::vector<FlightSlot> slots;       // lazily sized to kFlightRingCapacity
+  std::vector<FlightSlot> head_slots;  // lazily, kFlightHeadCapacity
+  std::atomic<int64_t> head{0};
+  std::atomic<int64_t> head_pos{0};
+  std::atomic<uint64_t> cur_hi{0};  // trace whose head is being counted
+  std::atomic<uint64_t> cur_lo{0};
+  std::atomic<int64_t> cur_count{0};  // events seen for that trace so far
+
+  void Push(const char* name, int64_t start_ns, int64_t dur_ns,
+            const TraceId& trace) {
+    if (slots.empty()) {
+      slots = std::vector<FlightSlot>(
+          static_cast<size_t>(kFlightRingCapacity));
+      head_slots = std::vector<FlightSlot>(
+          static_cast<size_t>(kFlightHeadCapacity));
+    }
+    if (trace.hi != cur_hi.load(std::memory_order_relaxed) ||
+        trace.lo != cur_lo.load(std::memory_order_relaxed)) {
+      cur_hi.store(trace.hi, std::memory_order_relaxed);
+      cur_lo.store(trace.lo, std::memory_order_relaxed);
+      cur_count.store(0, std::memory_order_relaxed);
+    }
+    const int64_t seen = cur_count.load(std::memory_order_relaxed);
+    if (seen < kFlightHeadPerTrace) {
+      cur_count.store(seen + 1, std::memory_order_relaxed);
+      const int64_t h = head_pos.load(std::memory_order_relaxed);
+      WriteSlot(head_slots[static_cast<size_t>(h % kFlightHeadCapacity)],
+                name, start_ns, dur_ns, trace);
+      head_pos.store(h + 1, std::memory_order_release);
+      return;
+    }
+    const int64_t h = head.load(std::memory_order_relaxed);
+    WriteSlot(slots[static_cast<size_t>(h % kFlightRingCapacity)],
+              name, start_ns, dur_ns, trace);
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+struct FlightRegistry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<FlightRing>> all;
+  std::vector<FlightRing*> parked;
+};
+
+FlightRegistry& GlobalFlightRegistry() {
+  static FlightRegistry* registry = new FlightRegistry();
+  return *registry;
+}
+
+/// Parks the ring at thread exit so new threads reuse it (same bounded-
+/// memory scheme as the tracing span buffers).
+struct RingHandle {
+  FlightRing* ring = nullptr;
+
+  ~RingHandle() {
+    if (ring == nullptr) return;
+    FlightRegistry& registry = GlobalFlightRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.parked.push_back(ring);
+  }
+};
+
+FlightRing* ThreadRing() {
+  static thread_local RingHandle handle;
+  if (handle.ring == nullptr) {
+    FlightRegistry& registry = GlobalFlightRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    if (!registry.parked.empty()) {
+      handle.ring = registry.parked.back();
+      registry.parked.pop_back();
+    } else {
+      registry.all.push_back(std::make_unique<FlightRing>(
+          static_cast<uint32_t>(registry.all.size())));
+      handle.ring = registry.all.back().get();
+    }
+  }
+  return handle.ring;
+}
+
+/// Copies one slot if it is stable across the copy; false on a torn read.
+bool ReadSlot(const FlightSlot& slot, uint32_t ring_tid, FlightEvent* out) {
+  const uint32_t v1 = slot.version.load(std::memory_order_acquire);
+  if (v1 % 2 != 0) return false;
+  FlightEvent event;
+  event.name = slot.name.load(std::memory_order_relaxed);
+  event.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+  event.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+  event.trace.hi = slot.trace_hi.load(std::memory_order_relaxed);
+  event.trace.lo = slot.trace_lo.load(std::memory_order_relaxed);
+  event.tid = ring_tid;
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (slot.version.load(std::memory_order_relaxed) != v1) return false;
+  if (event.name == nullptr) return false;
+  *out = event;
+  return true;
+}
+
+}  // namespace
+
+void EnableFlightRecorder(bool enabled) {
+  internal::g_flight_active.store(enabled, std::memory_order_relaxed);
+}
+
+bool FlightRecorderActive() {
+  return internal::g_flight_active.load(std::memory_order_relaxed);
+}
+
+FlightExcerpt CollectFlightEvents(const TraceId& filter) {
+  FlightExcerpt excerpt;
+  FlightRegistry& registry = GlobalFlightRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::unique_ptr<FlightRing>& ring : registry.all) {
+    const int64_t head = ring->head.load(std::memory_order_acquire);
+    const int64_t head_pos = ring->head_pos.load(std::memory_order_acquire);
+    if (head > kFlightRingCapacity) {
+      excerpt.overwritten += head - kFlightRingCapacity;
+    }
+    if (head_pos > kFlightHeadCapacity) {
+      excerpt.overwritten += head_pos - kFlightHeadCapacity;
+    }
+    if (ring->slots.empty()) continue;
+    const int64_t lo = head > kFlightRingCapacity
+                           ? head - kFlightRingCapacity
+                           : 0;
+    for (int64_t i = lo; i < head; ++i) {
+      const FlightSlot& slot =
+          ring->slots[static_cast<size_t>(i % kFlightRingCapacity)];
+      FlightEvent event;
+      if (!ReadSlot(slot, ring->tid, &event)) continue;
+      if (!filter.IsZero() && event.trace != filter) continue;
+      excerpt.events.push_back(event);
+    }
+    const int64_t head_lo = head_pos > kFlightHeadCapacity
+                                ? head_pos - kFlightHeadCapacity
+                                : 0;
+    for (int64_t i = head_lo; i < head_pos; ++i) {
+      const FlightSlot& slot =
+          ring->head_slots[static_cast<size_t>(i % kFlightHeadCapacity)];
+      FlightEvent event;
+      if (!ReadSlot(slot, ring->tid, &event)) continue;
+      if (!filter.IsZero() && event.trace != filter) continue;
+      excerpt.events.push_back(event);
+    }
+  }
+  std::sort(excerpt.events.begin(), excerpt.events.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns < b.dur_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return std::strcmp(a.name, b.name) < 0;
+            });
+  MetricsRegistry::Global().gauge("flight.overwritten_events")
+      .Set(excerpt.overwritten);
+  return excerpt;
+}
+
+void ResetFlightRecorderForTest() {
+  FlightRegistry& registry = GlobalFlightRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const std::unique_ptr<FlightRing>& ring : registry.all) {
+    for (FlightSlot& slot : ring->slots) {
+      const uint32_t v = slot.version.load(std::memory_order_relaxed);
+      slot.version.store(v + 1, std::memory_order_release);
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.version.store(v + 2, std::memory_order_release);
+    }
+    for (FlightSlot& slot : ring->head_slots) {
+      const uint32_t v = slot.version.load(std::memory_order_relaxed);
+      slot.version.store(v + 1, std::memory_order_release);
+      slot.name.store(nullptr, std::memory_order_relaxed);
+      slot.version.store(v + 2, std::memory_order_release);
+    }
+    ring->head.store(0, std::memory_order_release);
+    ring->head_pos.store(0, std::memory_order_release);
+    ring->cur_hi.store(0, std::memory_order_relaxed);
+    ring->cur_lo.store(0, std::memory_order_relaxed);
+    ring->cur_count.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace internal {
+
+void RecordFlightEvent(const char* name, int64_t start_ns, int64_t dur_ns) {
+  ThreadRing()->Push(name, start_ns, dur_ns, CurrentTraceId());
+}
+
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace cqac

@@ -1,6 +1,9 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <ostream>
 
 namespace cqac {
@@ -16,14 +19,60 @@ int BucketOf(int64_t value) {
   return std::bit_width(static_cast<uint64_t>(value));
 }
 
-/// Inclusive upper bound of bucket `b`.
-int64_t BucketUpper(int b) {
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+namespace internal {
+
+int64_t BucketUpperBound(int b) {
   if (b == 0) return 0;
   if (b >= 63) return INT64_MAX;
   return (int64_t{1} << b) - 1;
 }
 
-}  // namespace
+int64_t QuantileFromBuckets(const int64_t buckets[Histogram::kBuckets],
+                            int64_t total, int64_t min_value,
+                            int64_t max_value, double quantile) {
+  if (total <= 0) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  // 1-based rank of the order statistic the quantile names.
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(quantile * static_cast<double>(total))));
+  int64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const int64_t in_bucket = buckets[b];
+    if (in_bucket <= 0) continue;
+    if (cumulative + in_bucket < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The rank lands in bucket b.  Midpoint-interpolate: treat the
+    // bucket's values as uniform over its range, putting the k-th of n at
+    // (k - 0.5) / n of the way across, then clamp the range to the
+    // observed extremes so degenerate distributions (all values equal)
+    // come out exact instead of at a bucket boundary.
+    int64_t lo = b == 0 ? 0 : BucketUpperBound(b - 1) + 1;
+    int64_t hi = BucketUpperBound(b);
+    lo = std::max(lo, min_value);
+    hi = std::min(hi, max_value);
+    if (hi <= lo) return lo;
+    const double position = std::clamp(
+        (static_cast<double>(rank - cumulative) - 0.5) /
+            static_cast<double>(in_bucket),
+        0.0, 1.0);
+    return lo + static_cast<int64_t>(std::llround(
+                    position * static_cast<double>(hi - lo)));
+  }
+  return max_value;
+}
+
+}  // namespace internal
 
 void Histogram::Observe(int64_t value) {
   if (value < 0) value = 0;
@@ -48,16 +97,74 @@ int64_t Histogram::min() const {
 }
 
 int64_t Histogram::ApproxQuantile(double quantile) const {
-  const int64_t total = count();
-  if (total == 0) return 0;
-  const int64_t target =
-      static_cast<int64_t>(quantile * static_cast<double>(total));
-  int64_t cumulative = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    cumulative += bucket(b);
-    if (cumulative > target) return BucketUpper(b);
+  int64_t snapshot[kBuckets];
+  for (int b = 0; b < kBuckets; ++b) snapshot[b] = bucket(b);
+  return internal::QuantileFromBuckets(snapshot, count(), min(), max(),
+                                       quantile);
+}
+
+WindowedHistogram::WindowedHistogram(int64_t window_ns)
+    : slot_ns_(std::max<int64_t>(1, window_ns / kSlots)),
+      window_ns_(window_ns) {
+  for (std::atomic<int64_t>& epoch : slot_epoch_) {
+    epoch.store(-1, std::memory_order_relaxed);
   }
-  return max();
+}
+
+void WindowedHistogram::Observe(int64_t value) { ObserveAt(NowNs(), value); }
+
+void WindowedHistogram::ObserveAt(int64_t now_ns, int64_t value) {
+  const int64_t epoch = now_ns / slot_ns_;
+  const int idx = static_cast<int>(epoch % kSlots);
+  int64_t held = slot_epoch_[idx].load(std::memory_order_acquire);
+  if (held != epoch) {
+    // First observer of a new slot period recycles the oldest slot; the
+    // CAS elects exactly one resetter per rotation.
+    if (slot_epoch_[idx].compare_exchange_strong(
+            held, epoch, std::memory_order_acq_rel)) {
+      slots_[idx].Reset();
+    }
+  }
+  slots_[idx].Observe(value);
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::Snap() const {
+  return SnapAt(NowNs());
+}
+
+WindowedHistogram::Snapshot WindowedHistogram::SnapAt(int64_t now_ns) const {
+  Snapshot snap;
+  const int64_t epoch = now_ns / slot_ns_;
+  int64_t min_value = INT64_MAX;
+  for (int i = 0; i < kSlots; ++i) {
+    const int64_t held = slot_epoch_[i].load(std::memory_order_acquire);
+    if (held < 0 || held > epoch || held <= epoch - kSlots) continue;
+    const Histogram& slot = slots_[i];
+    const int64_t slot_count = slot.count();
+    if (slot_count == 0) continue;
+    snap.count += slot_count;
+    snap.sum += slot.sum();
+    min_value = std::min(min_value, slot.min());
+    snap.max = std::max(snap.max, slot.max());
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      snap.buckets[b] += slot.bucket(b);
+    }
+  }
+  snap.min = min_value == INT64_MAX ? 0 : min_value;
+  snap.p50 = internal::QuantileFromBuckets(snap.buckets, snap.count,
+                                           snap.min, snap.max, 0.5);
+  snap.p95 = internal::QuantileFromBuckets(snap.buckets, snap.count,
+                                           snap.min, snap.max, 0.95);
+  snap.p99 = internal::QuantileFromBuckets(snap.buckets, snap.count,
+                                           snap.min, snap.max, 0.99);
+  return snap;
+}
+
+void WindowedHistogram::Reset() {
+  for (int i = 0; i < kSlots; ++i) {
+    slots_[i].Reset();
+    slot_epoch_[i].store(-1, std::memory_order_relaxed);
+  }
 }
 
 void Histogram::Reset() {
@@ -91,11 +198,19 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *slot;
 }
 
+WindowedHistogram& MetricsRegistry::windowed(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<WindowedHistogram>& slot = windowed_[name];
+  if (slot == nullptr) slot = std::make_unique<WindowedHistogram>();
+  return *slot;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [name, c] : counters_) c->Reset();
   for (const auto& [name, g] : gauges_) g->Reset();
   for (const auto& [name, h] : histograms_) h->Reset();
+  for (const auto& [name, w] : windowed_) w->Reset();
 }
 
 void MetricsRegistry::DumpText(std::ostream& out) const {
@@ -112,6 +227,14 @@ void MetricsRegistry::DumpText(std::ostream& out) const {
         << " p50<=" << h->ApproxQuantile(0.5)
         << " p90<=" << h->ApproxQuantile(0.9)
         << " p99<=" << h->ApproxQuantile(0.99) << "\n";
+  }
+  for (const auto& [name, w] : windowed_) {
+    const WindowedHistogram::Snapshot snap = w->Snap();
+    out << "windowed " << name << " window_ns=" << w->window_ns()
+        << " count=" << snap.count << " sum=" << snap.sum
+        << " min=" << snap.min << " max=" << snap.max
+        << " p50<=" << snap.p50 << " p95<=" << snap.p95
+        << " p99<=" << snap.p99 << "\n";
   }
 }
 
@@ -139,7 +262,71 @@ void MetricsRegistry::DumpJson(std::ostream& out) const {
         << ", \"p99\": " << h->ApproxQuantile(0.99) << "}";
     first = false;
   }
+  out << "}, \"windowed\": {";
+  first = true;
+  for (const auto& [name, w] : windowed_) {
+    const WindowedHistogram::Snapshot snap = w->Snap();
+    out << (first ? "" : ", ") << "\"" << name << "\": {\"window_ns\": "
+        << w->window_ns() << ", \"count\": " << snap.count << ", \"sum\": "
+        << snap.sum << ", \"min\": " << snap.min << ", \"max\": "
+        << snap.max << ", \"p50\": " << snap.p50 << ", \"p95\": "
+        << snap.p95 << ", \"p99\": " << snap.p99 << "}";
+    first = false;
+  }
   out << "}}\n";
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) entries.emplace_back(name, c->value());
+  return entries;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> entries;
+  entries.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) entries.emplace_back(name, g->value());
+  return entries;
+}
+
+std::vector<MetricsRegistry::HistogramEntry>
+MetricsRegistry::HistogramEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramEntry> entries;
+  entries.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramEntry entry;
+    entry.name = name;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      entry.buckets[b] = h->bucket(b);
+    }
+    entry.count = h->count();
+    entry.sum = h->sum();
+    entry.min = h->min();
+    entry.max = h->max();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::vector<MetricsRegistry::WindowedEntry> MetricsRegistry::WindowedEntries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<WindowedEntry> entries;
+  entries.reserve(windowed_.size());
+  for (const auto& [name, w] : windowed_) {
+    WindowedEntry entry;
+    entry.name = name;
+    entry.window_ns = w->window_ns();
+    entry.snap = w->Snap();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -85,9 +85,12 @@ class Histogram {
     return buckets_[b].load(std::memory_order_relaxed);
   }
 
-  /// Upper bound (inclusive) of the bucket where the cumulative count
-  /// first reaches `quantile` (in [0,1]); 0 when empty.  A factor-of-two
-  /// approximation of the true quantile.
+  /// Estimated `quantile` (in [0,1]); 0 when empty.  Locates the bucket
+  /// where the cumulative count reaches the quantile rank, then midpoint-
+  /// interpolates within it (values assumed uniform across the bucket),
+  /// clamped to the observed [min, max].  Without interpolation the
+  /// power-of-two buckets collapse nearby quantiles to one bucket upper
+  /// bound — p99 == p95 for any distribution inside a factor of two.
   int64_t ApproxQuantile(double quantile) const;
 
   void Reset();
@@ -100,6 +103,62 @@ class Histogram {
   std::atomic<int64_t> max_{0};
 };
 
+/// A histogram over a sliding time window, built from kSlots rotating
+/// Histogram slots of window/kSlots each: Observe lands in the slot for
+/// the current time; Snap merges the slots still inside the window, so the
+/// quantiles answer "p99 over the last ~minute", not "since boot" — the
+/// shape an SLO monitor needs.  Rotation reuses the oldest slot in place
+/// (an observation racing the reset at a 10s boundary can be lost; SLO
+/// estimation tolerates that, and every operation stays lock-free).
+class WindowedHistogram {
+ public:
+  static constexpr int kSlots = 6;
+
+  explicit WindowedHistogram(
+      int64_t window_ns = int64_t{60} * 1000 * 1000 * 1000);
+
+  /// Records `value` at the current steady-clock time.
+  void Observe(int64_t value);
+  /// Records at an explicit time (tests).
+  void ObserveAt(int64_t now_ns, int64_t value);
+
+  struct Snapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+    int64_t buckets[Histogram::kBuckets] = {};
+    int64_t p50 = 0;
+    int64_t p95 = 0;
+    int64_t p99 = 0;
+  };
+
+  /// Merged view of the slots inside the window ending now.
+  Snapshot Snap() const;
+  Snapshot SnapAt(int64_t now_ns) const;
+
+  int64_t window_ns() const { return window_ns_; }
+  void Reset();
+
+ private:
+  int64_t slot_ns_;
+  int64_t window_ns_;
+  Histogram slots_[kSlots];
+  // Epoch (now / slot_ns) each slot currently holds; -1 when never used.
+  std::atomic<int64_t> slot_epoch_[kSlots];
+};
+
+namespace internal {
+/// The quantile estimator shared by Histogram, WindowedHistogram, and the
+/// Prometheus exporter: rank-locates the bucket, midpoint-interpolates
+/// within it, clamps to the observed [min_value, max_value].
+int64_t QuantileFromBuckets(const int64_t buckets[Histogram::kBuckets],
+                            int64_t total, int64_t min_value,
+                            int64_t max_value, double quantile);
+/// Inclusive upper bound of log2 bucket `b` (0 for b==0).
+int64_t BucketUpperBound(int b);
+}  // namespace internal
+
 /// The process-wide name -> metric table.  Lookup-or-create is
 /// mutex-guarded; the returned references are valid forever.
 class MetricsRegistry {
@@ -107,6 +166,7 @@ class MetricsRegistry {
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
+  WindowedHistogram& windowed(const std::string& name);
 
   /// Zeroes every registered metric in place (references stay valid).
   void Reset();
@@ -121,6 +181,27 @@ class MetricsRegistry {
   /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..}}}
   void DumpJson(std::ostream& out) const;
 
+  /// Point-in-time copies of the registered metrics, name-sorted — the
+  /// exporter's view (obs/prometheus.h) without holding the registry lock
+  /// while rendering.
+  struct HistogramEntry {
+    std::string name;
+    int64_t buckets[Histogram::kBuckets] = {};
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = 0;
+    int64_t max = 0;
+  };
+  struct WindowedEntry {
+    std::string name;
+    int64_t window_ns = 0;
+    WindowedHistogram::Snapshot snap;
+  };
+  std::vector<std::pair<std::string, int64_t>> CounterEntries() const;
+  std::vector<std::pair<std::string, int64_t>> GaugeEntries() const;
+  std::vector<HistogramEntry> HistogramEntries() const;
+  std::vector<WindowedEntry> WindowedEntries() const;
+
   static MetricsRegistry& Global();
 
  private:
@@ -128,6 +209,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>> windowed_;
 };
 
 /// Runtime switch for instrumentation whose *value production* costs

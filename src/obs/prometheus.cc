@@ -1,0 +1,232 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cqac {
+namespace obs {
+
+namespace {
+
+/// `base{k="v"}` split into its sanitized exposition-format pieces.
+struct SeriesName {
+  std::string base;    // sanitized, cqac_-prefixed metric name
+  std::string labels;  // rendered label pairs without braces, may be empty
+};
+
+std::string SanitizeMetricName(std::string_view raw) {
+  std::string out = "cqac_";
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string SanitizeLabelKey(std::string_view raw) {
+  std::string out;
+  if (raw.empty() || (raw.front() >= '0' && raw.front() <= '9')) {
+    out.push_back('_');
+  }
+  for (const char c : raw) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+std::string EscapeLabelValue(std::string_view raw) {
+  std::string out;
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+std::string EscapeHelp(std::string_view raw) {
+  std::string out;
+  for (const char c : raw) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Splits a registry name into base and rendered labels.  The label block
+/// grammar accepted from instrumentation sites is `{k="v",k2="v2"}`; a
+/// malformed block is folded into the sanitized base instead of being
+/// emitted as broken exposition syntax.
+SeriesName SplitSeriesName(const std::string& raw) {
+  SeriesName series;
+  const size_t brace = raw.find('{');
+  if (brace == std::string::npos) {
+    series.base = SanitizeMetricName(raw);
+    return series;
+  }
+  if (raw.back() != '}') {
+    series.base = SanitizeMetricName(raw);
+    return series;
+  }
+  const std::string_view block(raw.data() + brace + 1,
+                               raw.size() - brace - 2);
+  std::string rendered;
+  size_t pos = 0;
+  while (pos < block.size()) {
+    const size_t eq = block.find('=', pos);
+    if (eq == std::string_view::npos || eq + 1 >= block.size() ||
+        block[eq + 1] != '"') {
+      series.base = SanitizeMetricName(raw);
+      return series;
+    }
+    const size_t close = block.find('"', eq + 2);
+    if (close == std::string_view::npos) {
+      series.base = SanitizeMetricName(raw);
+      return series;
+    }
+    if (!rendered.empty()) rendered += ",";
+    rendered += SanitizeLabelKey(block.substr(pos, eq - pos));
+    rendered += "=\"";
+    rendered += EscapeLabelValue(block.substr(eq + 2, close - (eq + 2)));
+    rendered += "\"";
+    pos = close + 1;
+    if (pos < block.size()) {
+      if (block[pos] != ',') {
+        series.base = SanitizeMetricName(raw);
+        return series;
+      }
+      ++pos;
+    }
+  }
+  series.base = SanitizeMetricName(raw.substr(0, brace));
+  series.labels = std::move(rendered);
+  return series;
+}
+
+void WriteHeader(std::ostream& out, const std::string& base,
+                 const char* type, const std::string& raw_name) {
+  out << "# HELP " << base << " "
+      << EscapeHelp("cqac registry metric " + raw_name) << "\n";
+  out << "# TYPE " << base << " " << type << "\n";
+}
+
+void WriteSample(std::ostream& out, const std::string& base,
+                 const std::string& labels, int64_t value) {
+  out << base;
+  if (!labels.empty()) out << "{" << labels << "}";
+  out << " " << value << "\n";
+}
+
+/// Raw base name (label block stripped) for the HELP line.
+std::string RawBase(const std::string& raw) {
+  const size_t brace = raw.find('{');
+  return brace == std::string::npos ? raw : raw.substr(0, brace);
+}
+
+/// Merges an extra label pair (le/quantile) into an existing block.
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+void WritePrometheusText(std::ostream& out, const MetricsRegistry& registry) {
+  // Registry maps are name-sorted, so series of one base (differing only
+  // in label block) are adjacent; emit one HELP/TYPE header per base.
+  std::string last_base;
+
+  for (const auto& [raw, value] : registry.CounterEntries()) {
+    SeriesName series = SplitSeriesName(raw);
+    series.base += "_total";
+    if (series.base != last_base) {
+      WriteHeader(out, series.base, "counter", RawBase(raw));
+      last_base = series.base;
+    }
+    WriteSample(out, series.base, series.labels, value);
+  }
+
+  last_base.clear();
+  for (const auto& [raw, value] : registry.GaugeEntries()) {
+    const SeriesName series = SplitSeriesName(raw);
+    if (series.base != last_base) {
+      WriteHeader(out, series.base, "gauge", RawBase(raw));
+      last_base = series.base;
+    }
+    WriteSample(out, series.base, series.labels, value);
+  }
+
+  last_base.clear();
+  for (const MetricsRegistry::HistogramEntry& entry :
+       registry.HistogramEntries()) {
+    const SeriesName series = SplitSeriesName(entry.name);
+    if (series.base != last_base) {
+      WriteHeader(out, series.base, "histogram", RawBase(entry.name));
+      last_base = series.base;
+    }
+    // Cumulative buckets over the log2 upper bounds, stopping at the
+    // first bucket that covers the observed max (all higher buckets are
+    // empty and +Inf closes the series).
+    int64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      cumulative += entry.buckets[b];
+      const int64_t upper = internal::BucketUpperBound(b);
+      std::ostringstream le;
+      le << "le=\"" << upper << "\"";
+      WriteSample(out, series.base + "_bucket",
+                  WithLabel(series.labels, le.str()), cumulative);
+      if (upper >= entry.max) break;
+    }
+    WriteSample(out, series.base + "_bucket",
+                WithLabel(series.labels, "le=\"+Inf\""), entry.count);
+    WriteSample(out, series.base + "_sum", series.labels, entry.sum);
+    WriteSample(out, series.base + "_count", series.labels, entry.count);
+  }
+
+  last_base.clear();
+  for (const MetricsRegistry::WindowedEntry& entry :
+       registry.WindowedEntries()) {
+    const SeriesName series = SplitSeriesName(entry.name);
+    if (series.base != last_base) {
+      WriteHeader(out, series.base, "summary", RawBase(entry.name));
+      last_base = series.base;
+    }
+    WriteSample(out, series.base, WithLabel(series.labels, "quantile=\"0.5\""),
+                entry.snap.p50);
+    WriteSample(out, series.base,
+                WithLabel(series.labels, "quantile=\"0.95\""), entry.snap.p95);
+    WriteSample(out, series.base,
+                WithLabel(series.labels, "quantile=\"0.99\""), entry.snap.p99);
+    WriteSample(out, series.base + "_sum", series.labels, entry.snap.sum);
+    WriteSample(out, series.base + "_count", series.labels, entry.snap.count);
+  }
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  WritePrometheusText(out, registry);
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace cqac

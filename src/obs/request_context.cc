@@ -1,0 +1,69 @@
+#include "obs/request_context.h"
+
+#include <random>
+
+namespace cqac {
+namespace obs {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+uint64_t SeedFromDevice() {
+  std::random_device device;
+  return (static_cast<uint64_t>(device()) << 32) ^ device();
+}
+
+}  // namespace
+
+TraceId GenerateTraceId() {
+  static thread_local uint64_t state = SeedFromDevice();
+  TraceId id;
+  do {
+    id.hi = SplitMix64(state);
+    id.lo = SplitMix64(state);
+  } while (id.IsZero());
+  return id;
+}
+
+std::string TraceIdHex(const TraceId& id) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<size_t>(i)] = kHex[(id.hi >> (60 - 4 * i)) & 0xf];
+    out[static_cast<size_t>(16 + i)] = kHex[(id.lo >> (60 - 4 * i)) & 0xf];
+  }
+  return out;
+}
+
+bool ParseTraceIdHex(std::string_view hex, TraceId* out) {
+  if (hex.size() != 32) return false;
+  uint64_t words[2] = {0, 0};
+  for (int w = 0; w < 2; ++w) {
+    for (int i = 0; i < 16; ++i) {
+      const char c = hex[static_cast<size_t>(16 * w + i)];
+      uint64_t nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<uint64_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+      words[w] = (words[w] << 4) | nibble;
+    }
+  }
+  out->hi = words[0];
+  out->lo = words[1];
+  return true;
+}
+
+}  // namespace obs
+}  // namespace cqac

@@ -1,0 +1,82 @@
+#ifndef CQAC_OBS_REQUEST_CONTEXT_H_
+#define CQAC_OBS_REQUEST_CONTEXT_H_
+
+// Request-scoped trace context.
+//
+// A TraceId is a 128-bit identifier stamped on a request by whichever
+// driver admits it (cqacc, the batch driver, the shell) and carried
+// end-to-end: through the wire protocol as a 32-hex-char string, bound to
+// the serving thread while the request executes, and attached to every
+// flight-recorder span and slow-request log line emitted on its behalf.
+//
+// Binding is per-thread and RAII-scoped (RequestScope): the rewriting
+// engines run a request on one thread (the server and batch driver force
+// per-request jobs=1), so a single scope covers all spans of the request.
+// Threads with no bound context record nothing into the flight recorder —
+// that keeps one-shot CLI runs and microbenches at zero added cost.
+//
+// Generation never consults the wall clock or a global RNG: each thread
+// seeds a splitmix64 stream from std::random_device once and walks it, so
+// ids are unique across threads and processes with no coordination.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cqac {
+namespace obs {
+
+/// A 128-bit request identifier; zero means "absent / not a request".
+struct TraceId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
+  friend bool operator==(const TraceId& a, const TraceId& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const TraceId& a, const TraceId& b) {
+    return !(a == b);
+  }
+};
+
+/// A fresh, never-zero id from the calling thread's private stream.
+TraceId GenerateTraceId();
+
+/// Wire form: exactly 32 lower-case hex characters, hi then lo.
+std::string TraceIdHex(const TraceId& id);
+
+/// Parses the wire form; accepts upper- or lower-case hex but requires
+/// exactly 32 characters.  Returns false (leaving *out untouched) on
+/// malformed input.
+bool ParseTraceIdHex(std::string_view hex, TraceId* out);
+
+namespace internal {
+// The calling thread's bound context; read on every span site, so it lives
+// in the header as a plain thread_local (one relaxed-speed TLS load).
+inline thread_local TraceId tls_trace_id{};
+}  // namespace internal
+
+/// The trace id bound to the calling thread; zero when none is bound.
+inline const TraceId& CurrentTraceId() { return internal::tls_trace_id; }
+
+/// Binds `id` to the calling thread for the scope's lifetime, restoring
+/// the previous binding (usually zero) on destruction.  Scopes nest.
+class RequestScope {
+ public:
+  explicit RequestScope(const TraceId& id) : prev_(internal::tls_trace_id) {
+    internal::tls_trace_id = id;
+  }
+  ~RequestScope() { internal::tls_trace_id = prev_; }
+
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  TraceId prev_;
+};
+
+}  // namespace obs
+}  // namespace cqac
+
+#endif  // CQAC_OBS_REQUEST_CONTEXT_H_

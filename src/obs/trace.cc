@@ -1,5 +1,8 @@
 #include "obs/trace.h"
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -125,6 +128,11 @@ CollectedTrace StopTracing() {
     }
     trace.dropped_spans += buffer->dropped.load(std::memory_order_relaxed);
   }
+  // Mirror the per-session loss count into the registry so an external
+  // scraper sees truncated traces without parsing the trace file (Add(0)
+  // still registers the name, so the exporter always lists it).
+  MetricsRegistry::Global().counter("trace.dropped_spans")
+      .Add(trace.dropped_spans);
   std::sort(trace.events.begin(), trace.events.end(),
             [](const TraceEvent& a, const TraceEvent& b) {
               if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
@@ -166,28 +174,36 @@ void WriteChromeTrace(std::ostream& out, const CollectedTrace& trace) {
 namespace internal {
 
 SpanRecorder::SpanRecorder(const char* name) : name_(name) {
-  if (g_active.load(std::memory_order_relaxed)) {
+  const bool session_active = g_active.load(std::memory_order_relaxed);
+  flight_ = internal::FlightWanted();
+  if (!session_active && !flight_) return;
+  abs_start_ns_ = NowNs();
+  if (session_active) {
     session_ = g_session_id.load(std::memory_order_relaxed);
-    start_ns_ = NowNs() - g_session_t0.load(std::memory_order_relaxed);
+    start_ns_ = abs_start_ns_ - g_session_t0.load(std::memory_order_relaxed);
   }
 }
 
 SpanRecorder::~SpanRecorder() {
-  if (start_ns_ < 0) return;
+  if (abs_start_ns_ < 0) return;
+  const int64_t end_ns = NowNs();
   // A span recorded into a different session than it began in would carry
   // a stale start offset; drop spans straddling a Stop or a restart.
-  if (!g_active.load(std::memory_order_relaxed) ||
-      g_session_id.load(std::memory_order_relaxed) != session_) {
-    return;
+  if (start_ns_ >= 0 && g_active.load(std::memory_order_relaxed) &&
+      g_session_id.load(std::memory_order_relaxed) == session_) {
+    TraceEvent event;
+    event.name = name_;
+    event.start_ns = start_ns_;
+    event.dur_ns =
+        end_ns - g_session_t0.load(std::memory_order_relaxed) - start_ns_;
+    SpanBuffer* buffer = ThreadBuffer();
+    event.tid = buffer->tid;
+    buffer->Push(event);
   }
-  TraceEvent event;
-  event.name = name_;
-  event.start_ns = start_ns_;
-  event.dur_ns =
-      NowNs() - g_session_t0.load(std::memory_order_relaxed) - start_ns_;
-  SpanBuffer* buffer = ThreadBuffer();
-  event.tid = buffer->tid;
-  buffer->Push(event);
+  if (flight_) {
+    internal::RecordFlightEvent(name_, abs_start_ns_,
+                                end_ns - abs_start_ns_);
+  }
 }
 
 }  // namespace internal

@@ -88,8 +88,10 @@ void WriteChromeTrace(std::ostream& out, const CollectedTrace& trace);
 namespace internal {
 
 /// The RAII body behind CQAC_TRACE_SPAN.  Samples the clock only while a
-/// session is active; records the span at scope exit unless the session
-/// ended in between.
+/// tracing session is active or the flight recorder wants the span (the
+/// thread is inside a request scope); records into the session buffer
+/// and/or the flight ring at scope exit.  One pair of clock reads serves
+/// both sinks.
 class SpanRecorder {
  public:
   explicit SpanRecorder(const char* name);
@@ -100,8 +102,10 @@ class SpanRecorder {
 
  private:
   const char* name_;
-  int64_t start_ns_ = -1;  // -1: not recording
-  uint64_t session_ = 0;   // session the span began in
+  int64_t abs_start_ns_ = -1;  // -1: not recording at all
+  int64_t start_ns_ = -1;      // session-relative; -1: no session span
+  uint64_t session_ = 0;       // session the span began in
+  bool flight_ = false;        // record into the flight ring at exit
 };
 
 }  // namespace internal

@@ -171,7 +171,12 @@ struct RewriteStats {
 /// counters `tier1_grid_hits` / `tier1_grid_misses` /
 /// `tier2_jointree_evals`; batch records aggregate the same counters
 /// (rewriting/structure.h).
-inline constexpr int kStatsJsonSchemaVersion = 4;
+/// v5: per-rewrite records gained `phase2_orders` and `trace_id` (the
+/// request's 128-bit trace id, obs/request_context.h); the service's
+/// `counters` object caught up with the per-rewrite shape (tier fields
+/// included) and responses carry top-level `trace_id` / `tier`
+/// (server/protocol.h, docs/SERVICE.md).
+inline constexpr int kStatsJsonSchemaVersion = 5;
 
 enum class RewriteOutcome {
   kRewritingFound,

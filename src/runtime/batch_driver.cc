@@ -12,6 +12,7 @@
 
 #include "catalog/view_catalog.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 #include "rewriting/view_set.h"
@@ -256,6 +257,9 @@ BatchSummary RunBatch(std::istream& in, std::ostream& out,
   CQAC_TRACE_SPAN("batch.dispatch");
   for (size_t i = 0; i < jobs.size(); ++i) {
     pool.Submit([&, i] {
+      // Stamp each job with its own trace id so the flight recorder can
+      // attribute worker spans per request, as the server does.
+      const obs::RequestScope trace_scope(obs::GenerateTraceId());
       const BatchJob& job = jobs[i];
       std::string rendered;
       bool is_error = false;

@@ -111,6 +111,7 @@ const char* JobOutcomeName(JobOutcome outcome) {
 
 bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
                          std::string* error) {
+  *request = ServiceRequest();  // a reused struct must not leak fields
   JsonValue root;
   if (!ParseJson(body, &root, error)) return false;
   if (root.type() != JsonValue::Type::kObject) {
@@ -125,10 +126,31 @@ bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
     return false;
   }
   if (type == "set_catalog") {
-    request->set_catalog = true;
+    request->kind = RequestKind::kSetCatalog;
+  } else if (type == "get_metrics") {
+    request->kind = RequestKind::kGetMetrics;
+  } else if (type == "dump_telemetry") {
+    request->kind = RequestKind::kDumpTelemetry;
   } else if (type != "rewrite") {
     *error = "unknown request type '" + type + "'";
     return false;
+  }
+
+  const std::string trace_hex = root.FindString("trace_id", "", &ok);
+  if (!ok) {
+    *error = "'trace_id' must be a string";
+    return false;
+  }
+  if (!trace_hex.empty() &&
+      !obs::ParseTraceIdHex(trace_hex, &request->trace_id)) {
+    *error = "'trace_id' must be 32 hex characters";
+    return false;
+  }
+
+  if (request->kind == RequestKind::kGetMetrics ||
+      request->kind == RequestKind::kDumpTelemetry) {
+    // Control-plane requests carry no job; ignore any data-plane fields.
+    return true;
   }
 
   const std::string job = root.FindString("job", "", &ok);
@@ -160,7 +182,7 @@ bool ParseServiceRequest(const std::string& body, ServiceRequest* request,
     }
     if (!query.empty()) {
       text += "query " + query + "\n";
-    } else if (!request->set_catalog) {
+    } else if (request->kind != RequestKind::kSetCatalog) {
       // A rewrite needs a query; a catalog swap is views alone (an empty
       // `views` array clears the default catalog).
       *error = "request carries neither 'job' nor 'query'";
@@ -202,9 +224,14 @@ std::string EncodeServiceResponse(const ServiceResponse& response) {
     out += ", \"error\": ";
     AppendJsonString(&out, response.error);
   }
+  if (!response.trace_id.IsZero()) {
+    out += ", \"trace_id\": ";
+    AppendJsonString(&out, obs::TraceIdHex(response.trace_id));
+  }
   if (response.has_counters) {
     // Mirrors the shell's per-rewrite record (docs/SYNTAX.md) so service
-    // consumers and --json consumers read one shape.
+    // consumers and --json consumers read one shape; schema v5 adds the
+    // tier attribution fields and phase2_orders.
     const RewriteStats& s = response.stats;
     out += ", \"counters\": {\"schema_version\": " +
            std::to_string(kStatsJsonSchemaVersion) + ", \"outcome\": ";
@@ -216,13 +243,23 @@ std::string EncodeServiceResponse(const ServiceResponse& response) {
            std::to_string(s.kept_canonical_databases) +
            ", \"mcds_formed\": " + std::to_string(s.mcds_formed) +
            ", \"phase2_checks\": " + std::to_string(s.phase2_checks) +
+           ", \"phase2_orders\": " + std::to_string(s.phase2_orders) +
            ", \"phase1_memo_hits\": " + std::to_string(s.phase1_memo_hits) +
            ", \"phase1_memo_misses\": " +
            std::to_string(s.phase1_memo_misses) +
+           ", \"tier\": " + std::to_string(response.tier) +
+           ", \"tier_reason\": ";
+    AppendJsonString(&out, response.tier_reason);
+    out += ", \"tier1_grid_hits\": " + std::to_string(s.tier1_grid_hits) +
+           ", \"tier1_grid_misses\": " +
+           std::to_string(s.tier1_grid_misses) +
+           ", \"tier2_jointree_evals\": " +
+           std::to_string(s.tier2_jointree_evals) +
            ", \"enumeration_ns\": " + std::to_string(s.enumeration_ns) +
            ", \"freeze_ns\": " + std::to_string(s.freeze_ns) +
            ", \"phase1_ns\": " + std::to_string(s.phase1_ns) +
            ", \"phase2_ns\": " + std::to_string(s.phase2_ns) + "}";
+    out += ", \"tier\": " + std::to_string(response.tier);
   }
   if (response.catalog_epoch > 0) {
     out += ", \"catalog_epoch\": " + std::to_string(response.catalog_epoch) +
@@ -288,6 +325,21 @@ bool ParseServiceResponse(const std::string& body, ServiceResponse* response,
   response->error = root.FindString("error", "", &ok);
   if (!ok) {
     *error = "'error' must be a string";
+    return false;
+  }
+  const std::string trace_hex = root.FindString("trace_id", "", &ok);
+  if (!ok) {
+    *error = "'trace_id' must be a string";
+    return false;
+  }
+  if (!trace_hex.empty() &&
+      !obs::ParseTraceIdHex(trace_hex, &response->trace_id)) {
+    *error = "'trace_id' must be 32 hex characters";
+    return false;
+  }
+  response->tier = static_cast<int>(root.FindInt("tier", -1, &ok));
+  if (!ok) {
+    *error = "'tier' must be an integer";
     return false;
   }
   response->catalog_epoch =

@@ -18,11 +18,14 @@
 //
 // Request body (all fields optional unless noted):
 //
-//   {"type": "rewrite",  // rewrite (default) | set_catalog
+//   {"type": "rewrite",  // rewrite (default) | set_catalog |
+//                        // get_metrics | dump_telemetry
 //    "job": "view v(...) :- ...\nquery q(...) :- ...",   // required*
 //    "query": "q(X) :- ...", "views": ["v(X) :- ..."],   // *alternative
 //    "index": 0,          // job index echoed in the rendered body
 //    "deadline_ms": 2000, // wall-clock budget; 0/absent = server default
+//    "trace_id": "32 hex chars",  // request trace id; absent (an old
+//                                 // client) = the server stamps one
 //    "echo": false}       // echo definitions in the body
 //
 // A `set_catalog` request carries only views — either a `job` block of
@@ -30,6 +33,12 @@
 // catalog to a compilation of that view set (docs/SERVICE.md); requires
 // the server to run with catalog support (`cqacd --catalog`).
 // Subsequent query-only rewrite requests are served against it.
+//
+// `get_metrics` and `dump_telemetry` are control-plane requests carrying
+// no job: the former answers with the Prometheus rendering of the metrics
+// registry in `body`; the latter with the flight-recorder excerpt for the
+// given `trace_id` (or all retained events when absent) as JSON lines in
+// `body` (docs/OBSERVABILITY.md).
 //
 // Response body:
 //
@@ -40,8 +49,13 @@
 //    "body": "job 0: ...",     // status=ok only; byte-identical to the
 //                              // --serve-batch result block
 //    "error": "...",           // non-ok statuses
+//    "trace_id": "32 hex",     // the id the request ran under (echoed,
+//                              // or server-stamped for old clients)
 //    "counters": {...},        // status=ok, job ran: the per-rewrite
 //                              // schema_version record of docs/SYNTAX.md
+//                              // (schema v5: + tier, tier_reason, grid /
+//                              // join-tree counters, phase2_orders)
+//    "tier": 1,                // structural tier that served the job
 //    "catalog_epoch": 7,       // catalog-served only: epoch of the
 //    "semantic_cache_hit": 1,  //   serving catalog + whether the result
 //                              //   replayed from the semantic cache
@@ -51,6 +65,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/request_context.h"
 #include "rewriting/equiv_rewriter.h"
 
 namespace cqac {
@@ -116,17 +131,27 @@ enum class JobOutcome {
 };
 const char* JobOutcomeName(JobOutcome outcome);
 
+/// What a request asks the server to do.
+enum class RequestKind {
+  kRewrite,        // run one job (the default)
+  kSetCatalog,     // swap the server's default catalog
+  kGetMetrics,     // render the metrics registry (Prometheus text)
+  kDumpTelemetry,  // flight-recorder excerpt for a trace id
+};
+
 /// A parsed request.
 struct ServiceRequest {
+  RequestKind kind = RequestKind::kRewrite;
   std::string job_text;   // one --serve-batch job block
   int64_t index = 0;      // job index used in the rendered result block
   int64_t deadline_ms = 0;  // 0 = use the server default (possibly none)
   bool echo = false;
   bool has_echo = false;  // request carried an explicit "echo"
 
-  /// `"type": "set_catalog"`: job_text then holds only `view` directives
-  /// and the request swaps the server's default catalog.
-  bool set_catalog = false;
+  /// Trace id the client stamped on the request; zero when absent (an
+  /// old client), in which case the server generates one.  For
+  /// dump_telemetry it is the excerpt filter instead (zero = all).
+  obs::TraceId trace_id;
 };
 
 /// Parses a request body.  Accepts either a raw `job` block or the
@@ -145,10 +170,19 @@ struct ServiceResponse {
   std::string body;   // status=ok: the --serve-batch-identical block
   std::string error;  // non-ok statuses: what went wrong
 
+  /// Trace id the request ran under (echoed from the request, or
+  /// server-stamped for old clients); zero = absent.
+  obs::TraceId trace_id;
+
   /// Counter record of the run (status=ok when the job executed).
   bool has_counters = false;
   RewriteStats stats;
   int64_t disjuncts = 0;
+
+  /// Structural tier that served the job (-1 = absent/not a job) and the
+  /// classifier's reason, encoded with the counters.
+  int tier = -1;
+  std::string tier_reason;
 
   /// Catalog provenance: epoch of the catalog that served the job (0 =
   /// not catalog-served) and whether the result replayed from its

@@ -9,11 +9,17 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <fstream>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/request_context.h"
 #include "obs/trace.h"
+#include "server/json.h"
 
 namespace cqac {
 namespace server {
@@ -76,6 +82,17 @@ bool ParseViewsBlock(const std::string& text, ViewSet* views,
   return true;
 }
 
+/// One flight-recorder event as a JSON line.
+void AppendSpanLine(std::string* out, const obs::FlightEvent& event) {
+  *out += "{\"event\": \"span\", \"trace_id\": \"";
+  *out += obs::TraceIdHex(event.trace);
+  *out += "\", \"name\": ";
+  AppendJsonString(out, event.name);
+  *out += ", \"start_ns\": " + std::to_string(event.start_ns) +
+          ", \"dur_ns\": " + std::to_string(event.dur_ns) +
+          ", \"tid\": " + std::to_string(event.tid) + "}\n";
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
@@ -85,6 +102,22 @@ Server::Server(ServerOptions options)
     copts.containment_cache_capacity = options_.cache_capacity;
     registry_ = std::make_unique<CatalogRegistry>(/*capacity=*/8, copts);
   }
+  // SLO windows keyed by tier, registered up front so get_metrics lists
+  // the series before any traffic; index 0 holds requests with no tier
+  // (parse errors, jobs cancelled before they ran).
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  slo_latency_[0] =
+      &reg.windowed("server.slo_request_latency_ns{tier=\"none\"}");
+  for (int tier = 0; tier <= 2; ++tier) {
+    slo_latency_[tier + 1] = &reg.windowed(
+        "server.slo_request_latency_ns{tier=\"" + std::to_string(tier) +
+        "\"}");
+  }
+}
+
+obs::WindowedHistogram& Server::SloForTier(int tier) {
+  const int index = tier >= 0 && tier <= 2 ? tier + 1 : 0;
+  return *slo_latency_[index];
 }
 
 Server::~Server() {
@@ -98,6 +131,21 @@ bool Server::Start(std::string* error) {
   if (options_.unix_socket_path.empty() && options_.tcp_port < 0) {
     *error = "no listener configured: set a Unix socket path or a TCP port";
     return false;
+  }
+
+  if (!options_.slow_log_path.empty()) {
+    if (options_.slow_log_path == "-") {
+      slow_log_ = &std::cerr;
+    } else {
+      auto out = std::make_unique<std::ofstream>(options_.slow_log_path,
+                                                 std::ios::app);
+      if (!out->is_open()) {
+        *error = "cannot open slow log " + options_.slow_log_path;
+        return false;
+      }
+      slow_log_owned_ = std::move(out);
+      slow_log_ = slow_log_owned_.get();
+    }
   }
 
   if (!options_.catalog_views_text.empty()) {
@@ -310,17 +358,33 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     response.status = ResponseStatus::kShuttingDown;
     response.outcome = JobOutcome::kRejected;
     response.error = "server is draining; no new work accepted";
+    response.trace_id = request.trace_id;
     WriteResponse(*conn, frame.id, response);
     CountOutcome(JobOutcome::kRejected, nullptr);
     return;
   }
 
-  if (request.set_catalog) {
+  if (request.kind == RequestKind::kSetCatalog) {
     // A catalog swap is control-plane work: handled inline (compiling a
     // view set is cheap next to one rewrite) and not counted as a job.
     HandleSetCatalog(conn, frame.id, request);
     return;
   }
+  if (request.kind == RequestKind::kGetMetrics) {
+    HandleGetMetrics(conn, frame.id, request);
+    return;
+  }
+  if (request.kind == RequestKind::kDumpTelemetry) {
+    HandleDumpTelemetry(conn, frame.id, request);
+    return;
+  }
+
+  // Stamp every admitted rewrite with a trace id: clients that sent one
+  // keep theirs (wire propagation); old clients get a server-generated
+  // id so the flight recorder and slow log still attribute their work.
+  // Control-plane requests are not stamped — dump_telemetry's trace_id
+  // is its excerpt filter, where absent must keep meaning "everything".
+  if (request.trace_id.IsZero()) request.trace_id = obs::GenerateTraceId();
 
   // Admission control: shed rather than queue once the live count of
   // admitted-but-unfinished jobs reaches the limit.  The pool's
@@ -336,6 +400,7 @@ void Server::HandleFrame(const std::shared_ptr<Connection>& conn,
     response.error = "server overloaded: " + std::to_string(inflight) +
                      " requests in flight (limit " +
                      std::to_string(options_.max_inflight) + "); retry later";
+    response.trace_id = request.trace_id;
     WriteResponse(*conn, frame.id, response);
     CountOutcome(JobOutcome::kRejected, nullptr);
     if (obs::MetricsActive()) {
@@ -405,14 +470,63 @@ void Server::HandleSetCatalog(const std::shared_ptr<Connection>& conn,
   }
 }
 
+void Server::HandleGetMetrics(const std::shared_ptr<Connection>& conn,
+                              uint64_t id, const ServiceRequest& request) {
+  // Control-plane: rendered inline so a scrape succeeds even when the
+  // job pool is saturated.  cqacd enables the registry unconditionally,
+  // so the body is never empty of the server series.
+  ServiceResponse response;
+  response.status = ResponseStatus::kOk;
+  response.outcome = JobOutcome::kNone;
+  response.trace_id = request.trace_id;
+  response.body = obs::PrometheusText(obs::MetricsRegistry::Global());
+  WriteResponse(*conn, id, response);
+  if (obs::MetricsActive()) {
+    obs::MetricsRegistry::Global().counter("server.metrics_scrapes").Add(1);
+  }
+}
+
+void Server::HandleDumpTelemetry(const std::shared_ptr<Connection>& conn,
+                                 uint64_t id, const ServiceRequest& request) {
+  // The request's trace_id (when sent) filters the excerpt to one
+  // request; without one the whole recorder window is returned.
+  // HandleFrame deliberately does not stamp fresh ids on control-plane
+  // requests, so "absent" still reaches here as zero.
+  const obs::TraceId filter = request.trace_id;
+  const obs::FlightExcerpt excerpt = obs::CollectFlightEvents(filter);
+  std::string body;
+  body += "{\"event\": \"telemetry\", \"tracing_compiled_in\": ";
+  body += obs::TracingCompiledIn() ? "true" : "false";
+  body += ", \"recorder_active\": ";
+  body += obs::FlightRecorderActive() ? "true" : "false";
+  body += ", \"filter\": \"" + obs::TraceIdHex(filter) + "\"";
+  body += ", \"events\": " + std::to_string(excerpt.events.size());
+  body += ", \"overwritten_events\": " + std::to_string(excerpt.overwritten);
+  body += "}\n";
+  for (const obs::FlightEvent& event : excerpt.events) {
+    AppendSpanLine(&body, event);
+  }
+  ServiceResponse response;
+  response.status = ResponseStatus::kOk;
+  response.outcome = JobOutcome::kNone;
+  response.trace_id = request.trace_id;
+  response.body = std::move(body);
+  WriteResponse(*conn, id, response);
+}
+
 void Server::RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
                     const ServiceRequest& request,
                     const std::shared_ptr<JobState>& job_state) {
+  // Bind the request's trace id to this worker thread BEFORE opening the
+  // job span, so `server.job` and every span under it lands in the
+  // flight recorder attributed to this request.
+  const obs::RequestScope trace_scope(request.trace_id);
   CQAC_TRACE_SPAN("server.job");
   const bool metrics = obs::MetricsActive();
-  const int64_t start_ns = metrics ? NowNs() : 0;
+  const int64_t start_ns = NowNs();
 
   ServiceResponse response;
+  response.trace_id = request.trace_id;
   const RewriteStats* counted_stats = nullptr;
   RewriteStats run_stats;
   const BatchJob job = ParseJobBlock(request.job_text);
@@ -485,15 +599,27 @@ void Server::RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
       response.stats = result.stats;
       response.disjuncts = static_cast<int64_t>(result.rewriting.size());
     }
+    response.tier = result.tier;
+    response.tier_reason = result.tier_reason;
   }
   CountOutcome(response.outcome, counted_stats);
 
   job_state->done.store(true);
   WriteResponse(*conn, id, response);
+  const int64_t latency_ns = NowNs() - start_ns;
+  // The per-tier SLO windows are always on (get_metrics serves them even
+  // without `cqacd --metrics`); the flat histogram keeps the old gate.
+  SloForTier(response.tier).Observe(latency_ns);
   if (metrics) {
     obs::MetricsRegistry::Global()
         .histogram("server.request_latency_ns")
-        .Observe(NowNs() - start_ns);
+        .Observe(latency_ns);
+  }
+  if (response.outcome == JobOutcome::kDeadlineExceeded ||
+      response.outcome == JobOutcome::kError) {
+    EmitSlowRequest(response, latency_ns,
+                    request.deadline_ms > 0 ? request.deadline_ms
+                                            : options_.default_deadline_ms);
   }
 
   inflight_jobs_.fetch_sub(1, std::memory_order_acq_rel);
@@ -502,6 +628,40 @@ void Server::RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
     --conn->inflight;
   }
   conn->cv.notify_all();
+}
+
+void Server::EmitSlowRequest(const ServiceResponse& response,
+                             int64_t latency_ns, int64_t deadline_ms) {
+  if (slow_log_ == nullptr) return;
+  // One attribution header plus the request's flight-recorder excerpt,
+  // all as self-contained JSON lines (schema in docs/OBSERVABILITY.md).
+  // The excerpt is collected before taking slow_log_mu_ — collection
+  // only reads the rings.
+  const obs::FlightExcerpt excerpt = obs::CollectFlightEvents(
+      response.trace_id);
+  std::string out;
+  out += "{\"event\": \"slow_request\", \"trace_id\": \"";
+  out += obs::TraceIdHex(response.trace_id);
+  out += "\", \"outcome\": ";
+  AppendJsonString(&out, JobOutcomeName(response.outcome));
+  out += ", \"tier\": " + std::to_string(response.tier);
+  out += ", \"tier_reason\": ";
+  AppendJsonString(&out, response.tier_reason);
+  out += ", \"latency_ns\": " + std::to_string(latency_ns);
+  out += ", \"deadline_ms\": " + std::to_string(deadline_ms);
+  out += ", \"enumeration_ns\": " +
+         std::to_string(response.stats.enumeration_ns);
+  out += ", \"freeze_ns\": " + std::to_string(response.stats.freeze_ns);
+  out += ", \"phase1_ns\": " + std::to_string(response.stats.phase1_ns);
+  out += ", \"phase2_ns\": " + std::to_string(response.stats.phase2_ns);
+  out += ", \"spans\": " + std::to_string(excerpt.events.size());
+  out += ", \"overwritten_events\": " + std::to_string(excerpt.overwritten);
+  out += "}\n";
+  for (const obs::FlightEvent& event : excerpt.events) {
+    AppendSpanLine(&out, event);
+  }
+  std::lock_guard<std::mutex> lock(slow_log_mu_);
+  *slow_log_ << out << std::flush;
 }
 
 void Server::WriteResponse(Connection& conn, uint64_t id,

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "catalog/view_catalog.h"
+#include "obs/metrics.h"
 #include "runtime/batch_driver.h"
 #include "runtime/cancellation.h"
 #include "runtime/memo_cache.h"
@@ -93,6 +95,12 @@ struct ServerOptions {
   /// Startup default catalog: a job block of `view` directives compiled
   /// at Start() (requires use_catalog).  Behind `cqacd --catalog-views`.
   std::string catalog_views_text;
+
+  /// Slow-request log sink: on a deadline-fired cancellation or request
+  /// error the server appends the request's attribution header plus its
+  /// flight-recorder excerpt as JSON lines (docs/OBSERVABILITY.md).
+  /// Empty = disabled; "-" = stderr.  Behind `cqacd --slow-log`.
+  std::string slow_log_path;
 };
 
 class Server {
@@ -160,6 +168,10 @@ class Server {
   void HandleFrame(const std::shared_ptr<Connection>& conn, Frame frame);
   void HandleSetCatalog(const std::shared_ptr<Connection>& conn, uint64_t id,
                         const ServiceRequest& request);
+  void HandleGetMetrics(const std::shared_ptr<Connection>& conn, uint64_t id,
+                        const ServiceRequest& request);
+  void HandleDumpTelemetry(const std::shared_ptr<Connection>& conn,
+                           uint64_t id, const ServiceRequest& request);
   void RunJob(const std::shared_ptr<Connection>& conn, uint64_t id,
               const ServiceRequest& request,
               const std::shared_ptr<JobState>& job_state);
@@ -168,6 +180,13 @@ class Server {
   void ArmDeadline(std::chrono::steady_clock::time_point deadline,
                    const std::shared_ptr<JobState>& job);
   void CountOutcome(JobOutcome outcome, const RewriteStats* stats);
+  /// The sliding-window SLO latency histogram for `tier` (-1..2); the
+  /// references are registry-owned and cached at construction.
+  obs::WindowedHistogram& SloForTier(int tier);
+  /// Appends one slow-request record (header + flight excerpt) to the
+  /// configured slow log; no-op when none is configured.
+  void EmitSlowRequest(const ServiceResponse& response, int64_t latency_ns,
+                       int64_t deadline_ms);
 
   ServerOptions options_;
   MemoCache memo_;
@@ -207,6 +226,18 @@ class Server {
 
   mutable std::mutex summary_mu_;
   BatchSummary summary_;
+
+  /// Per-tier sliding-window latency histograms (index 0 = tier "none",
+  /// then tiers 0..2), registered eagerly so get_metrics lists them
+  /// before traffic arrives.
+  obs::WindowedHistogram* slo_latency_[4] = {nullptr, nullptr, nullptr,
+                                             nullptr};
+
+  /// Slow-request log sink (options_.slow_log_path); lines are whole
+  /// JSON objects appended under slow_log_mu_.
+  std::mutex slow_log_mu_;
+  std::unique_ptr<std::ostream> slow_log_owned_;
+  std::ostream* slow_log_ = nullptr;
 };
 
 }  // namespace server

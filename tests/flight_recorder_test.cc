@@ -1,0 +1,246 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
+
+namespace cqac {
+namespace {
+
+// Every test resets the recorder (and re-enables it) so rings filled by
+// earlier tests in this binary do not leak into assertions.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ResetFlightRecorderForTest();
+    obs::EnableFlightRecorder(true);
+  }
+  void TearDown() override {
+    obs::ResetFlightRecorderForTest();
+    obs::EnableFlightRecorder(true);
+  }
+};
+
+// --------------------------------------------------------------- TraceId
+
+TEST_F(FlightRecorderTest, GeneratedIdsAreNonZeroAndDistinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const obs::TraceId id = obs::GenerateTraceId();
+    EXPECT_FALSE(id.IsZero());
+    seen.insert(obs::TraceIdHex(id));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST_F(FlightRecorderTest, TraceIdHexRoundTrips) {
+  const obs::TraceId id = obs::GenerateTraceId();
+  const std::string hex = obs::TraceIdHex(id);
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+  obs::TraceId parsed;
+  ASSERT_TRUE(obs::ParseTraceIdHex(hex, &parsed));
+  EXPECT_EQ(parsed, id);
+}
+
+TEST_F(FlightRecorderTest, ParseTraceIdHexRejectsMalformedInput) {
+  obs::TraceId out;
+  EXPECT_FALSE(obs::ParseTraceIdHex("", &out));
+  EXPECT_FALSE(obs::ParseTraceIdHex("abc", &out));
+  EXPECT_FALSE(obs::ParseTraceIdHex(std::string(31, 'a'), &out));
+  EXPECT_FALSE(obs::ParseTraceIdHex(std::string(33, 'a'), &out));
+  EXPECT_FALSE(
+      obs::ParseTraceIdHex("zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz", &out));
+  // Upper-case is accepted and folds to the same id as lower-case.
+  obs::TraceId upper, lower;
+  ASSERT_TRUE(
+      obs::ParseTraceIdHex("0123456789ABCDEF0123456789ABCDEF", &upper));
+  ASSERT_TRUE(
+      obs::ParseTraceIdHex("0123456789abcdef0123456789abcdef", &lower));
+  EXPECT_EQ(upper, lower);
+}
+
+TEST_F(FlightRecorderTest, RequestScopeBindsAndRestores) {
+  EXPECT_TRUE(obs::CurrentTraceId().IsZero());
+  const obs::TraceId outer = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(outer);
+    EXPECT_EQ(obs::CurrentTraceId(), outer);
+    const obs::TraceId inner = obs::GenerateTraceId();
+    {
+      obs::RequestScope nested(inner);
+      EXPECT_EQ(obs::CurrentTraceId(), inner);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), outer);
+  }
+  EXPECT_TRUE(obs::CurrentTraceId().IsZero());
+}
+
+// ---------------------------------------------------------- recording
+
+TEST_F(FlightRecorderTest, RecordsSpansUnderABoundScope) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  const obs::TraceId id = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(id);
+    CQAC_TRACE_SPAN("flight.test_span");
+  }
+  const obs::FlightExcerpt excerpt = obs::CollectFlightEvents(id);
+  ASSERT_EQ(excerpt.events.size(), 1u);
+  EXPECT_STREQ(excerpt.events[0].name, "flight.test_span");
+  EXPECT_EQ(excerpt.events[0].trace, id);
+  EXPECT_GT(excerpt.events[0].start_ns, 0);
+  EXPECT_GE(excerpt.events[0].dur_ns, 0);
+  EXPECT_EQ(excerpt.overwritten, 0);
+}
+
+TEST_F(FlightRecorderTest, UnboundThreadRecordsNothing) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  ASSERT_TRUE(obs::CurrentTraceId().IsZero());
+  { CQAC_TRACE_SPAN("flight.unbound"); }
+  const obs::FlightExcerpt all = obs::CollectFlightEvents(obs::TraceId{});
+  EXPECT_TRUE(all.events.empty());
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  obs::EnableFlightRecorder(false);
+  EXPECT_FALSE(obs::FlightRecorderActive());
+  const obs::TraceId id = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(id);
+    CQAC_TRACE_SPAN("flight.disabled");
+  }
+  EXPECT_TRUE(obs::CollectFlightEvents(obs::TraceId{}).events.empty());
+}
+
+TEST_F(FlightRecorderTest, FilterSelectsOneTraceZeroSelectsAll) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  const obs::TraceId a = obs::GenerateTraceId();
+  const obs::TraceId b = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(a);
+    CQAC_TRACE_SPAN("flight.a");
+  }
+  {
+    obs::RequestScope scope(b);
+    CQAC_TRACE_SPAN("flight.b");
+  }
+  const obs::FlightExcerpt only_a = obs::CollectFlightEvents(a);
+  ASSERT_EQ(only_a.events.size(), 1u);
+  EXPECT_EQ(only_a.events[0].trace, a);
+  EXPECT_EQ(obs::CollectFlightEvents(obs::TraceId{}).events.size(), 2u);
+}
+
+TEST_F(FlightRecorderTest, ExcerptIsSortedByStartTime) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  const obs::TraceId id = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(id);
+    for (int i = 0; i < 100; ++i) {
+      CQAC_TRACE_SPAN("flight.ordered");
+    }
+  }
+  const obs::FlightExcerpt excerpt = obs::CollectFlightEvents(id);
+  ASSERT_EQ(excerpt.events.size(), 100u);
+  for (size_t i = 1; i < excerpt.events.size(); ++i) {
+    EXPECT_LE(excerpt.events[i - 1].start_ns, excerpt.events[i].start_ns);
+  }
+}
+
+TEST_F(FlightRecorderTest, RingOverwritesOldestAndCountsOverwrites) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  const obs::TraceId id = obs::GenerateTraceId();
+  const int64_t extra = 100;
+  {
+    obs::RequestScope scope(id);
+    for (int64_t i = 0; i < obs::kFlightRingCapacity + extra; ++i) {
+      CQAC_TRACE_SPAN("flight.overflow");
+    }
+  }
+  const obs::FlightExcerpt excerpt = obs::CollectFlightEvents(id);
+  // Head+tail retention: the request's first kFlightHeadPerTrace events
+  // survive in the head region, the newest kFlightRingCapacity in the
+  // main ring; everything in between was overwritten and counted.
+  const int64_t overwritten = extra - obs::kFlightHeadPerTrace;
+  EXPECT_EQ(excerpt.events.size(),
+            static_cast<size_t>(obs::kFlightRingCapacity +
+                                obs::kFlightHeadPerTrace));
+  EXPECT_EQ(excerpt.overwritten, overwritten);
+  // The overwrite count is also exported through the registry.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  EXPECT_EQ(reg.gauge("flight.overwritten_events").value(), overwritten);
+}
+
+TEST_F(FlightRecorderTest, ThreadsRecordIntoPrivateRings) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<obs::TraceId> ids(kThreads);
+  for (obs::TraceId& id : ids) id = obs::GenerateTraceId();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::RequestScope scope(ids[t]);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        CQAC_TRACE_SPAN("flight.mt");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(obs::CollectFlightEvents(ids[t]).events.size(),
+              static_cast<size_t>(kSpansPerThread));
+  }
+  EXPECT_EQ(obs::CollectFlightEvents(obs::TraceId{}).events.size(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+// The tsan-interesting case: collection races recording.  The collector
+// must never crash, return torn events, or block the recorders.
+TEST_F(FlightRecorderTest, CollectionRacesRecordingSafely) {
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "CQAC_TRACING=OFF build";
+  std::atomic<bool> stop{false};
+  const obs::TraceId id = obs::GenerateTraceId();
+  std::thread recorder([&] {
+    obs::RequestScope scope(id);
+    while (!stop.load(std::memory_order_relaxed)) {
+      CQAC_TRACE_SPAN("flight.race");
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const obs::FlightExcerpt excerpt =
+        obs::CollectFlightEvents(obs::TraceId{});
+    for (const obs::FlightEvent& event : excerpt.events) {
+      // A torn slot would surface as a null name or a foreign trace id.
+      ASSERT_NE(event.name, nullptr);
+      ASSERT_EQ(event.trace, id);
+    }
+  }
+  stop.store(true);
+  recorder.join();
+}
+
+TEST_F(FlightRecorderTest, CompiledOutBuildRecordsNothing) {
+  if (obs::TracingCompiledIn()) {
+    GTEST_SKIP() << "span sites compiled in; covered by the tests above";
+  }
+  const obs::TraceId id = obs::GenerateTraceId();
+  {
+    obs::RequestScope scope(id);
+    CQAC_TRACE_SPAN("flight.compiled_out");
+  }
+  EXPECT_TRUE(obs::CollectFlightEvents(obs::TraceId{}).events.empty());
+}
+
+}  // namespace
+}  // namespace cqac

@@ -137,5 +137,123 @@ TEST(MetricsTest, ConcurrentUpdatesAreRaceFreeAndLossless) {
   EXPECT_EQ(reg.histogram("hammer.wall").max(), kPerThread - 1);
 }
 
+// --------------------------------------------------- quantile estimation
+
+// Midpoint interpolation pinned on known distributions.  The log2
+// buckets bound the achievable precision, but at bucket boundaries the
+// estimate must neither undershoot the lower bucket edge nor jump to the
+// upper edge the way pure upper-bound reporting did.
+TEST(MetricsTest, QuantileInterpolationPinnedDistributions) {
+  obs::Histogram h;
+  // Uniform 1..100: every value lands in a low bucket with tight edges,
+  // so interpolation should be close to the exact percentile.
+  for (int64_t v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_NEAR(static_cast<double>(h.ApproxQuantile(0.5)), 50.0, 14.0);
+  EXPECT_NEAR(static_cast<double>(h.ApproxQuantile(0.95)), 95.0, 17.0);
+  EXPECT_NEAR(static_cast<double>(h.ApproxQuantile(0.99)), 99.0, 15.0);
+  // No estimate may leave the observed range.
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.ApproxQuantile(q), 1);
+    EXPECT_LE(h.ApproxQuantile(q), 100);
+  }
+}
+
+TEST(MetricsTest, QuantileDegenerateDistributionIsExact) {
+  // All observations equal: clamping to [min, max] makes every quantile
+  // exactly that value, where upper-bound reporting said 127.
+  obs::Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Observe(100);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 100);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 100);
+  EXPECT_EQ(h.ApproxQuantile(1.0), 100);
+}
+
+TEST(MetricsTest, QuantileAtBucketBoundary) {
+  // 64 is the first value of the [64, 127] bucket; a boundary value must
+  // not be reported as the bucket's upper edge.
+  obs::Histogram h;
+  for (int i = 0; i < 100; ++i) h.Observe(64);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 64);
+  // Mixed boundary: half at 64, half at 127 (same bucket's two edges).
+  obs::Histogram mixed;
+  for (int i = 0; i < 50; ++i) mixed.Observe(64);
+  for (int i = 0; i < 50; ++i) mixed.Observe(127);
+  const int64_t p50 = mixed.ApproxQuantile(0.5);
+  EXPECT_GE(p50, 64);
+  EXPECT_LE(p50, 127);
+  // The midpoint rule lands mid-bucket rather than pinning to an edge.
+  EXPECT_NEAR(static_cast<double>(p50), 95.5, 16.0);
+}
+
+TEST(MetricsTest, QuantileTwoBucketSplit) {
+  // 90 observations in the [32, 63] bucket, 10 in [1024, 2047]: p50 must
+  // come from the low bucket, p99 from the high one.
+  obs::Histogram h;
+  for (int i = 0; i < 90; ++i) h.Observe(40);
+  for (int i = 0; i < 10; ++i) h.Observe(1500);
+  EXPECT_GE(h.ApproxQuantile(0.5), 32);
+  EXPECT_LE(h.ApproxQuantile(0.5), 63);
+  EXPECT_GE(h.ApproxQuantile(0.99), 1024);
+  EXPECT_LE(h.ApproxQuantile(0.99), 1500);  // clamped to observed max
+}
+
+TEST(MetricsTest, QuantileEmptyHistogramIsZero) {
+  obs::Histogram h;
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 0);
+}
+
+// ----------------------------------------------------- windowed histogram
+
+TEST(MetricsTest, WindowedHistogramMergesLiveSlots) {
+  const int64_t kWindow = 60LL * 1000 * 1000 * 1000;
+  obs::WindowedHistogram w(kWindow);
+  const int64_t t0 = 1000 * kWindow;
+  for (int64_t v = 1; v <= 100; ++v) w.ObserveAt(t0 + v, v);
+  const obs::WindowedHistogram::Snapshot snap = w.SnapAt(t0 + 1000);
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.sum, 5050);
+  EXPECT_EQ(snap.min, 1);
+  EXPECT_EQ(snap.max, 100);
+  EXPECT_NEAR(static_cast<double>(snap.p50), 50.0, 14.0);
+  EXPECT_NEAR(static_cast<double>(snap.p99), 99.0, 15.0);
+}
+
+TEST(MetricsTest, WindowedHistogramExpiresOldSlots) {
+  const int64_t kWindow = 60LL * 1000 * 1000 * 1000;
+  obs::WindowedHistogram w(kWindow);
+  const int64_t t0 = 1000 * kWindow;
+  w.ObserveAt(t0, 7);
+  // Within the window the observation is visible...
+  EXPECT_EQ(w.SnapAt(t0 + kWindow / 2).count, 1);
+  // ...after more than a full window has passed, it is not.
+  EXPECT_EQ(w.SnapAt(t0 + 2 * kWindow + 1).count, 0);
+}
+
+TEST(MetricsTest, WindowedHistogramReusesExpiredSlots) {
+  const int64_t kWindow = 6LL * 1000;  // 1us slots for a fast wrap
+  obs::WindowedHistogram w(kWindow);
+  const int64_t t0 = 100 * kWindow;
+  // Drive enough slot epochs to wrap the ring several times; counts from
+  // reused slots must never leak into later windows.
+  for (int64_t epoch = 0; epoch < 30; ++epoch) {
+    w.ObserveAt(t0 + epoch * (kWindow / 6), 5);
+  }
+  const obs::WindowedHistogram::Snapshot snap =
+      w.SnapAt(t0 + 29 * (kWindow / 6));
+  EXPECT_LE(snap.count, 6);
+  EXPECT_GE(snap.count, 1);
+}
+
+TEST(MetricsTest, RegistryWindowedIsStableAndResets) {
+  obs::MetricsRegistry reg;
+  obs::WindowedHistogram& w = reg.windowed("slo");
+  EXPECT_EQ(&w, &reg.windowed("slo"));
+  w.Observe(42);
+  EXPECT_EQ(w.Snap().count, 1);
+  reg.Reset();
+  EXPECT_EQ(w.Snap().count, 0);
+}
+
 }  // namespace
 }  // namespace cqac

@@ -1,0 +1,402 @@
+#include "obs/prometheus.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+
+namespace cqac {
+namespace {
+
+// ---------------------------------------------------------------------
+// A strict checker for the Prometheus text exposition format (v0.0.4):
+// metric-name and label-name character sets, label value quoting and
+// escapes, numeric sample values, HELP/TYPE headers preceding their
+// family's samples, counters ending in _total, and histogram bucket
+// monotonicity with a closing +Inf bucket equal to _count.
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0;
+};
+
+class ExpositionChecker {
+ public:
+  /// Parses and validates; on failure `error()` says what broke.
+  bool Check(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const bool ok = line[0] == '#' ? Header(line) : SampleLine(line);
+      if (!ok) {
+        error_ = "line " + std::to_string(line_no) + ": " + error_ +
+                 " in: " + line;
+        return false;
+      }
+    }
+    return Families();
+  }
+
+  const std::string& error() const { return error_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  static bool ValidMetricName(const std::string& name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+             c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name) {
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+  }
+
+  static bool ValidLabelName(const std::string& name) {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+    };
+    if (!head(name[0])) return false;
+    for (const char c : name) {
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+  }
+
+  bool Header(const std::string& line) {
+    std::istringstream in(line);
+    std::string hash, kind, name;
+    in >> hash >> kind >> name;
+    if (kind != "HELP" && kind != "TYPE") {
+      error_ = "unknown comment kind '" + kind + "'";
+      return false;
+    }
+    if (!ValidMetricName(name)) {
+      error_ = "bad metric name '" + name + "'";
+      return false;
+    }
+    if (kind == "HELP") {
+      if (!help_seen_.insert(name).second) {
+        error_ = "duplicate HELP for '" + name + "'";
+        return false;
+      }
+      return true;
+    }
+    std::string type;
+    in >> type;
+    if (type != "counter" && type != "gauge" && type != "histogram" &&
+        type != "summary" && type != "untyped") {
+      error_ = "bad TYPE '" + type + "'";
+      return false;
+    }
+    if (!types_.emplace(name, type).second) {
+      error_ = "duplicate TYPE for '" + name + "'";
+      return false;
+    }
+    if (sampled_.count(name) != 0) {
+      error_ = "TYPE for '" + name + "' after its samples";
+      return false;
+    }
+    return true;
+  }
+
+  bool SampleLine(const std::string& line) {
+    Sample sample;
+    size_t pos = line.find_first_of("{ ");
+    if (pos == std::string::npos) {
+      error_ = "no value";
+      return false;
+    }
+    sample.name = line.substr(0, pos);
+    if (!ValidMetricName(sample.name)) {
+      error_ = "bad metric name '" + sample.name + "'";
+      return false;
+    }
+    if (line[pos] == '{') {
+      ++pos;
+      while (pos < line.size() && line[pos] != '}') {
+        const size_t eq = line.find('=', pos);
+        if (eq == std::string::npos || eq + 1 >= line.size() ||
+            line[eq + 1] != '"') {
+          error_ = "malformed label pair";
+          return false;
+        }
+        const std::string label = line.substr(pos, eq - pos);
+        if (!ValidLabelName(label)) {
+          error_ = "bad label name '" + label + "'";
+          return false;
+        }
+        // Scan the quoted value honoring escapes; only \\ \" \n are legal.
+        std::string value;
+        size_t i = eq + 2;
+        for (; i < line.size() && line[i] != '"'; ++i) {
+          if (line[i] == '\\') {
+            if (i + 1 >= line.size() ||
+                (line[i + 1] != '\\' && line[i + 1] != '"' &&
+                 line[i + 1] != 'n')) {
+              error_ = "bad escape in label value";
+              return false;
+            }
+            ++i;
+          }
+          if (line[i] == '\n') {
+            error_ = "raw newline in label value";
+            return false;
+          }
+          value.push_back(line[i]);
+        }
+        if (i >= line.size()) {
+          error_ = "unterminated label value";
+          return false;
+        }
+        if (!sample.labels.emplace(label, value).second) {
+          error_ = "duplicate label '" + label + "'";
+          return false;
+        }
+        pos = i + 1;
+        if (pos < line.size() && line[pos] == ',') ++pos;
+      }
+      if (pos >= line.size() || line[pos] != '}') {
+        error_ = "unterminated label block";
+        return false;
+      }
+      ++pos;
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      error_ = "no space before value";
+      return false;
+    }
+    const std::string value_text = line.substr(pos + 1);
+    if (value_text == "+Inf" || value_text == "-Inf" || value_text == "NaN") {
+      sample.value = 0;
+    } else {
+      size_t parsed = 0;
+      try {
+        sample.value = std::stod(value_text, &parsed);
+      } catch (...) {
+        parsed = 0;
+      }
+      if (parsed != value_text.size()) {
+        error_ = "bad sample value '" + value_text + "'";
+        return false;
+      }
+    }
+    sampled_.insert(FamilyOf(sample.name));
+    samples_.push_back(std::move(sample));
+    return true;
+  }
+
+  /// The TYPE-declared family a sample belongs to: its own name, or the
+  /// name with a _bucket/_sum/_count suffix stripped when that matches a
+  /// declared histogram or summary.
+  std::string FamilyOf(const std::string& name) const {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = name.substr(0, name.size() - s.size());
+        const auto it = types_.find(base);
+        if (it != types_.end() &&
+            (it->second == "histogram" || it->second == "summary")) {
+          return base;
+        }
+      }
+    }
+    return name;
+  }
+
+  /// Whole-text checks that need all samples: every sample belongs to a
+  /// declared family, counters end in _total, histogram buckets are
+  /// cumulative and closed by +Inf == _count.
+  bool Families() {
+    std::map<std::string, std::vector<const Sample*>> by_family;
+    for (const Sample& sample : samples_) {
+      const std::string family = FamilyOf(sample.name);
+      const auto it = types_.find(family);
+      if (it == types_.end()) {
+        error_ = "sample '" + sample.name + "' has no TYPE header";
+        return false;
+      }
+      if (help_seen_.count(family) == 0) {
+        error_ = "sample '" + sample.name + "' has no HELP header";
+        return false;
+      }
+      if (it->second == "counter" &&
+          (family.size() < 6 ||
+           family.compare(family.size() - 6, 6, "_total") != 0)) {
+        error_ = "counter '" + family + "' does not end in _total";
+        return false;
+      }
+      by_family[family].push_back(&sample);
+    }
+    for (const auto& [family, type] : types_) {
+      if (type != "histogram") continue;
+      // Group this family's bucket samples by their non-le labels: each
+      // labeled series must be independently monotone and +Inf-closed.
+      std::map<std::string, std::vector<const Sample*>> series;
+      std::map<std::string, double> counts;
+      for (const Sample* sample : by_family[family]) {
+        std::map<std::string, std::string> labels = sample->labels;
+        labels.erase("le");
+        std::string key;
+        for (const auto& [k, v] : labels) key += k + "=" + v + ";";
+        if (sample->name == family + "_bucket") {
+          series[key].push_back(sample);
+        } else if (sample->name == family + "_count") {
+          counts[key] = sample->value;
+        }
+      }
+      for (const auto& [key, buckets] : series) {
+        double prev = -1;
+        bool saw_inf = false;
+        double inf_value = -1;
+        for (const Sample* bucket : buckets) {
+          const auto le = bucket->labels.find("le");
+          if (le == bucket->labels.end()) {
+            error_ = family + "_bucket sample without an le label";
+            return false;
+          }
+          if (bucket->value < prev) {
+            error_ = family + " buckets are not cumulative";
+            return false;
+          }
+          prev = bucket->value;
+          if (le->second == "+Inf") {
+            saw_inf = true;
+            inf_value = bucket->value;
+          }
+        }
+        if (!saw_inf) {
+          error_ = family + " has no +Inf bucket";
+          return false;
+        }
+        if (counts.count(key) == 0 || inf_value != counts[key]) {
+          error_ = family + " +Inf bucket does not equal _count";
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::string error_;
+  std::vector<Sample> samples_;
+  std::map<std::string, std::string> types_;  // family -> TYPE
+  std::set<std::string> help_seen_;
+  std::set<std::string> sampled_;
+};
+
+class PrometheusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::MetricsRegistry::Global().Reset();
+    obs::EnableMetrics(true);
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::Global().Reset();
+    obs::EnableMetrics(false);
+  }
+};
+
+TEST_F(PrometheusTest, EmptyRegistryRendersEmpty) {
+  EXPECT_EQ(obs::PrometheusText(obs::MetricsRegistry::Global()), "");
+}
+
+TEST_F(PrometheusTest, FullRegistryPassesStrictGrammar) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.counter("server.requests_accepted").Add(7);
+  reg.counter("trace.dropped_spans").Add(0);
+  reg.gauge("flight.overwritten_events").Set(12);
+  obs::Histogram& h = reg.histogram("server.request_latency_ns");
+  for (int64_t v : {100, 1000, 50000, 1 << 20}) h.Observe(v);
+  obs::WindowedHistogram& w =
+      reg.windowed("server.slo_request_latency_ns{tier=\"1\"}");
+  for (int64_t v = 1; v <= 100; ++v) w.Observe(v * 1000);
+
+  const std::string text = obs::PrometheusText(reg);
+  ExpositionChecker checker;
+  EXPECT_TRUE(checker.Check(text)) << checker.error() << "\n" << text;
+
+  // Spot-check the mapping: dots become underscores, the cqac_ prefix is
+  // applied, counters gain _total, the label block survives.
+  EXPECT_NE(text.find("cqac_server_requests_accepted_total 7"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cqac_flight_overwritten_events 12"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("cqac_server_slo_request_latency_ns{tier=\"1\",quantile="),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cqac_server_request_latency_ns_bucket{le=\"+Inf\"} 4"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(PrometheusTest, HostileNamesAreSanitizedToValidExposition) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  // Names with characters illegal in the exposition format, a label
+  // value needing every escape, a digit-leading label key, and a
+  // malformed label block that must be folded, not emitted broken.
+  reg.counter("weird-name.with spaces").Add(1);
+  reg.counter("labeled{path=\"a\\b\"quote\"}").Add(2);
+  reg.gauge("g{9lives=\"x\"}").Set(3);
+  reg.gauge("broken{not a label block").Set(4);
+  reg.histogram("h{unclosed=\"").Observe(5);
+
+  const std::string text = obs::PrometheusText(reg);
+  ExpositionChecker checker;
+  EXPECT_TRUE(checker.Check(text)) << checker.error() << "\n" << text;
+}
+
+TEST_F(PrometheusTest, HistogramBucketsAreCumulativeAndCapped) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Histogram& h = reg.histogram("cap");
+  for (int i = 0; i < 1000; ++i) h.Observe(50);  // all in one bucket
+
+  const std::string text = obs::PrometheusText(reg);
+  ExpositionChecker checker;
+  ASSERT_TRUE(checker.Check(text)) << checker.error() << "\n" << text;
+  // Emission stops at the first bucket covering the max: with max=50
+  // (bucket upper bound 63) there must be no le="127" sample.
+  EXPECT_NE(text.find("cqac_cap_bucket{le=\"63\"} 1000"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("le=\"127\""), std::string::npos) << text;
+  EXPECT_NE(text.find("cqac_cap_bucket{le=\"+Inf\"} 1000"),
+            std::string::npos);
+  EXPECT_NE(text.find("cqac_cap_count 1000"), std::string::npos);
+  EXPECT_NE(text.find("cqac_cap_sum 50000"), std::string::npos);
+}
+
+TEST_F(PrometheusTest, PerTierSeriesShareOneHeader) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.windowed("slo{tier=\"0\"}").Observe(10);
+  reg.windowed("slo{tier=\"1\"}").Observe(20);
+
+  const std::string text = obs::PrometheusText(reg);
+  ExpositionChecker checker;
+  ASSERT_TRUE(checker.Check(text)) << checker.error() << "\n" << text;
+  // Two labeled series of one family get exactly one HELP/TYPE pair.
+  size_t count = 0;
+  for (size_t pos = text.find("# TYPE cqac_slo summary");
+       pos != std::string::npos;
+       pos = text.find("# TYPE cqac_slo summary", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << text;
+}
+
+}  // namespace
+}  // namespace cqac

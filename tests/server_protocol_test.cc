@@ -210,6 +210,70 @@ TEST(ServiceRequestTest, RejectsMalformedBodies) {
       "{\"job\": \"x\", \"echo\": \"yes\"}", &request, &error));
 }
 
+TEST(ServiceRequestTest, ParsesTraceIdAndDefaultsToZero) {
+  ServiceRequest request;
+  std::string error;
+  // An old client that never heard of trace ids parses fine and leaves
+  // the id zero (the server then stamps one).
+  ASSERT_TRUE(
+      ParseServiceRequest("{\"job\": \"x\"}", &request, &error))
+      << error;
+  EXPECT_TRUE(request.trace_id.IsZero());
+  EXPECT_EQ(request.kind, RequestKind::kRewrite);
+
+  ASSERT_TRUE(ParseServiceRequest(
+      "{\"job\": \"x\", "
+      "\"trace_id\": \"000102030405060708090a0b0c0d0e0f\"}",
+      &request, &error))
+      << error;
+  EXPECT_EQ(obs::TraceIdHex(request.trace_id),
+            "000102030405060708090a0b0c0d0e0f");
+}
+
+TEST(ServiceRequestTest, RejectsMalformedTraceIds) {
+  ServiceRequest request;
+  std::string error;
+  EXPECT_FALSE(ParseServiceRequest("{\"job\": \"x\", \"trace_id\": 7}",
+                                   &request, &error));
+  EXPECT_NE(error.find("must be a string"), std::string::npos);
+  EXPECT_FALSE(ParseServiceRequest(
+      "{\"job\": \"x\", \"trace_id\": \"abc\"}", &request, &error));
+  EXPECT_NE(error.find("32 hex"), std::string::npos);
+  EXPECT_FALSE(ParseServiceRequest(
+      "{\"job\": \"x\", "
+      "\"trace_id\": \"zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz\"}",
+      &request, &error));
+}
+
+TEST(ServiceRequestTest, ParsesControlPlaneKinds) {
+  ServiceRequest request;
+  std::string error;
+  ASSERT_TRUE(ParseServiceRequest("{\"type\": \"get_metrics\"}", &request,
+                                  &error))
+      << error;
+  EXPECT_EQ(request.kind, RequestKind::kGetMetrics);
+
+  // dump_telemetry without a filter: trace_id stays zero ("everything").
+  ASSERT_TRUE(ParseServiceRequest("{\"type\": \"dump_telemetry\"}", &request,
+                                  &error))
+      << error;
+  EXPECT_EQ(request.kind, RequestKind::kDumpTelemetry);
+  EXPECT_TRUE(request.trace_id.IsZero());
+
+  ASSERT_TRUE(ParseServiceRequest(
+      "{\"type\": \"dump_telemetry\", "
+      "\"trace_id\": \"ffffffffffffffffffffffffffffffff\"}",
+      &request, &error))
+      << error;
+  EXPECT_FALSE(request.trace_id.IsZero());
+
+  // Neither control-plane kind requires a job block; a rewrite still does.
+  EXPECT_FALSE(ParseServiceRequest("{\"type\": \"rewrite\"}", &request,
+                                   &error));
+  EXPECT_FALSE(ParseServiceRequest("{\"type\": \"sideways\"}", &request,
+                                   &error));
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 
@@ -251,6 +315,61 @@ TEST(ServiceResponseTest, RoundTripsStructuredErrors) {
     EXPECT_EQ(out.outcome, in.outcome);
     EXPECT_EQ(out.error, "reason text");
   }
+}
+
+TEST(ServiceResponseTest, RoundTripsTraceIdTierAndSchemaV5Counters) {
+  ServiceResponse in;
+  in.status = ResponseStatus::kOk;
+  in.outcome = JobOutcome::kFound;
+  in.body = "job 0: equivalent rewriting (1 disjunct)\n";
+  in.has_counters = true;
+  in.stats.canonical_databases = 13;
+  in.stats.phase2_checks = 4;
+  in.stats.phase2_orders = 9;
+  in.stats.tier1_grid_hits = 6;
+  in.stats.tier1_grid_misses = 2;
+  in.tier = 1;
+  in.tier_reason = "semi-interval views";
+  ASSERT_TRUE(obs::ParseTraceIdHex("00112233445566778899aabbccddeeff",
+                                   &in.trace_id));
+
+  const std::string wire = EncodeServiceResponse(in);
+  // The v5 additions are on the wire: schema version, the new per-order
+  // counter, the tier block, and the top-level trace id / tier.
+  EXPECT_NE(wire.find("\"schema_version\": 5"), std::string::npos) << wire;
+  EXPECT_NE(wire.find("\"phase2_orders\": 9"), std::string::npos);
+  EXPECT_NE(wire.find("\"tier\": 1"), std::string::npos);
+  EXPECT_NE(wire.find("\"tier_reason\": \"semi-interval views\""),
+            std::string::npos);
+  EXPECT_NE(wire.find("\"tier1_grid_hits\": 6"), std::string::npos);
+  EXPECT_NE(
+      wire.find("\"trace_id\": \"00112233445566778899aabbccddeeff\""),
+      std::string::npos)
+      << wire;
+
+  ServiceResponse out;
+  std::string error;
+  ASSERT_TRUE(ParseServiceResponse(wire, &out, &error)) << error;
+  EXPECT_EQ(out.trace_id, in.trace_id);
+  EXPECT_EQ(out.tier, 1);
+}
+
+TEST(ServiceResponseTest, ToleratesResponsesWithoutTraceIdOrTier) {
+  // A response from a pre-v5 server: no trace_id, no tier.  New clients
+  // must parse it and fall back to the "absent" sentinels.
+  ServiceResponse out;
+  std::string error;
+  ASSERT_TRUE(ParseServiceResponse(
+      "{\"status\": \"ok\", \"outcome\": \"found\", \"body\": \"x\"}", &out,
+      &error))
+      << error;
+  EXPECT_TRUE(out.trace_id.IsZero());
+  EXPECT_EQ(out.tier, -1);
+  // And a malformed trace_id in a response is a protocol error, not a
+  // silent zero.
+  EXPECT_FALSE(ParseServiceResponse(
+      "{\"status\": \"ok\", \"outcome\": \"found\", \"trace_id\": \"xyz\"}",
+      &out, &error));
 }
 
 TEST(ServiceResponseTest, RejectsUnknownNames) {

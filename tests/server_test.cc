@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -19,7 +20,10 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 #include "runtime/batch_driver.h"
 #include "server/json.h"
 #include "server/protocol.h"
@@ -605,6 +609,166 @@ TEST(ServerTest, SetCatalogRejectedWithoutCatalogSupport) {
   ASSERT_TRUE(client.ReadResponse(&id, &response));
   EXPECT_EQ(response.status, ResponseStatus::kOk);
   EXPECT_EQ(response.outcome, JobOutcome::kFound);
+}
+
+// ---------------------------------------------------------------------------
+// Request-scoped telemetry
+
+TEST(ServerTest, ClientTraceIdIsEchoedAndAbsentOnesAreStamped) {
+  TestServer ts;
+  ASSERT_TRUE(ts.started);
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+
+  // A client-sent trace id propagates through the wire and back.
+  std::string body = RequestBody(kPaperJob);
+  body.insert(body.size() - 1,
+              ", \"trace_id\": \"0123456789abcdef0123456789abcdef\"");
+  ASSERT_TRUE(client.SendRequest(1, body));
+  uint64_t id = 0;
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(obs::TraceIdHex(response.trace_id),
+            "0123456789abcdef0123456789abcdef");
+  // The per-request attribution rides the response: a served job always
+  // reports the tier it ran on.
+  EXPECT_GE(response.tier, 0);
+  EXPECT_LE(response.tier, 2);
+
+  // An old client that sends none gets a server-stamped id back.
+  ASSERT_TRUE(client.SendRequest(2, RequestBody(kPaperJob)));
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_FALSE(response.trace_id.IsZero());
+}
+
+TEST(ServerTest, GetMetricsServesPrometheusTextWithSloSeries) {
+  TestServer ts;
+  ASSERT_TRUE(ts.started);
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+
+  // One served job so the tier SLO window has a sample.
+  ASSERT_TRUE(client.SendRequest(1, RequestBody(kPaperJob)));
+  uint64_t id = 0;
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  ASSERT_EQ(response.status, ResponseStatus::kOk);
+
+  ASSERT_TRUE(client.SendRequest(2, "{\"type\": \"get_metrics\"}"));
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  EXPECT_EQ(response.outcome, JobOutcome::kNone);
+  // The body is the exposition format, including the per-tier SLO
+  // summaries the server registers eagerly at construction.
+  EXPECT_NE(response.body.find(
+                "# TYPE cqac_server_slo_request_latency_ns summary"),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("cqac_server_slo_request_latency_ns{tier="),
+            std::string::npos);
+}
+
+TEST(ServerTest, DumpTelemetryReturnsDeadlineKilledRequestsSpans) {
+  obs::ResetFlightRecorderForTest();
+  TestServer ts;
+  ASSERT_TRUE(ts.started);
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+
+  // The acceptance scenario: a deadline kills a heavy request; with NO
+  // tracing session armed, its trace id must still be enough to pull the
+  // request's span history out of the always-on flight recorder.
+  const char* trace_hex = "feedfacefeedfacefeedfacefeedface";
+  std::string body = RequestBody(kHeavyJob, 0, /*deadline_ms=*/30);
+  body.insert(body.size() - 1,
+              std::string(", \"trace_id\": \"") + trace_hex + "\"");
+  ASSERT_TRUE(client.SendRequest(1, body));
+  uint64_t id = 0;
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  ASSERT_EQ(response.status, ResponseStatus::kDeadlineExceeded);
+  ASSERT_EQ(obs::TraceIdHex(response.trace_id), trace_hex);
+
+  if (!obs::TracingCompiledIn()) {
+    GTEST_SKIP() << "CQAC_TRACING=OFF: span sites are compiled out";
+  }
+  // The job thread finishes writing its ring shortly after the response
+  // is delivered (the server.job span closes after the write); poll.
+  std::string excerpt;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ASSERT_TRUE(client.SendRequest(
+        2 + attempt, std::string("{\"type\": \"dump_telemetry\", "
+                                 "\"trace_id\": \"") +
+                         trace_hex + "\"}"));
+    ASSERT_TRUE(client.ReadResponse(&id, &response));
+    ASSERT_EQ(response.status, ResponseStatus::kOk);
+    excerpt = response.body;
+    if (excerpt.find("server.job") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // Meta line first, then one JSON line per span of this trace only.
+  EXPECT_EQ(excerpt.find("{\"event\": \"telemetry\""), 0u) << excerpt;
+  EXPECT_NE(excerpt.find("\"tracing_compiled_in\": true"),
+            std::string::npos);
+  EXPECT_NE(excerpt.find(std::string("\"trace_id\": \"") + trace_hex),
+            std::string::npos)
+      << excerpt;
+  EXPECT_NE(excerpt.find("\"name\": \"structure.tier\""), std::string::npos)
+      << excerpt;
+  EXPECT_NE(excerpt.find("\"name\": \"server.job\""), std::string::npos);
+}
+
+TEST(ServerTest, SlowLogRecordsDeadlineExceededRequests) {
+  obs::ResetFlightRecorderForTest();
+  const std::string log_path = TestSocketPath() + ".slowlog";
+  ServerOptions options;
+  options.slow_log_path = log_path;
+  TestServer ts(options);
+  ASSERT_TRUE(ts.started);
+  TestClient client(ts.path);
+  ASSERT_TRUE(client.connected());
+
+  const char* trace_hex = "abadcafeabadcafeabadcafeabadcafe";
+  std::string body = RequestBody(kHeavyJob, 0, /*deadline_ms=*/30);
+  body.insert(body.size() - 1,
+              std::string(", \"trace_id\": \"") + trace_hex + "\"");
+  ASSERT_TRUE(client.SendRequest(1, body));
+  uint64_t id = 0;
+  ServiceResponse response;
+  ASSERT_TRUE(client.ReadResponse(&id, &response));
+  ASSERT_EQ(response.status, ResponseStatus::kDeadlineExceeded);
+
+  // The slow-log line is appended after the response goes out; poll.
+  std::string log;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    std::ifstream in(log_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    log = buffer.str();
+    if (log.find("slow_request") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NE(log.find("\"event\": \"slow_request\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find(std::string("\"trace_id\": \"") + trace_hex),
+            std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"outcome\": \"deadline_exceeded\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"tier\": "), std::string::npos);
+  EXPECT_NE(log.find("\"deadline_ms\": 30"), std::string::npos);
+  EXPECT_NE(log.find("\"latency_ns\": "), std::string::npos);
+  if (obs::TracingCompiledIn()) {
+    // The flight excerpt follows the header: the killed request's own
+    // span history, available with session tracing disabled.
+    EXPECT_NE(log.find("\"event\": \"span\""), std::string::npos) << log;
+    EXPECT_NE(log.find("\"name\": \"structure.tier\""), std::string::npos)
+        << log;
+  }
+  ::unlink(log_path.c_str());
 }
 
 }  // namespace

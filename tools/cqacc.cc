@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/request_context.h"
 #include "server/json.h"
 #include "server/protocol.h"
 
@@ -56,6 +58,7 @@ void PrintUsage(std::ostream& out) {
   out << "usage: cqacc [--unix PATH | --port N [--host H]]\n"
          "             [--deadline-ms N] [--echo] [--set-catalog FILE]\n"
          "             [--load N [--concurrency C] [--job-file FILE]]\n"
+         "             [--get-metrics] [--dump-telemetry [TRACE_ID]]\n"
          "             [--help]\n"
          "  --unix PATH      connect to a Unix-domain socket\n"
          "  --port N         connect to TCP port N (default host 127.0.0.1)\n"
@@ -73,11 +76,21 @@ void PrintUsage(std::ostream& out) {
          "  --concurrency C  connections used in load mode (default 1)\n"
          "  --job-file FILE  job block submitted in load mode (default: a\n"
          "                   built-in two-view job)\n"
+         "  --get-metrics    fetch the server's metrics registry in\n"
+         "                   Prometheus text format and print it\n"
+         "  --dump-telemetry [TRACE_ID]\n"
+         "                   fetch the server's flight-recorder excerpt as\n"
+         "                   JSON lines, optionally filtered to one\n"
+         "                   32-hex-character trace id\n"
          "  --help           this message\n"
          "\n"
          "Without --load, cqacc reads the cqacsh --serve-batch job-stream\n"
          "format from stdin and prints one result block per job, in input\n"
-         "order, byte-identical to the batch driver's blocks.\n";
+         "order, byte-identical to the batch driver's blocks.  Every\n"
+         "request is stamped with a fresh 128-bit trace id that the server\n"
+         "binds to its spans and echoes in the response; load mode's JSON\n"
+         "record gains a per-tier latency breakdown (stderr prints the\n"
+         "human-readable table).\n";
 }
 
 bool ParseNonNegative(const std::string& text, int64_t* value) {
@@ -152,7 +165,8 @@ bool SendAll(int fd, const std::string& data) {
 }
 
 std::string BuildRequestBody(const std::string& job_text, int64_t index,
-                             int64_t deadline_ms, bool echo) {
+                             int64_t deadline_ms, bool echo,
+                             const cqac::obs::TraceId& trace_id) {
   std::string body = "{\"job\": ";
   AppendJsonString(&body, job_text);
   body += ", \"index\": " + std::to_string(index);
@@ -160,6 +174,9 @@ std::string BuildRequestBody(const std::string& job_text, int64_t index,
     body += ", \"deadline_ms\": " + std::to_string(deadline_ms);
   }
   if (echo) body += ", \"echo\": true";
+  if (!trace_id.IsZero()) {
+    body += ", \"trace_id\": \"" + cqac::obs::TraceIdHex(trace_id) + "\"";
+  }
   body += "}";
   return body;
 }
@@ -237,13 +254,21 @@ std::vector<std::string> SplitJobBlocks(std::istream& in) {
   return blocks;
 }
 
+/// One completed load-mode request: enough to attribute its latency to
+/// the tier the server ran it on and to find it again by trace id.
+struct LoadRecord {
+  int64_t latency_ns = 0;
+  int tier = -1;  // -1 = response carried no tier (errors, old servers)
+  cqac::obs::TraceId trace_id;
+};
+
 struct LoadTally {
   int64_t ok = 0;
   int64_t deadline_exceeded = 0;
   int64_t rejected = 0;
   int64_t errors = 0;
   int64_t semantic_cache_hits = 0;
-  std::vector<int64_t> latencies_ns;  // one entry per completed request
+  std::vector<LoadRecord> records;  // one entry per completed request
 };
 
 /// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
@@ -261,6 +286,32 @@ std::string BuildSetCatalogBody(const std::string& views_text) {
   AppendJsonString(&body, views_text);
   body += "}";
   return body;
+}
+
+/// Sends one control-plane request (`get_metrics` or `dump_telemetry`)
+/// and prints the response body to stdout.  False on any failure.
+bool ControlRequest(const Endpoint& endpoint, const std::string& body) {
+  std::string error;
+  const int fd = Connect(endpoint, &error);
+  if (fd < 0) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  FrameDecoder decoder;
+  ServiceResponse response;
+  const bool ok = RoundTrip(fd, &decoder, 1, body, &response, &error);
+  ::close(fd);
+  if (!ok) {
+    std::cerr << "error: " << error << "\n";
+    return false;
+  }
+  if (response.status != ResponseStatus::kOk) {
+    std::cerr << "error: " << ResponseStatusName(response.status) << ": "
+              << response.error << "\n";
+    return false;
+  }
+  std::cout << response.body;
+  return true;
 }
 
 /// Sends one set_catalog request over its own connection and prints the
@@ -301,6 +352,9 @@ int main(int argc, char** argv) {
   int64_t concurrency = 1;
   std::string job_file;
   std::string set_catalog_file;
+  bool get_metrics = false;
+  bool dump_telemetry = false;
+  std::string telemetry_filter;
 
   auto next_value = [&](int* i, const char* flag) -> const char* {
     if (*i + 1 >= argc) {
@@ -367,6 +421,22 @@ int main(int argc, char** argv) {
       const char* v = next_value(&i, "--set-catalog");
       if (v == nullptr) return 1;
       set_catalog_file = v;
+    } else if (arg == "--get-metrics") {
+      get_metrics = true;
+    } else if (arg == "--dump-telemetry") {
+      dump_telemetry = true;
+      // The trace-id filter is optional: consume the next argument only
+      // when it does not look like another flag.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        telemetry_filter = argv[++i];
+        cqac::obs::TraceId parsed;
+        if (!cqac::obs::ParseTraceIdHex(telemetry_filter, &parsed)) {
+          std::cerr << "error: --dump-telemetry filter must be 32 hex "
+                       "characters, got '"
+                    << telemetry_filter << "'\n";
+          return 1;
+        }
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
       return 0;
@@ -394,6 +464,18 @@ int main(int argc, char** argv) {
     if (!SetCatalog(endpoint, buffer.str())) return 1;
   }
 
+  if (get_metrics) {
+    return ControlRequest(endpoint, "{\"type\": \"get_metrics\"}") ? 0 : 1;
+  }
+  if (dump_telemetry) {
+    std::string body = "{\"type\": \"dump_telemetry\"";
+    if (!telemetry_filter.empty()) {
+      body += ", \"trace_id\": \"" + telemetry_filter + "\"";
+    }
+    body += "}";
+    return ControlRequest(endpoint, body) ? 0 : 1;
+  }
+
   if (load < 0) {
     // Job mode: stdin blocks in, result blocks out, input order.
     const std::vector<std::string> blocks = SplitJobBlocks(std::cin);
@@ -408,7 +490,8 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < blocks.size(); ++i) {
       ServiceResponse response;
       if (!RoundTrip(fd, &decoder, i + 1,
-                     BuildRequestBody(blocks[i], i, deadline_ms, echo),
+                     BuildRequestBody(blocks[i], i, deadline_ms, echo,
+                                      cqac::obs::GenerateTraceId()),
                      &response, &error)) {
         std::cerr << "error: job " << i << ": " << error << "\n";
         status = 1;
@@ -461,18 +544,24 @@ int main(int argc, char** argv) {
         const int64_t index = next_request.fetch_add(1);
         if (index >= load) break;
         ServiceResponse response;
+        const cqac::obs::TraceId trace_id = cqac::obs::GenerateTraceId();
         const auto request_start = std::chrono::steady_clock::now();
         if (!RoundTrip(fd, &decoder, index + 1,
-                       BuildRequestBody(job_text, index, deadline_ms, echo),
+                       BuildRequestBody(job_text, index, deadline_ms, echo,
+                                        trace_id),
                        &response, &error)) {
           failures[w] = error;
           break;
         }
         LoadTally& tally = tallies[w];
-        tally.latencies_ns.push_back(
+        LoadRecord record;
+        record.latency_ns =
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - request_start)
-                .count());
+                .count();
+        record.tier = response.tier;
+        record.trace_id = trace_id;
+        tally.records.push_back(record);
         if (response.from_semantic_cache) ++tally.semantic_cache_hits;
         switch (response.status) {
           case ResponseStatus::kOk:
@@ -504,16 +593,25 @@ int main(int argc, char** argv) {
 
   LoadTally total;
   std::vector<int64_t> latencies;
+  // Per-tier latency samples: index 0 = tier "none" (responses without a
+  // tier), then tiers 0..2 — the same keying as the server's SLO windows.
+  std::vector<int64_t> tier_latencies[4];
   for (const LoadTally& t : tallies) {
     total.ok += t.ok;
     total.deadline_exceeded += t.deadline_exceeded;
     total.rejected += t.rejected;
     total.errors += t.errors;
     total.semantic_cache_hits += t.semantic_cache_hits;
-    latencies.insert(latencies.end(), t.latencies_ns.begin(),
-                     t.latencies_ns.end());
+    for (const LoadRecord& r : t.records) {
+      latencies.push_back(r.latency_ns);
+      const int slot = r.tier >= 0 && r.tier <= 2 ? r.tier + 1 : 0;
+      tier_latencies[slot].push_back(r.latency_ns);
+    }
   }
   std::sort(latencies.begin(), latencies.end());
+  for (std::vector<int64_t>& sample : tier_latencies) {
+    std::sort(sample.begin(), sample.end());
+  }
   int64_t latency_sum = 0;
   for (const int64_t ns : latencies) latency_sum += ns;
   const int64_t latency_mean =
@@ -537,7 +635,37 @@ int main(int argc, char** argv) {
             << ", \"latency_ns_p50\": " << Percentile(latencies, 50)
             << ", \"latency_ns_p95\": " << Percentile(latencies, 95)
             << ", \"latency_ns_p99\": " << Percentile(latencies, 99)
-            << "}\n";
+            << ", \"tiers\": [";
+  const char* tier_names[4] = {"none", "0", "1", "2"};
+  bool first_tier = true;
+  for (int slot = 0; slot < 4; ++slot) {
+    const std::vector<int64_t>& sample = tier_latencies[slot];
+    if (sample.empty()) continue;
+    if (!first_tier) std::cout << ", ";
+    first_tier = false;
+    std::cout << "{\"tier\": \"" << tier_names[slot]
+              << "\", \"requests\": " << sample.size()
+              << ", \"latency_ns_p50\": " << Percentile(sample, 50)
+              << ", \"latency_ns_p95\": " << Percentile(sample, 95)
+              << ", \"latency_ns_p99\": " << Percentile(sample, 99) << "}";
+  }
+  std::cout << "]}\n";
+
+  // Human-readable per-tier table on stderr; stdout stays one machine-
+  // parseable JSON line (tools/run_benches.sh seds it).
+  std::cerr << "cqacc: per-tier latency (ns)\n"
+            << "  tier  requests       p50       p95       p99\n";
+  for (int slot = 0; slot < 4; ++slot) {
+    const std::vector<int64_t>& sample = tier_latencies[slot];
+    if (sample.empty()) continue;
+    char line[128];
+    snprintf(line, sizeof(line), "  %-4s %9zu %9lld %9lld %9lld\n",
+             tier_names[slot], sample.size(),
+             static_cast<long long>(Percentile(sample, 50)),
+             static_cast<long long>(Percentile(sample, 95)),
+             static_cast<long long>(Percentile(sample, 99)));
+    std::cerr << line;
+  }
 
   for (int64_t w = 0; w < concurrency; ++w) {
     if (!failures[w].empty()) {

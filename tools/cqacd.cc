@@ -18,13 +18,19 @@
 
 #include <signal.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/trace.h"
 #include "runtime/batch_driver.h"
 #include "runtime/thread_pool.h"
@@ -37,7 +43,8 @@ void PrintUsage(std::ostream& out) {
          "             [--max-inflight N] [--deadline-ms N] [--echo]\n"
          "             [--catalog] [--catalog-views FILE]\n"
          "             [--stats] [--json] [--metrics] [--trace FILE]\n"
-         "             [--help]\n"
+         "             [--metrics-dump FILE] [--metrics-interval SEC]\n"
+         "             [--slow-log FILE] [--help]\n"
          "  --unix PATH      listen on a Unix-domain socket at PATH\n"
          "  --port N         listen on 127.0.0.1:N (0 = pick an ephemeral\n"
          "                   port; the chosen port is printed on startup)\n"
@@ -67,6 +74,18 @@ void PrintUsage(std::ostream& out) {
          "                   in the exit footer\n"
          "  --trace FILE     record phase-level spans and write a Chrome\n"
          "                   trace-event JSON file on exit\n"
+         "  --metrics-dump FILE\n"
+         "                   write the registry in Prometheus text format\n"
+         "                   to FILE periodically (atomic rename) and on\n"
+         "                   exit; a scraper can also use the get_metrics\n"
+         "                   wire request instead\n"
+         "  --metrics-interval SEC\n"
+         "                   seconds between --metrics-dump writes\n"
+         "                   (default 15)\n"
+         "  --slow-log FILE  append the attribution header and flight-\n"
+         "                   recorder excerpt of every deadline-exceeded\n"
+         "                   or errored request to FILE as JSON lines\n"
+         "                   (\"-\" = stderr)\n"
          "  --help           this message\n"
          "\n"
          "At least one of --unix and --port is required.  SIGTERM/SIGINT\n"
@@ -110,6 +129,8 @@ int main(int argc, char** argv) {
   bool json_summary = false;
   bool metrics = false;
   std::string trace_path;
+  std::string metrics_dump_path;
+  int64_t metrics_interval_sec = 15;
 
   auto next_value = [&](int* i, const char* flag) -> const char* {
     if (*i + 1 >= argc) {
@@ -188,6 +209,24 @@ int main(int argc, char** argv) {
       const char* v = next_value(&i, "--trace");
       if (v == nullptr) return 1;
       trace_path = v;
+    } else if (arg == "--metrics-dump") {
+      const char* v = next_value(&i, "--metrics-dump");
+      if (v == nullptr) return 1;
+      metrics_dump_path = v;
+    } else if (arg == "--metrics-interval") {
+      const char* v = next_value(&i, "--metrics-interval");
+      if (v == nullptr) return 1;
+      if (!ParseNonNegative(v, &value) || value < 1) {
+        std::cerr << "error: --metrics-interval needs a positive integer, "
+                     "got '"
+                  << v << "'\n";
+        return 1;
+      }
+      metrics_interval_sec = value;
+    } else if (arg == "--slow-log") {
+      const char* v = next_value(&i, "--slow-log");
+      if (v == nullptr) return 1;
+      options.slow_log_path = v;
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(std::cout);
       return 0;
@@ -213,13 +252,49 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   if (!trace_path.empty()) cqac::obs::StartTracing();
-  if (metrics) cqac::obs::EnableMetrics(true);
+  // The registry is always on in the daemon so `get_metrics` and
+  // --metrics-dump are never empty; --metrics keeps its old meaning of
+  // also printing the registry in the exit footer.
+  cqac::obs::EnableMetrics(true);
 
   cqac::server::Server server(options);
   std::string error;
   if (!server.Start(&error)) {
     std::cerr << "error: " << error << "\n";
     return 1;
+  }
+
+  // Periodic Prometheus dump: write-then-rename so a scraper reading the
+  // file never sees a torn render.
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  auto dump_metrics = [&]() -> bool {
+    const std::string tmp = metrics_dump_path + ".tmp";
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    cqac::obs::WritePrometheusText(out, cqac::obs::MetricsRegistry::Global());
+    out.close();
+    return out.good() && std::rename(tmp.c_str(),
+                                     metrics_dump_path.c_str()) == 0;
+  };
+  std::thread dump_thread;
+  if (!metrics_dump_path.empty()) {
+    if (!dump_metrics()) {
+      std::cerr << "error: cannot write metrics dump '" << metrics_dump_path
+                << "'\n";
+      server.BeginDrain();
+      server.Wait();
+      return 1;
+    }
+    dump_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mu);
+      while (!dump_stop) {
+        dump_cv.wait_for(lock, std::chrono::seconds(metrics_interval_sec));
+        if (dump_stop) break;
+        dump_metrics();
+      }
+    });
   }
   if (!options.unix_socket_path.empty()) {
     std::cout << "cqacd: listening on unix:" << options.unix_socket_path
@@ -241,6 +316,15 @@ int main(int argc, char** argv) {
 
   server.Wait();
   signal_thread.join();
+  if (dump_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dump_thread.join();
+    dump_metrics();  // Final render reflecting the drained state.
+  }
 
   cqac::BatchOptions footer;
   footer.print_stats = print_stats;

@@ -34,6 +34,14 @@
 # semi-interval grid cache and the acyclic join-tree engine, with
 # embedded output-equality checks) recorded under
 # results/BENCH_tiered_execution.json.
+#
+# `telemetry_overhead` is the observability acceptance gate: bench_tiers
+# keep-test rows with CQAC_TELEMETRY=1 (a bound request scope, so every
+# span site records into the flight recorder) against the same rows from
+# a separate -DCQAC_TRACING=OFF build tree (build-notrace/).  Per-row
+# medians over several repetitions; the canonical keep-test row must stay
+# within 3% -> results/BENCH_telemetry_overhead.json, nonzero exit on a
+# gate failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,7 +54,7 @@ benches=("$@")
 if [ ${#benches[@]} -eq 0 ]; then
   benches=(bench_containment bench_canonical bench_homomorphism bench_phase1
            columnar_engine tiered_execution server_throughput
-           catalog_steady_state parallel_scaling)
+           catalog_steady_state parallel_scaling telemetry_overhead)
 fi
 
 # A 5-relation chain: tens of milliseconds of Phase 1 per request on one
@@ -215,13 +223,83 @@ run_parallel_scaling() {
   cat "$out" | tee "$repo/results/BENCH_parallel_scaling.txt"
 }
 
+run_telemetry_overhead() {
+  local build_off="$repo/build-notrace"
+  local out="$repo/results/BENCH_telemetry_overhead.json"
+  local reps=5
+  # The canonical keep-test row (tier-1 grid sweep) is the gate; the
+  # Phase-1 sweep rows ride along as the span-dense informational upper
+  # bound (phase1.database + phase1.freeze fire per canonical database).
+  local gate_row='BM_SemiIntervalKeepTest/1'
+  local filter='BM_SemiIntervalKeepTest/1$|BM_SemiIntervalPhase1'
+  local work
+  work="$(mktemp -d)"
+
+  cmake -S "$repo" -B "$build_off" -DCMAKE_BUILD_TYPE=Release \
+    -DCQAC_TRACING=OFF >/dev/null
+  cmake --build "$build_off" --target bench_tiers -j"$(nproc)" >/dev/null
+
+  collect() {  # collect BINARY TELEMETRY ROWSFILE
+    local bin="$1" telemetry="$2" rows="$3" rep
+    : > "$rows"
+    for rep in $(seq 1 "$reps"); do
+      CQAC_TELEMETRY="$telemetry" "$bin" --json "$work/run.json" \
+        --benchmark_filter="$filter" --benchmark_color=false \
+        >/dev/null 2>&1
+      sed -n 's/.*"name": "\([^"]*\)", "wall_ms": \([0-9.e+-]*\).*/\1 \2/p' \
+        "$work/run.json" >> "$rows"
+    done
+  }
+  median() {  # median ROWNAME ROWSFILE
+    grep -F "$1 " "$2" | awk '{print $2}' | sort -g \
+      | awk '{v[NR] = $1} END {print v[int((NR + 1) / 2)]}'
+  }
+
+  collect "$build/bench/bench_tiers" 1 "$work/on.rows"
+  collect "$build_off/bench/bench_tiers" "" "$work/off.rows"
+
+  local rows first=1 name on off ratio gate_ratio=0 pass=true
+  rows="$(awk '{print $1}' "$work/on.rows" | sort -u)"
+  {
+    echo "{\"bench\": \"telemetry_overhead\","
+    echo " \"commit\": \"$(git -C "$repo" rev-parse HEAD 2>/dev/null || echo unknown)\","
+    echo " \"cpus\": $(nproc),"
+    echo " \"repetitions\": $reps,"
+    echo " \"gate_row\": \"$gate_row\","
+    echo " \"gate_threshold_ratio\": 1.03,"
+    echo " \"rows\": ["
+    for name in $rows; do
+      on="$(median "$name" "$work/on.rows")"
+      off="$(median "$name" "$work/off.rows")"
+      ratio="$(awk -v a="$on" -v b="$off" \
+                 'BEGIN { printf (b > 0 ? "%.4f" : "0"), a / b }')"
+      [ "$name" = "$gate_row" ] && gate_ratio="$ratio"
+      [ $first -eq 1 ] || echo ","
+      first=0
+      printf '  {"name": "%s", "telemetry_on_ms": %s, "tracing_off_ms": %s, "ratio": %s}' \
+        "$name" "$on" "$off" "$ratio"
+    done
+    echo ""
+    echo " ],"
+    pass="$(awk -v r="$gate_ratio" 'BEGIN { print (r > 0 && r <= 1.03) ? "true" : "false" }')"
+    echo " \"gate_ratio\": $gate_ratio,"
+    echo " \"pass\": $pass}"
+  } > "$out"
+  rm -rf "$work"
+  cat "$out" | tee "$repo/results/BENCH_telemetry_overhead.txt"
+  if ! grep -q '"pass": true' "$out"; then
+    echo "error: telemetry overhead gate FAILED (ratio $gate_ratio > 1.03)" >&2
+    return 1
+  fi
+}
+
 targets=()
 for bench in "${benches[@]}"; do
   case "$bench" in
     server_throughput|catalog_steady_state) targets+=(cqacd cqacc) ;;
     parallel_scaling) targets+=(cqacd cqacc cqacsh) ;;
     columnar_engine) targets+=(bench_columnar) ;;
-    tiered_execution) targets+=(bench_tiers) ;;
+    tiered_execution|telemetry_overhead) targets+=(bench_tiers) ;;
     *) targets+=("$bench") ;;
   esac
 done
@@ -236,6 +314,7 @@ for bench in "${benches[@]}"; do
     server_throughput) run_server_throughput ;;
     catalog_steady_state) run_catalog_steady_state ;;
     parallel_scaling) run_parallel_scaling ;;
+    telemetry_overhead) run_telemetry_overhead ;;
     columnar_engine)
       "$build/bench/bench_columnar" \
         --json "$repo/results/BENCH_columnar_engine.json" \

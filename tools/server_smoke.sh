@@ -67,6 +67,41 @@ grep -q '"completed": 64' "$work/load.json" || {
   exit 1
 }
 
+# 2b. Observability control plane on the live daemon: a get_metrics
+#     scrape must serve Prometheus text with the per-tier SLO summary,
+#     and dump_telemetry must lead with its meta line.  Span assertions
+#     are gated on the build actually compiling tracing in, so this
+#     passes unchanged on a -DCQAC_TRACING=OFF leg.
+"$build/tools/cqacc" --unix "$sock" --get-metrics > "$work/metrics.txt"
+grep -q '^# TYPE cqac_server_slo_request_latency_ns summary' "$work/metrics.txt" || {
+  echo "error: get_metrics missing the SLO summary header:" >&2
+  cat "$work/metrics.txt" >&2
+  exit 1
+}
+grep -q 'cqac_server_slo_request_latency_ns{tier=' "$work/metrics.txt" || {
+  echo "error: get_metrics missing per-tier SLO series" >&2
+  exit 1
+}
+grep -q '^cqac_server_requests_accepted_total ' "$work/metrics.txt" || {
+  echo "error: get_metrics missing the accepted-requests counter" >&2
+  exit 1
+}
+
+"$build/tools/cqacc" --unix "$sock" --dump-telemetry > "$work/telemetry.txt"
+head -1 "$work/telemetry.txt" | grep -q '"event": "telemetry"' || {
+  echo "error: dump_telemetry meta line missing:" >&2
+  head -3 "$work/telemetry.txt" >&2
+  exit 1
+}
+compiled_in=false
+if head -1 "$work/telemetry.txt" | grep -q '"tracing_compiled_in": true'; then
+  compiled_in=true
+  grep -q '"name": "server.job"' "$work/telemetry.txt" || {
+    echo "error: dump_telemetry has no server.job span after a load run" >&2
+    exit 1
+  }
+fi
+
 # 3. Graceful drain: SIGTERM -> batch footer on stdout, exit 0.
 kill -TERM "$daemon_pid"
 drain_status=0
@@ -133,4 +168,71 @@ wait "$daemon_pid" || {
   exit 1
 }
 
-echo "server smoke: OK (parity, 8-way load, graceful drain, catalog)"
+# 5. Slow-request attribution (the acceptance scenario): two concurrent
+#    clients against a --slow-log daemon, one of them a deadline-doomed
+#    heavy request.  With session tracing never enabled, the slow log
+#    must still carry that request's trace id, tier, per-phase wall
+#    times, and (when tracing is compiled in) its flight-recorder spans.
+sock3="$work/cqac_slow.sock"
+slow_log="$work/slow.jsonl"
+"$build/tools/cqacd" --unix "$sock3" --slow-log "$slow_log" \
+  > "$work/cqacd_slow.out" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 50); do
+  [ -S "$sock3" ] && break
+  sleep 0.1
+done
+[ -S "$sock3" ] || { echo "error: cqacd --slow-log did not come up" >&2; cat "$work/cqacd_slow.out" >&2; exit 1; }
+
+cat > "$work/heavy.txt" <<'EOF'
+view v(A) :- r1(A,B), r2(B,C), r3(C,D), r4(D,E), r5(E,F), r6(F,G)
+query q(A) :- r1(A,B), r2(B,C), r3(C,D), r4(D,E), r5(E,F), r6(F,G), A <= 8
+EOF
+"$build/tools/cqacc" --unix "$sock3" --load 16 --concurrency 1 \
+  > "$work/slow_load.json" &
+load_pid=$!
+heavy_status=0
+"$build/tools/cqacc" --unix "$sock3" --deadline-ms 40 < "$work/heavy.txt" \
+  > "$work/heavy.out" 2>&1 || heavy_status=$?
+wait "$load_pid" || { echo "error: concurrent load client failed" >&2; exit 1; }
+[ "$heavy_status" != 0 ] || {
+  echo "error: heavy request finished under a 40 ms deadline?" >&2
+  cat "$work/heavy.out" >&2
+  exit 1
+}
+grep -q 'deadline' "$work/heavy.out" || {
+  echo "error: heavy request did not report a deadline error:" >&2
+  cat "$work/heavy.out" >&2
+  exit 1
+}
+for key in '"event": "slow_request"' '"trace_id": "' '"tier": ' \
+           '"tier_reason": ' '"phase1_ns": ' '"enumeration_ns": ' \
+           '"latency_ns": '; do
+  grep -qF "$key" "$slow_log" || {
+    echo "error: slow log missing $key:" >&2
+    cat "$slow_log" >&2
+    exit 1
+  }
+done
+if [ "$compiled_in" = true ]; then
+  grep -q '"event": "span"' "$slow_log" || {
+    echo "error: slow log carries no flight-recorder spans:" >&2
+    cat "$slow_log" >&2
+    exit 1
+  }
+  grep -q '"name": "structure.tier"' "$slow_log" || {
+    echo "error: slow log excerpt lost the structure.tier span:" >&2
+    cat "$slow_log" >&2
+    exit 1
+  }
+fi
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || {
+  echo "error: cqacd --slow-log exited non-zero on SIGTERM" >&2
+  cat "$work/cqacd_slow.out" >&2
+  exit 1
+}
+
+echo "server smoke: OK (parity, 8-way load, graceful drain, catalog," \
+     "metrics scrape, telemetry dump, slow-request log)"
